@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Implementation of the shared bench plumbing.
+ */
+
+#include "bench_util.hh"
+
+#include <iostream>
+
+#include "common/math_utils.hh"
+
+namespace transfusion::bench
+{
+
+PointResults
+evaluatePoint(const arch::ArchConfig &arch,
+              const model::TransformerConfig &cfg, std::int64_t seq)
+{
+    schedule::EvaluatorOptions opts;
+    opts.mcts.iterations = 2048;
+    return sim::evaluateAll(arch, cfg, seq, opts);
+}
+
+std::vector<schedule::StrategyKind>
+figureStrategies()
+{
+    return schedule::allStrategies();
+}
+
+std::string
+seqLabel(std::int64_t seq)
+{
+    return formatQuantity(seq);
+}
+
+void
+printBanner(const std::string &figure,
+            const std::string &description)
+{
+    std::cout << "=== TransFusion reproduction: " << figure
+              << " ===\n"
+              << description << "\n"
+              << "(simulated substrate; compare shapes/ratios, not "
+                 "absolute numbers)\n\n";
+}
+
+} // namespace transfusion::bench

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration binaries: cached
+ * evaluation points, speedup/energy series, and consistent table
+ * headers matching the paper's legends.
+ */
+
+#ifndef TRANSFUSION_BENCH_BENCH_UTIL_HH
+#define TRANSFUSION_BENCH_BENCH_UTIL_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/compare.hh"
+
+namespace transfusion::bench
+{
+
+/** All-strategy evaluation at one point. */
+using PointResults =
+    std::map<schedule::StrategyKind, schedule::EvalResult>;
+
+/** Evaluate one (arch, model, seq) point with bench defaults. */
+PointResults evaluatePoint(const arch::ArchConfig &arch,
+                           const model::TransformerConfig &cfg,
+                           std::int64_t seq);
+
+/** Strategy column order used by every figure. */
+std::vector<schedule::StrategyKind> figureStrategies();
+
+/** "1K" ... "1M" labels for the paper's sequence axis. */
+std::string seqLabel(std::int64_t seq);
+
+/** Print a figure banner with reproduction context. */
+void printBanner(const std::string &figure,
+                 const std::string &description);
+
+} // namespace transfusion::bench
+
+#endif // TRANSFUSION_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Extension experiment (Sec. 3.1's deferred batch discussion):
+ * sweep the batch size at a fixed sequence length and report how
+ * the TransFusion speedup and TileSeek's batch/sequence tile split
+ * respond.  Larger batches amortize weight streaming across outer
+ * tiles; smaller batches leave the stack memory-bound longer.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/bottleneck.hh"
+
+int
+main()
+{
+    using namespace transfusion;
+    bench::printBanner(
+        "Extension: batch sweep",
+        "Batch-size impact on speedup and TileSeek tiles "
+        "(BERT, 16K sequence)");
+
+    const std::int64_t seq = 16 << 10;
+    schedule::EvaluatorOptions opts;
+    opts.mcts.iterations = 1024;
+
+    for (const auto *arch_name : { "cloud", "edge" }) {
+        const auto arch = arch::archByName(arch_name);
+        std::cout << "[" << arch.toString() << "]\n";
+
+        Table t({ "batch", "TransFusion/Unfused",
+                  "TransFusion/FuseMax", "tile b", "tile p",
+                  "stack bound" });
+        for (std::int64_t batch : { 1, 4, 16, 64, 256 }) {
+            model::TransformerConfig cfg = model::bertBase();
+            cfg.batch = batch;
+            schedule::Evaluator eval(arch, cfg, seq, opts);
+            const auto base =
+                eval.evaluate(schedule::StrategyKind::Unfused);
+            const auto fuse =
+                eval.evaluate(schedule::StrategyKind::FuseMax);
+            const auto tf =
+                eval.evaluate(schedule::StrategyKind::TransFusion);
+            const auto bound = sim::analyze(tf).overall;
+            t.addRow({
+                std::to_string(batch),
+                Table::cell(base.total.latency_s
+                                / tf.total.latency_s, 2) + "x",
+                Table::cell(fuse.total.latency_s
+                                / tf.total.latency_s, 2) + "x",
+                std::to_string(tf.tile.b),
+                std::to_string(tf.tile.p),
+                sim::toString(bound),
+            });
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Headline numbers (abstract / Sec. 6.2): geometric-mean speedups
+ * of TransFusion over FuseMax+LayerFuse, FuseMax and FLAT across
+ * the full model x sequence sweep, per architecture.  Paper
+ * reports 1.3x / 1.6x / 7.0x on cloud and 1.8x / 2.2x / 3.2x on
+ * edge.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/math_utils.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace transfusion;
+    using schedule::StrategyKind;
+    bench::printBanner(
+        "Headline",
+        "Geomean speedup of TransFusion over each baseline across "
+        "all models and sequence lengths");
+
+    Table t({ "arch", "vs LayerFuse", "vs FuseMax", "vs FLAT",
+              "vs Unfused" });
+    for (const auto *arch_name : { "cloud", "edge" }) {
+        const auto arch = arch::archByName(arch_name);
+        std::vector<double> vs_lf, vs_fm, vs_flat, vs_unfused;
+        for (const auto &cfg : model::allModels()) {
+            for (std::int64_t seq : sim::paperSequenceSweep()) {
+                const auto all =
+                    bench::evaluatePoint(arch, cfg, seq);
+                const double tf =
+                    all.at(StrategyKind::TransFusion)
+                        .total.latency_s;
+                vs_lf.push_back(
+                    all.at(StrategyKind::FuseMaxLayerFuse)
+                        .total.latency_s / tf);
+                vs_fm.push_back(all.at(StrategyKind::FuseMax)
+                                    .total.latency_s / tf);
+                vs_flat.push_back(all.at(StrategyKind::Flat)
+                                      .total.latency_s / tf);
+                vs_unfused.push_back(
+                    all.at(StrategyKind::Unfused)
+                        .total.latency_s / tf);
+            }
+        }
+        t.addRow({ arch.name,
+                   Table::cell(geometricMean(vs_lf), 2) + "x",
+                   Table::cell(geometricMean(vs_fm), 2) + "x",
+                   Table::cell(geometricMean(vs_flat), 2) + "x",
+                   Table::cell(geometricMean(vs_unfused), 2)
+                       + "x" });
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper reference: cloud 1.3x / 1.6x / 7.0x, "
+                 "edge 1.8x / 2.2x / 3.2x (vs LayerFuse / FuseMax "
+                 "/ FLAT)\n";
+    return 0;
+}

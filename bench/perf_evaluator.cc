@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the evaluator stack itself:
+ * how long one full evaluation point costs per strategy, and how
+ * the TileSeek budget scales it.  These are the costs a user pays
+ * per design-space point when sweeping with this library.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "schedule/decode.hh"
+#include "schedule/evaluator.hh"
+#include "schedule/stack_evaluator.hh"
+
+namespace
+{
+
+using namespace transfusion;
+
+schedule::EvaluatorOptions
+optionsWith(int mcts_iterations)
+{
+    schedule::EvaluatorOptions o;
+    o.mcts.iterations = mcts_iterations;
+    return o;
+}
+
+void
+BM_EvaluateStrategy(benchmark::State &state)
+{
+    const auto kind =
+        static_cast<schedule::StrategyKind>(state.range(0));
+    schedule::Evaluator eval(arch::cloudArch(), model::bertBase(),
+                             16384, optionsWith(512));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eval.evaluate(kind));
+}
+BENCHMARK(BM_EvaluateStrategy)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_EvaluatePointAllStrategies(benchmark::State &state)
+{
+    schedule::Evaluator eval(arch::edgeArch(), model::llama3_8b(),
+                             65536, optionsWith(512));
+    for (auto _ : state) {
+        for (auto kind : schedule::allStrategies())
+            benchmark::DoNotOptimize(eval.evaluate(kind));
+    }
+}
+BENCHMARK(BM_EvaluatePointAllStrategies)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TileSeekBudgetScaling(benchmark::State &state)
+{
+    schedule::Evaluator eval(
+        arch::cloudArch(), model::llama3_8b(), 65536,
+        optionsWith(static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            eval.evaluate(schedule::StrategyKind::TransFusion));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TileSeekBudgetScaling)
+    ->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_StackEvaluation(benchmark::State &state)
+{
+    schedule::StackEvaluator eval(
+        arch::cloudArch(),
+        model::encoderDecoder(model::t5Small(), 6, 6), 16384,
+        4096, optionsWith(512));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            eval.evaluate(schedule::StrategyKind::TransFusion));
+    }
+}
+BENCHMARK(BM_StackEvaluation)->Unit(benchmark::kMillisecond);
+
+void
+BM_DecodeEvaluation(benchmark::State &state)
+{
+    schedule::DecodeEvaluator eval(arch::cloudArch(),
+                                   model::bertBase(),
+                                   { 16384, 1024 },
+                                   optionsWith(256));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            eval.evaluate(schedule::StrategyKind::TransFusion));
+    }
+}
+BENCHMARK(BM_DecodeEvaluation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Architecture presets from Table 3 plus the Fig. 9 PE-scaling
+ * variants.
+ */
+
+#include "arch.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace transfusion::arch
+{
+
+std::string
+ArchConfig::toString() const
+{
+    std::ostringstream os;
+    os << name << ": 2D " << pe2d.rows << "x" << pe2d.cols << ", 1D "
+       << pe1d << ", buffer " << (buffer_bytes >> 20) << "MB, DRAM "
+       << (dram_bytes_per_sec / 1e9) << "GB/s, clk "
+       << (clock_hz / 1e6) << "MHz";
+    return os.str();
+}
+
+ArchConfig
+cloudArch()
+{
+    ArchConfig a;
+    a.name = "cloud";
+    a.pe2d = {256, 256};
+    a.pe1d = 256;
+    a.buffer_bytes = std::int64_t{16} << 20;
+    a.dram_bytes_per_sec = 400e9;
+    a.clock_hz = 940e6; // TPU v3 core clock
+    a.energy.mac_pj = 1.0;
+    a.energy.reg_pj = 0.3;
+    a.energy.buffer_pj = 6.0;       // 16 MB SRAM
+    a.energy.dram_pj_per_byte = 31.2; // HBM-class (~3.9 pJ/bit)
+    return a;
+}
+
+namespace
+{
+
+/** Shared base for the edge variants. */
+ArchConfig
+edgeBase()
+{
+    ArchConfig a;
+    a.pe1d = 256;
+    a.dram_bytes_per_sec = 30e9;
+    a.clock_hz = 500e6; // typical mobile-NPU clock
+    a.energy.mac_pj = 1.0;
+    a.energy.reg_pj = 0.3;
+    a.energy.buffer_pj = 3.0;        // 5 MB SRAM
+    a.energy.dram_pj_per_byte = 100.0; // LPDDR-class
+    return a;
+}
+
+} // namespace
+
+ArchConfig
+edgeArch()
+{
+    ArchConfig a = edgeBase();
+    a.name = "edge";
+    a.pe2d = {16, 16};
+    a.buffer_bytes = std::int64_t{5} << 20;
+    return a;
+}
+
+ArchConfig
+edgeArch32()
+{
+    ArchConfig a = edgeBase();
+    a.name = "edge32";
+    a.pe2d = {32, 32};
+    a.buffer_bytes = std::int64_t{5} << 20;
+    return a;
+}
+
+ArchConfig
+edgeArch64()
+{
+    ArchConfig a = edgeBase();
+    a.name = "edge64";
+    a.pe2d = {64, 64};
+    // Sec. 6.2: the 64x64 configuration raises the buffer to 8 MB.
+    a.buffer_bytes = std::int64_t{8} << 20;
+    a.energy.buffer_pj = 4.0;
+    return a;
+}
+
+ArchConfig
+archByName(const std::string &name)
+{
+    if (name == "cloud")
+        return cloudArch();
+    if (name == "edge")
+        return edgeArch();
+    if (name == "edge32")
+        return edgeArch32();
+    if (name == "edge64")
+        return edgeArch64();
+    tf_fatal("unknown architecture preset '", name, "'");
+}
+
+} // namespace transfusion::arch

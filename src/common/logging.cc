@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Implementation of the logging/error helpers.
+ */
+
+#include "logging.hh"
+
+#include <iostream>
+
+namespace transfusion
+{
+namespace detail
+{
+
+namespace
+{
+
+std::string
+decorate(const char *kind, const char *file, int line,
+         const std::string &msg)
+{
+    std::ostringstream os;
+    os << kind << ": " << msg << " (" << file << ":" << line << ")";
+    return os.str();
+}
+
+} // namespace
+
+void
+throwFatal(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(decorate("fatal", file, line, msg));
+}
+
+void
+throwPanic(const char *file, int line, const std::string &msg)
+{
+    throw PanicError(decorate("panic", file, line, msg));
+}
+
+void
+printWarn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+printInform(const std::string &msg)
+{
+    std::cerr << "info: " << msg << "\n";
+}
+
+} // namespace detail
+} // namespace transfusion

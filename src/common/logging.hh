@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 fatal/panic tradition.
+ *
+ * fatal()  -- the *user* asked for something impossible (bad config,
+ *             infeasible tile, unknown model name).  Throws
+ *             FatalError so library users and tests can catch it.
+ * panic()  -- an internal invariant was violated (a TransFusion bug).
+ *             Throws PanicError; never catch it in library code.
+ * warn()   -- something works but is suspicious; printed to stderr.
+ * inform() -- plain progress/status output on stderr.
+ */
+
+#ifndef TRANSFUSION_COMMON_LOGGING_HH
+#define TRANSFUSION_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace transfusion
+{
+
+/** Error raised by fatal(): user-correctable misconfiguration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Error raised by panic(): internal invariant violation. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a heterogeneous argument pack into one message string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void throwFatal(const char *file, int line,
+                             const std::string &msg);
+[[noreturn]] void throwPanic(const char *file, int line,
+                             const std::string &msg);
+void printWarn(const std::string &msg);
+void printInform(const std::string &msg);
+
+} // namespace detail
+
+} // namespace transfusion
+
+/** Abort the current operation due to a user error. */
+#define tf_fatal(...)                                                  \
+    ::transfusion::detail::throwFatal(                                 \
+        __FILE__, __LINE__,                                            \
+        ::transfusion::detail::formatMessage(__VA_ARGS__))
+
+/** Abort due to an internal bug (violated invariant). */
+#define tf_panic(...)                                                  \
+    ::transfusion::detail::throwPanic(                                 \
+        __FILE__, __LINE__,                                            \
+        ::transfusion::detail::formatMessage(__VA_ARGS__))
+
+/** panic() when a required condition does not hold. */
+#define tf_assert(cond, ...)                                           \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::transfusion::detail::throwPanic(                         \
+                __FILE__, __LINE__,                                    \
+                ::transfusion::detail::formatMessage(                  \
+                    "assertion '" #cond "' failed: ", ##__VA_ARGS__)); \
+        }                                                              \
+    } while (0)
+
+/** Non-fatal diagnostic for dubious-but-survivable situations. */
+#define tf_warn(...)                                                   \
+    ::transfusion::detail::printWarn(                                  \
+        ::transfusion::detail::formatMessage(__VA_ARGS__))
+
+/** Plain status output. */
+#define tf_inform(...)                                                 \
+    ::transfusion::detail::printInform(                                \
+        ::transfusion::detail::formatMessage(__VA_ARGS__))
+
+#endif // TRANSFUSION_COMMON_LOGGING_HH

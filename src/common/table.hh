@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Aligned plain-text table emitter used by the benchmark harness to
+ * print the rows/series of each paper table and figure, plus a CSV
+ * mode for downstream plotting.
+ */
+
+#ifndef TRANSFUSION_COMMON_TABLE_HH
+#define TRANSFUSION_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace transfusion
+{
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"seq", "speedup"});
+ *   t.addRow({"1K", "2.10"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string cell(double value, int precision = 3);
+
+    /** Print with aligned columns and a separator rule. */
+    void print(std::ostream &os) const;
+
+    /** Print as comma-separated values (for plotting scripts). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace transfusion
+
+#endif // TRANSFUSION_COMMON_TABLE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Implementation of the access-counting energy model.
+ */
+
+#include "energy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace transfusion::costmodel
+{
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    dram_j += o.dram_j;
+    buffer_j += o.buffer_j;
+    rf_j += o.rf_j;
+    pe_j += o.pe_j;
+    return *this;
+}
+
+EnergyBreakdown
+EnergyBreakdown::scaled(double factor) const
+{
+    return { dram_j * factor, buffer_j * factor, rf_j * factor,
+             pe_j * factor };
+}
+
+double
+dramEnergy(const arch::ArchConfig &arch, double bytes)
+{
+    tf_assert(bytes >= 0, "negative DRAM byte count");
+    return bytes * arch.energy.dram_pj_per_byte * 1e-12;
+}
+
+EnergyBreakdown
+opOnChipEnergy(const einsum::Einsum &op, const einsum::DimEnv &dims,
+               const arch::ArchConfig &arch,
+               const OnChipParams &params)
+{
+    const double load = op.computeLoad(dims);
+    const double out_words = op.output().elementCount(dims);
+    double in_words = 0;
+    for (const auto &ref : op.inputs())
+        in_words += ref.elementCount(dims);
+
+    double buffer_words;
+    if (op.peClass() == einsum::PeClass::Matrix) {
+        // Systolic reuse: each buffered word feeds `reuse` MACs.
+        double reuse = params.matrix_rf_reuse;
+        if (reuse <= 0) {
+            reuse = static_cast<double>(
+                std::min(arch.pe2d.rows, arch.pe2d.cols));
+        }
+        buffer_words = load / reuse + out_words;
+    } else {
+        // Streaming op: inputs and outputs move through the buffer
+        // once each.
+        buffer_words = in_words + out_words;
+    }
+
+    const double forwarded =
+        buffer_words * params.rf_forward_fraction;
+    const double buffered = buffer_words - forwarded;
+
+    EnergyBreakdown e;
+    e.pe_j = load * arch.energy.mac_pj * 1e-12;
+    // ~3 RF touches per scalar op, plus the forwarded words.
+    e.rf_j = (3.0 * load + forwarded) * arch.energy.reg_pj * 1e-12;
+    e.buffer_j = buffered * arch.energy.buffer_pj * 1e-12;
+    return e;
+}
+
+EnergyBreakdown
+cascadeOnChipEnergy(const einsum::Cascade &cascade,
+                    const einsum::DimEnv &dims,
+                    const arch::ArchConfig &arch,
+                    const OnChipParams &params)
+{
+    EnergyBreakdown total;
+    for (const auto &op : cascade.ops())
+        total += opOnChipEnergy(op, dims, arch, params);
+    return total;
+}
+
+} // namespace transfusion::costmodel

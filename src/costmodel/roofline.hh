@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Phase combinators: how compute time and DRAM-streaming time of a
+ * phase merge into wall-clock latency.  Fused dataflows double-buffer
+ * DRAM transfers behind compute (max); unfused phases serialize at
+ * phase boundaries (each phase is itself a max, phases sum).
+ */
+
+#ifndef TRANSFUSION_COSTMODEL_ROOFLINE_HH
+#define TRANSFUSION_COSTMODEL_ROOFLINE_HH
+
+#include <algorithm>
+
+#include "arch/arch.hh"
+
+namespace transfusion::costmodel
+{
+
+/** Seconds to stream `bytes` at the architecture's DRAM bandwidth. */
+inline double
+dramSeconds(const arch::ArchConfig &arch, double bytes)
+{
+    return bytes / arch.dram_bytes_per_sec;
+}
+
+/** Overlapped (double-buffered) phase latency. */
+inline double
+overlapped(double compute_s, double dram_s)
+{
+    return std::max(compute_s, dram_s);
+}
+
+/** Whether a phase is limited by memory rather than compute. */
+inline bool
+memoryBound(double compute_s, double dram_s)
+{
+    return dram_s > compute_s;
+}
+
+} // namespace transfusion::costmodel
+
+#endif // TRANSFUSION_COSTMODEL_ROOFLINE_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Implementation of the DRAM traffic primitives.
+ */
+
+#include "traffic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace transfusion::costmodel
+{
+
+double
+gemmTrafficWords(double n, double k, double m, double buffer_words)
+{
+    tf_assert(n > 0 && k > 0 && m > 0, "GEMM dims must be positive");
+    tf_assert(buffer_words > 0, "buffer must be positive");
+    const double compulsory = n * k + k * m + n * m;
+    // Hong-Kung: a machine with W words of fast memory must move at
+    // least ~2*n*k*m/sqrt(W) words for a dense GEMM.
+    const double blocked = 2.0 * n * k * m
+        / std::sqrt(buffer_words);
+    return std::max(compulsory, blocked);
+}
+
+double
+attentionStreamWords(double p, double m, double e, double f,
+                     double buffer_words)
+{
+    tf_assert(p > 0 && m > 0 && e > 0 && f > 0,
+              "attention dims must be positive");
+    tf_assert(buffer_words > 0, "buffer must be positive");
+
+    const double q_words = p * e;
+    const double kv_words = m * (e + f);
+    const double out_words = p * f;
+    // Half the buffer is the streaming scratch (double buffering).
+    const double resident = buffer_words / 2.0;
+
+    double kv_traffic;
+    if (kv_words <= resident) {
+        // K/V pinned on-chip; Q streams once.
+        kv_traffic = kv_words;
+    } else {
+        // Hold the largest Q chunk that fits; stream K/V per chunk.
+        const double chunks = std::max(
+            1.0, std::ceil(q_words / resident));
+        kv_traffic = chunks * kv_words;
+    }
+    return q_words + kv_traffic + out_words;
+}
+
+FusedStackTraffic
+fusedStackTraffic(const FusedStackShape &shape, const OuterTile &tile,
+                  double buffer_words)
+{
+    tf_assert(shape.batch > 0 && shape.seq > 0 && shape.d_model > 0
+              && shape.ffn_hidden > 0, "shape must be positive");
+    tf_assert(tile.batch_tile > 0 && tile.seq_tile > 0,
+              "tile factors must be positive");
+    tf_assert(buffer_words > 0, "buffer must be positive");
+
+    const double b = shape.batch, p = shape.seq, d = shape.d_model,
+                 s = shape.ffn_hidden;
+    const double m = shape.contextLen();
+    const double bt = static_cast<double>(tile.batch_tile);
+    const double pt = static_cast<double>(tile.seq_tile);
+    const double act_words = b * p * d;       // query-side
+    const double ctx_words = b * m * d;       // context-side
+
+    FusedStackTraffic t;
+    // INPUT is read for the Q path (tiled along p) and the context
+    // stream is read for the K/V projections (Sec. 3.2) -- unless
+    // a KV cache already holds the projected context.
+    t.input_words = act_words
+        + (shape.kv_precomputed ? 0.0 : ctx_words);
+    // BK/BV spill to DRAM for reuse across Q tiles (Fig. 3).
+    t.kv_spill_words =
+        shape.kv_precomputed ? 0.0 : 2.0 * ctx_words;
+
+    // Each outer Q tile streams the K/V context of its batch group.
+    // Per batch group: ceil(P/Pt) Q tiles, each streaming 2*Bt*M*D
+    // words -- unless that group's K/V fit on-chip, in which case
+    // they are read once.
+    const double kv_group_words = 2.0 * bt * m * d;
+    const double q_tiles_per_group = std::ceil(p / pt);
+    if (kv_group_words <= buffer_words / 2.0) {
+        t.kv_stream_words = 2.0 * ctx_words;
+    } else {
+        t.kv_stream_words = (b / bt) * q_tiles_per_group
+            * kv_group_words;
+    }
+
+    t.output_words = act_words;
+
+    // Weights: WQ/WK/WV (3*D*D), WF1/WF2 (2*D*S), biases (S + D).
+    const double weight_words = 3.0 * d * d + 2.0 * d * s + s + d;
+    const double n_outer = (b / bt) * q_tiles_per_group;
+    // Weights stay pinned only if they fit alongside the working
+    // set; grant them half the buffer.
+    if (weight_words <= buffer_words / 2.0)
+        t.weight_words = weight_words;
+    else
+        t.weight_words = weight_words * n_outer;
+    return t;
+}
+
+} // namespace transfusion::costmodel

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * DRAM traffic primitives.  Strategies (Unfused / FLAT / FuseMax /
+ * LayerFuse / TransFusion) assemble their per-layer off-chip traffic
+ * from these building blocks:
+ *
+ *  - gemmTrafficWords: Hong-Kung-style I/O bound for a dense GEMM
+ *    streamed through a finite buffer (used by the unfused phases,
+ *    where every operand lives in DRAM).
+ *  - attentionStreamWords: the FLAT/FuseMax fused-attention pattern
+ *    (hold as much Q as fits, stream K/V; or hold K/V if they fit).
+ *  - fusedStackTraffic: the TransFusion / LayerFuse inter-layer
+ *    pattern (activations stay on-chip, K/V spill and re-stream per
+ *    outer Q tile, weights stream per outer tile unless resident).
+ */
+
+#ifndef TRANSFUSION_COSTMODEL_TRAFFIC_HH
+#define TRANSFUSION_COSTMODEL_TRAFFIC_HH
+
+#include <cstdint>
+
+#include "arch/arch.hh"
+
+namespace transfusion::costmodel
+{
+
+/**
+ * Words moved between DRAM and the buffer for a dense GEMM
+ * C[n,m] = A[n,k] * B[k,m] with all operands DRAM-resident.
+ *
+ * Lower-bounded by compulsory traffic (read A and B, write C) and by
+ * the Hong-Kung blocked bound 2*n*k*m/sqrt(W) for problems larger
+ * than the buffer (W = words of buffer usable for this GEMM).
+ */
+double gemmTrafficWords(double n, double k, double m,
+                        double buffer_words);
+
+/**
+ * Words moved for fused streaming attention over one (batch, head):
+ * Q[p,e] against K/V[m,e].  If K+V fit in `buffer_words` they are
+ * read once and Q streams once; otherwise the largest-fitting Q
+ * chunk is held and K/V stream once per chunk.  The output AV write
+ * is included.
+ */
+double attentionStreamWords(double p, double m, double e, double f,
+                            double buffer_words);
+
+/** Inputs of the fused-stack traffic model. */
+struct FusedStackShape
+{
+    double batch = 0;    ///< B
+    double seq = 0;      ///< P (query positions)
+    double d_model = 0;  ///< D
+    double ffn_hidden = 0; ///< S
+    /** Attended context length M; 0 means self-attention (M = P). */
+    double context = 0;
+    /**
+     * K/V for the context already sit in DRAM (a KV cache): no
+     * context-input read and no fresh spill; only the per-Q-tile
+     * streaming remains.
+     */
+    bool kv_precomputed = false;
+
+    double contextLen() const { return context > 0 ? context : seq; }
+};
+
+/** Outer-tiling factors chosen by TileSeek. */
+struct OuterTile
+{
+    std::int64_t batch_tile = 1; ///< Bt
+    std::int64_t seq_tile = 1;   ///< Pt
+};
+
+/** Per-category traffic of one fused layer (words). */
+struct FusedStackTraffic
+{
+    double input_words = 0;   ///< INPUT reads (Q path + KV path)
+    double kv_spill_words = 0; ///< BK/BV writes to DRAM
+    double kv_stream_words = 0; ///< BK/BV re-reads across Q tiles
+    double output_words = 0;  ///< FFN2B writes
+    double weight_words = 0;  ///< all weight streaming
+
+    double total() const
+    {
+        return input_words + kv_spill_words + kv_stream_words
+            + output_words + weight_words;
+    }
+};
+
+/**
+ * Traffic of one fully fused Transformer layer (Sec. 3.2 dataflow)
+ * under an outer tiling.  `weight_buffer_words` is the buffer share
+ * available to pin weights; when the layer's weights exceed it they
+ * re-stream once per outer tile.
+ */
+FusedStackTraffic fusedStackTraffic(const FusedStackShape &shape,
+                                    const OuterTile &tile,
+                                    double buffer_words);
+
+} // namespace transfusion::costmodel
+
+#endif // TRANSFUSION_COSTMODEL_TRAFFIC_HH

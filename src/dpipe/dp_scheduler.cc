@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Implementation of the Eq. 43-46 DP scheduler.
+ */
+
+#include "dp_scheduler.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace transfusion::dpipe
+{
+
+using costmodel::PeTarget;
+
+const OpPlacement &
+Schedule::placementOf(int op) const
+{
+    for (const auto &p : placements) {
+        if (p.op == op)
+            return p;
+    }
+    tf_panic("op ", op, " not present in schedule");
+}
+
+std::string
+Schedule::toString(const std::vector<std::string> &op_names) const
+{
+    std::ostringstream os;
+    for (const auto &p : placements) {
+        std::string name = p.op < static_cast<int>(op_names.size())
+            ? op_names[static_cast<std::size_t>(p.op)]
+            : ("op" + std::to_string(p.op));
+        os << "  " << name << " on "
+           << costmodel::toString(p.pe) << "  ["
+           << formatSeconds(p.start) << ", "
+           << formatSeconds(p.end) << ")\n";
+    }
+    os << "  makespan " << formatSeconds(makespan) << "\n";
+    return os.str();
+}
+
+std::string
+Schedule::toGantt(const std::vector<std::string> &op_names,
+                  int width) const
+{
+    tf_assert(width >= 8, "gantt width must be at least 8");
+    if (makespan <= 0 || placements.empty())
+        return "(empty schedule)\n";
+
+    std::string rows[2];
+    rows[0].assign(static_cast<std::size_t>(width), '.');
+    rows[1].assign(static_cast<std::size_t>(width), '.');
+
+    for (const auto &p : placements) {
+        if (p.end <= p.start)
+            continue;
+        auto col = [&](double t) {
+            return std::min(width - 1,
+                            static_cast<int>(t / makespan
+                                             * width));
+        };
+        const int c0 = col(p.start);
+        const int c1 = std::max(c0, col(p.end) - 1);
+        std::string &row =
+            rows[p.pe == PeTarget::Array2d ? 0 : 1];
+        std::string label =
+            p.op < static_cast<int>(op_names.size())
+                ? op_names[static_cast<std::size_t>(p.op)]
+                : std::to_string(p.op);
+        for (int c = c0; c <= c1; ++c) {
+            const std::size_t li = static_cast<std::size_t>(c - c0);
+            row[static_cast<std::size_t>(c)] =
+                li < label.size() ? label[li] : '=';
+        }
+    }
+
+    std::ostringstream os;
+    os << "  2D |" << rows[0] << "|\n";
+    os << "  1D |" << rows[1] << "|\n";
+    os << "      0" << std::string(static_cast<std::size_t>(
+                           std::max(0, width - 12)), ' ')
+       << formatSeconds(makespan) << "\n";
+    return os.str();
+}
+
+Schedule
+dpSchedule(const einsum::Dag &dag, const std::vector<int> &order,
+           const std::vector<OpLatencyPair> &latency)
+{
+    const int n = dag.nodeCount();
+    tf_assert(static_cast<int>(order.size()) == n,
+              "order must cover the DAG");
+    tf_assert(static_cast<int>(latency.size()) == n,
+              "latency table must cover the DAG");
+
+    // Time[pe_j]: accumulated occupancy of each array (Eq. 46).
+    double time_pe[2] = {0.0, 0.0};
+    std::vector<double> end_t(static_cast<std::size_t>(n), -1.0);
+
+    Schedule sched;
+    sched.placements.reserve(static_cast<std::size_t>(n));
+
+    for (int v : order) {
+        // Latest completion among dependencies (Eq. 43, second arg).
+        double dep_ready = 0.0;
+        for (int p : dag.predecessors(v)) {
+            const double e = end_t[static_cast<std::size_t>(p)];
+            tf_assert(e >= 0, "order is not topological: op ", v,
+                      " scheduled before predecessor ", p);
+            dep_ready = std::max(dep_ready, e);
+        }
+
+        // Evaluate both arrays; commit to the earliest finisher
+        // (Eq. 44-45).
+        double best_end = 0.0, best_start = 0.0;
+        int best_pe = -1;
+        for (int j = 0; j < 2; ++j) {
+            const double start = std::max(time_pe[j], dep_ready);
+            const double end = start
+                + latency[static_cast<std::size_t>(v)]
+                         [static_cast<std::size_t>(j)];
+            if (best_pe < 0 || end < best_end) {
+                best_pe = j;
+                best_end = end;
+                best_start = start;
+            }
+        }
+
+        // Advance the winning array's timeline (Eq. 46).
+        time_pe[best_pe] = best_end;
+        end_t[static_cast<std::size_t>(v)] = best_end;
+
+        OpPlacement pl;
+        pl.op = v;
+        pl.pe = best_pe == 0 ? PeTarget::Array2d : PeTarget::Array1d;
+        pl.start = best_start;
+        pl.end = best_end;
+        sched.placements.push_back(pl);
+
+        const double dur = best_end - best_start;
+        if (best_pe == 0)
+            sched.busy_2d += dur;
+        else
+            sched.busy_1d += dur;
+        sched.makespan = std::max(sched.makespan, best_end);
+    }
+    return sched;
+}
+
+Schedule
+bestDpSchedule(const einsum::Dag &dag,
+               const std::vector<OpLatencyPair> &latency,
+               std::size_t max_orders)
+{
+    Schedule best = dpSchedule(dag, dag.topoSort(), latency);
+    if (max_orders <= 1)
+        return best;
+    for (const auto &order : dag.enumerateTopoOrders(max_orders)) {
+        Schedule s = dpSchedule(dag, order, latency);
+        if (s.makespan < best.makespan)
+            best = std::move(s);
+    }
+    return best;
+}
+
+} // namespace transfusion::dpipe

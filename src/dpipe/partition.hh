@@ -1,0 +1,51 @@
+/**
+ * @file
+ * DAG bipartitioning (Sec. 4.1).  DPipe splits a cascade DAG into
+ * two weakly connected subgraphs subject to the paper's four
+ * constraints:
+ *
+ *   1. Source-Sink Alignment: all sources in the first subgraph,
+ *      all sinks in the second.
+ *   2. Weak Connectivity: each side is weakly connected.
+ *   3. Dependency Completeness: the first subgraph contains every
+ *      dependency of its members.
+ *   4. Reachability: every first-subgraph node is reachable from
+ *      the DAG's sources inside the subgraph.
+ */
+
+#ifndef TRANSFUSION_DPIPE_PARTITION_HH
+#define TRANSFUSION_DPIPE_PARTITION_HH
+
+#include <vector>
+
+#include "einsum/dag.hh"
+
+namespace transfusion::dpipe
+{
+
+/** One bipartition: in_first[v] says node v is in subgraph 1. */
+struct Bipartition
+{
+    std::vector<bool> in_first;
+
+    /** Node count of subgraph 1. */
+    int firstSize() const;
+    /** Node count of subgraph 2. */
+    int secondSize() const;
+};
+
+/** Check all four constraints for a candidate membership vector. */
+bool isValidBipartition(const einsum::Dag &dag,
+                        const std::vector<bool> &in_first);
+
+/**
+ * Enumerate every valid bipartition.  Exhaustive over 2^n subsets;
+ * the cascade DAGs here have at most ~12 nodes.  Fatal above 22
+ * nodes (would indicate misuse).
+ */
+std::vector<Bipartition>
+enumerateBipartitions(const einsum::Dag &dag);
+
+} // namespace transfusion::dpipe
+
+#endif // TRANSFUSION_DPIPE_PARTITION_HH

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Implementation of the DPipe pipeline construction.
+ */
+
+#include "pipeline.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace transfusion::dpipe
+{
+
+using costmodel::PeTarget;
+
+namespace
+{
+
+/** Per-op [2D, 1D] latency, optionally divided into epochs. */
+std::vector<OpLatencyPair>
+latencyTable(const einsum::Cascade &cascade,
+             const einsum::DimEnv &dims,
+             const arch::ArchConfig &arch,
+             const costmodel::LatencyParams &params, double divide)
+{
+    std::vector<OpLatencyPair> lat;
+    lat.reserve(cascade.size());
+    for (const auto &op : cascade.ops()) {
+        lat.push_back({
+            costmodel::opLatencySeconds(op, dims, arch,
+                                        PeTarget::Array2d, params)
+                / divide,
+            costmodel::opLatencySeconds(op, dims, arch,
+                                        PeTarget::Array1d, params)
+                / divide,
+        });
+    }
+    return lat;
+}
+
+/** Induced subgraph over `members`; `to_orig` maps new->old ids. */
+einsum::Dag
+inducedSubdag(const einsum::Dag &dag, const std::vector<bool> &members,
+              std::vector<int> &to_orig)
+{
+    to_orig.clear();
+    std::vector<int> to_new(static_cast<std::size_t>(dag.nodeCount()),
+                            -1);
+    for (int v = 0; v < dag.nodeCount(); ++v) {
+        if (members[static_cast<std::size_t>(v)]) {
+            to_new[static_cast<std::size_t>(v)] =
+                static_cast<int>(to_orig.size());
+            to_orig.push_back(v);
+        }
+    }
+    einsum::Dag sub(static_cast<int>(to_orig.size()));
+    for (int v = 0; v < dag.nodeCount(); ++v) {
+        if (!members[static_cast<std::size_t>(v)])
+            continue;
+        for (int w : dag.successors(v)) {
+            if (members[static_cast<std::size_t>(w)]) {
+                sub.addEdge(to_new[static_cast<std::size_t>(v)],
+                            to_new[static_cast<std::size_t>(w)]);
+            }
+        }
+    }
+    return sub;
+}
+
+/** Latency table for a subset, remapped to subgraph ids. */
+std::vector<OpLatencyPair>
+subsetLatency(const std::vector<OpLatencyPair> &lat,
+              const std::vector<int> &to_orig)
+{
+    std::vector<OpLatencyPair> out;
+    out.reserve(to_orig.size());
+    for (int v : to_orig)
+        out.push_back(lat[static_cast<std::size_t>(v)]);
+    return out;
+}
+
+/**
+ * Fig. 7(d): the steady-state epoch DAG.  A-subgraph ops (next
+ * epoch) and B-subgraph ops (current epoch) keep only their
+ * intra-subgraph edges -- cross edges refer to the *previous* slot's
+ * results -- and a virtual ROOT (node n) feeds every resulting
+ * source.
+ */
+einsum::Dag
+steadyStateDag(const einsum::Dag &dag,
+               const std::vector<bool> &in_first)
+{
+    const int n = dag.nodeCount();
+    einsum::Dag combined(n + 1);
+    for (int v = 0; v < n; ++v) {
+        for (int w : dag.successors(v)) {
+            if (in_first[static_cast<std::size_t>(v)]
+                    == in_first[static_cast<std::size_t>(w)]) {
+                combined.addEdge(v, w);
+            }
+        }
+    }
+    for (int v = 0; v < n; ++v) {
+        if (combined.predecessors(v).empty())
+            combined.addEdge(n, v);
+    }
+    return combined;
+}
+
+/** Accumulate a schedule's per-array work from full-op loads. */
+void
+addWork(WorkSplit &work, const Schedule &sched,
+        const std::vector<double> &full_load, int epochs_counted)
+{
+    for (const auto &pl : sched.placements) {
+        if (pl.op >= static_cast<int>(full_load.size()))
+            continue; // virtual root
+        const double ops = full_load[static_cast<std::size_t>(pl.op)]
+            * static_cast<double>(epochs_counted);
+        if (pl.pe == PeTarget::Array2d)
+            work.ops_2d += ops;
+        else
+            work.ops_1d += ops;
+    }
+}
+
+} // namespace
+
+PipelineResult
+scheduleSequential(const einsum::Cascade &cascade,
+                   const einsum::DimEnv &dims,
+                   const arch::ArchConfig &arch,
+                   const PipelineOptions &opts)
+{
+    PipelineResult r;
+    r.epochs = 1;
+    r.pipelined = false;
+    double t = 0;
+    for (const auto &op : cascade.ops()) {
+        const bool matrix = op.peClass() == einsum::PeClass::Matrix;
+        const PeTarget target = matrix ? PeTarget::Array2d
+                                       : PeTarget::Array1d;
+        const double lat = costmodel::opLatencySeconds(
+            op, dims, arch, target, opts.latency);
+        t += lat;
+        const double load = op.computeLoad(dims);
+        if (matrix) {
+            r.work.ops_2d += load;
+            r.work.busy_2d_s += lat;
+        } else {
+            r.work.ops_1d += load;
+            r.work.busy_1d_s += lat;
+        }
+    }
+    r.total_seconds = t;
+    r.steady_epoch_seconds = t;
+    return r;
+}
+
+PipelineResult
+scheduleStaticPipeline(const einsum::Cascade &cascade,
+                       const einsum::DimEnv &dims,
+                       const arch::ArchConfig &arch,
+                       const PipelineOptions &opts)
+{
+    PipelineResult r;
+    r.epochs = 1;
+    r.pipelined = true;
+    for (const auto &op : cascade.ops()) {
+        const bool matrix = op.peClass() == einsum::PeClass::Matrix;
+        const bool on_2d = matrix
+            || (opts.static_exp_on_2d
+                && op.unaryOp() == einsum::UnaryOp::Exp);
+        const PeTarget target = on_2d ? PeTarget::Array2d
+                                      : PeTarget::Array1d;
+        const double lat = costmodel::opLatencySeconds(
+            op, dims, arch, target, opts.latency);
+        const double load = op.computeLoad(dims);
+        if (on_2d) {
+            r.work.ops_2d += load;
+            r.work.busy_2d_s += lat;
+        } else {
+            r.work.ops_1d += load;
+            r.work.busy_1d_s += lat;
+        }
+    }
+    r.total_seconds = std::max(r.work.busy_2d_s, r.work.busy_1d_s);
+    r.steady_epoch_seconds = r.total_seconds;
+    return r;
+}
+
+PipelineResult
+scheduleCooperative(const einsum::Cascade &cascade,
+                    const einsum::DimEnv &dims,
+                    const arch::ArchConfig &arch,
+                    const PipelineOptions &opts)
+{
+    PipelineResult r;
+    r.epochs = 1;
+    r.pipelined = true;
+    double t = 0;
+    for (const auto &op : cascade.ops()) {
+        const double load = op.computeLoad(dims);
+        const double rate_2d =
+            costmodel::effectivePes(op, arch, PeTarget::Array2d,
+                                    opts.latency)
+            * arch.clock_hz;
+        const double rate_1d =
+            costmodel::effectivePes(op, arch, PeTarget::Array1d,
+                                    opts.latency)
+            * arch.clock_hz;
+        const double rate = rate_2d + rate_1d;
+        const double lat = load / rate;
+        t += lat;
+        // Work and occupancy split in proportion to the rates.
+        r.work.ops_2d += load * rate_2d / rate;
+        r.work.ops_1d += load * rate_1d / rate;
+        r.work.busy_2d_s += lat;
+        r.work.busy_1d_s += lat;
+    }
+    r.total_seconds = t;
+    r.steady_epoch_seconds = t;
+    return r;
+}
+
+PipelineResult
+schedulePipeline(const einsum::Cascade &cascade,
+                 const einsum::DimEnv &dims,
+                 const arch::ArchConfig &arch,
+                 const model::DimMapping &mapping,
+                 const PipelineOptions &opts)
+{
+    const einsum::Dag dag = cascade.buildDag();
+    const std::int64_t epochs = std::max<std::int64_t>(
+        1, model::epochCount(mapping, dims, arch.pe2d.rows,
+                             arch.pe2d.cols));
+
+    const auto lat_epoch = latencyTable(cascade, dims, arch,
+                                        opts.latency,
+                                        static_cast<double>(epochs));
+    std::vector<double> full_load;
+    full_load.reserve(cascade.size());
+    for (const auto &op : cascade.ops())
+        full_load.push_back(op.computeLoad(dims));
+
+    // Baseline plan: DP-schedule one epoch, repeat it back-to-back.
+    const Schedule epoch_sched =
+        bestDpSchedule(dag, lat_epoch, opts.max_orders);
+
+    PipelineResult best;
+    best.epochs = epochs;
+    best.pipelined = false;
+    best.steady_epoch_seconds = epoch_sched.makespan;
+    best.total_seconds = epoch_sched.makespan
+        * static_cast<double>(epochs);
+    best.steady_schedule = epoch_sched;
+    best.work.busy_2d_s = epoch_sched.busy_2d
+        * static_cast<double>(epochs);
+    best.work.busy_1d_s = epoch_sched.busy_1d
+        * static_cast<double>(epochs);
+    addWork(best.work, epoch_sched, full_load, 1);
+
+    if (epochs < 2)
+        return best;
+
+    for (const auto &part : enumerateBipartitions(dag)) {
+        const auto combined = steadyStateDag(dag, part.in_first);
+        auto lat_combined = lat_epoch;
+        lat_combined.push_back({0.0, 0.0}); // virtual ROOT
+        const Schedule steady = bestDpSchedule(combined, lat_combined,
+                                               opts.max_orders);
+
+        // Fill (A alone) and drain (B alone).
+        std::vector<int> a_ids, b_ids;
+        std::vector<bool> in_second(part.in_first.size());
+        for (std::size_t i = 0; i < part.in_first.size(); ++i)
+            in_second[i] = !part.in_first[i];
+        const auto a_dag = inducedSubdag(dag, part.in_first, a_ids);
+        const auto b_dag = inducedSubdag(dag, in_second, b_ids);
+        const Schedule fill = bestDpSchedule(
+            a_dag, subsetLatency(lat_epoch, a_ids), opts.max_orders);
+        const Schedule drain = bestDpSchedule(
+            b_dag, subsetLatency(lat_epoch, b_ids), opts.max_orders);
+
+        const double total = fill.makespan
+            + static_cast<double>(epochs - 1) * steady.makespan
+            + drain.makespan;
+        if (total < best.total_seconds) {
+            PipelineResult r;
+            r.epochs = epochs;
+            r.pipelined = true;
+            r.partition = part;
+            r.steady_epoch_seconds = steady.makespan;
+            r.fill_seconds = fill.makespan;
+            r.drain_seconds = drain.makespan;
+            r.total_seconds = total;
+            r.steady_schedule = steady;
+            r.work.busy_2d_s = fill.busy_2d + drain.busy_2d
+                + steady.busy_2d * static_cast<double>(epochs - 1);
+            r.work.busy_1d_s = fill.busy_1d + drain.busy_1d
+                + steady.busy_1d * static_cast<double>(epochs - 1);
+            addWork(r.work, steady, full_load, 1);
+            best = std::move(r);
+        }
+    }
+    return best;
+}
+
+} // namespace transfusion::dpipe

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Implementation of the Chrome-trace exporter.
+ */
+
+#include "trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace transfusion::dpipe
+{
+
+namespace
+{
+
+std::string
+opLabel(int op, const std::vector<std::string> &names)
+{
+    if (op >= 0 && op < static_cast<int>(names.size()))
+        return names[static_cast<std::size_t>(op)];
+    return "op" + std::to_string(op);
+}
+
+void
+emitSlice(std::ostream &os, bool &first, const std::string &name,
+          int tid, double start_us, double dur_us)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "    {\"name\": \"" << name
+       << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+       << ", \"ts\": " << start_us << ", \"dur\": " << dur_us
+       << "}";
+}
+
+void
+emitSchedule(std::ostream &os, bool &first, const Schedule &sched,
+             const std::vector<std::string> &names,
+             double offset_us, const std::string &suffix)
+{
+    for (const auto &p : sched.placements) {
+        const double dur = (p.end - p.start) * 1e6;
+        if (dur <= 0)
+            continue; // virtual ROOT and zero-length ops
+        const int tid =
+            p.pe == costmodel::PeTarget::Array2d ? 0 : 1;
+        emitSlice(os, first, opLabel(p.op, names) + suffix, tid,
+                  offset_us + p.start * 1e6, dur);
+    }
+}
+
+std::string
+wrap(const std::string &events)
+{
+    std::ostringstream os;
+    os << "{\n  \"displayTimeUnit\": \"ns\",\n"
+       << "  \"traceEvents\": [\n"
+       << events << "\n  ],\n"
+       << "  \"otherData\": {\"generator\": \"TransFusion DPipe\"},"
+       << "\n"
+       << "  \"metadata\": {\"tid0\": \"2D PE array\", "
+          "\"tid1\": \"1D PE array\"}\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+toChromeTrace(const Schedule &sched,
+              const std::vector<std::string> &op_names)
+{
+    std::ostringstream events;
+    bool first = true;
+    emitSchedule(events, first, sched, op_names, 0.0, "");
+    return wrap(events.str());
+}
+
+std::string
+toChromeTrace(const PipelineResult &plan,
+              const std::vector<std::string> &op_names,
+              int epochs_shown)
+{
+    tf_assert(epochs_shown > 0, "need at least one epoch to show");
+    const int n = static_cast<int>(
+        std::min<std::int64_t>(plan.epochs, epochs_shown));
+
+    std::ostringstream events;
+    bool first = true;
+    for (int e = 0; e < n; ++e) {
+        emitSchedule(events, first, plan.steady_schedule, op_names,
+                     static_cast<double>(e)
+                         * plan.steady_epoch_seconds * 1e6,
+                     "#" + std::to_string(e));
+    }
+    return wrap(events.str());
+}
+
+} // namespace transfusion::dpipe

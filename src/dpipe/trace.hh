@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Schedule visualization: exports a DP schedule (one epoch or a
+ * whole pipelined plan) as Chrome-tracing JSON -- load the output
+ * in chrome://tracing or https://ui.perfetto.dev to see the two PE
+ * arrays as tracks with each Einsum as a slice.
+ */
+
+#ifndef TRANSFUSION_DPIPE_TRACE_HH
+#define TRANSFUSION_DPIPE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "dpipe/dp_scheduler.hh"
+#include "dpipe/pipeline.hh"
+
+namespace transfusion::dpipe
+{
+
+/**
+ * Chrome-tracing JSON (trace-event format, "X" complete events) of
+ * one schedule.  Timestamps are microseconds; each PE array is a
+ * separate tid.
+ *
+ * @param sched    the schedule to export
+ * @param op_names node-id -> display name (optional)
+ */
+std::string toChromeTrace(const Schedule &sched,
+                          const std::vector<std::string> &op_names
+                          = {});
+
+/**
+ * Trace of a pipelined plan's first `epochs_shown` epochs: the
+ * steady-state schedule replayed back-to-back so the overlap
+ * between consecutive epochs' subgraphs is visible.
+ */
+std::string toChromeTrace(const PipelineResult &plan,
+                          const std::vector<std::string> &op_names
+                          = {},
+                          int epochs_shown = 4);
+
+} // namespace transfusion::dpipe
+
+#endif // TRANSFUSION_DPIPE_TRACE_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Implementation of the Einsum cascade container.
+ */
+
+#include "cascade.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace transfusion::einsum
+{
+
+Cascade::Cascade(std::string name)
+    : name_(std::move(name))
+{}
+
+Cascade &
+Cascade::add(Einsum op)
+{
+    if (producerOf(op.name()) >= 0)
+        tf_fatal("cascade '", name_, "' already produces tensor '",
+                 op.name(), "'");
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+const Einsum &
+Cascade::op(std::size_t i) const
+{
+    tf_assert(i < ops_.size(), "op index ", i, " out of range");
+    return ops_[i];
+}
+
+int
+Cascade::producerOf(const std::string &tensor) const
+{
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        if (ops_[i].name() == tensor)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::vector<std::string>
+Cascade::externalInputs() const
+{
+    std::vector<std::string> out;
+    std::set<std::string> seen;
+    for (const auto &op : ops_) {
+        for (const auto &in : op.inputs()) {
+            const bool self_state = op.isRecurrent()
+                && in.name == op.name();
+            if (producerOf(in.name) < 0 && !self_state
+                    && seen.insert(in.name).second) {
+                out.push_back(in.name);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+Cascade::externalOutputs() const
+{
+    std::set<std::string> consumed;
+    for (const auto &op : ops_) {
+        for (const auto &in : op.inputs())
+            consumed.insert(in.name);
+    }
+    std::vector<std::string> out;
+    for (const auto &op : ops_) {
+        if (!consumed.count(op.name()))
+            out.push_back(op.name());
+    }
+    return out;
+}
+
+Dag
+Cascade::buildDag() const
+{
+    Dag dag(static_cast<int>(ops_.size()));
+    for (std::size_t j = 0; j < ops_.size(); ++j) {
+        for (const auto &in : ops_[j].inputs()) {
+            if (in.previous)
+                continue; // loop-carried: previous iteration's value
+            int i = producerOf(in.name);
+            if (i < 0 || i == static_cast<int>(j))
+                continue;
+            if (i > static_cast<int>(j)) {
+                // A read of a tensor defined later in the cascade is
+                // only legal for loop-carried recurrent state (e.g.
+                // SPD reads RD from the previous m1 iteration); such
+                // reads do not create an intra-iteration edge.
+                if (!ops_[static_cast<std::size_t>(i)].isRecurrent())
+                    tf_fatal("op '", ops_[j].name(),
+                             "' uses tensor '", in.name,
+                             "' before its non-recurrent definition");
+                continue;
+            }
+            dag.addEdge(i, static_cast<int>(j));
+        }
+    }
+    tf_assert(dag.isAcyclic(), "cascade '", name_,
+              "' has cyclic tensor dependencies");
+    return dag;
+}
+
+std::vector<std::string>
+Cascade::opNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(ops_.size());
+    for (const auto &op : ops_)
+        out.push_back(op.name());
+    return out;
+}
+
+double
+Cascade::totalComputeLoad(const DimEnv &env) const
+{
+    double total = 0.0;
+    for (const auto &op : ops_)
+        total += op.computeLoad(env);
+    return total;
+}
+
+std::string
+Cascade::toString() const
+{
+    std::ostringstream os;
+    os << "cascade " << name_ << " (" << ops_.size() << " ops)\n";
+    for (const auto &op : ops_)
+        os << "  " << op.toString() << "\n";
+    return os.str();
+}
+
+} // namespace transfusion::einsum

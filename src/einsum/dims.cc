@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Implementation of the dimension environment.
+ */
+
+#include "dims.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::einsum
+{
+
+DimEnv::DimEnv(std::initializer_list<std::pair<const std::string,
+                                               std::int64_t>> init)
+{
+    for (const auto &kv : init)
+        set(kv.first, kv.second);
+}
+
+void
+DimEnv::set(const std::string &name, std::int64_t extent)
+{
+    if (extent <= 0)
+        tf_fatal("extent of index '", name, "' must be positive, got ",
+                 extent);
+    extents[name] = extent;
+}
+
+std::int64_t
+DimEnv::extent(const std::string &name) const
+{
+    auto it = extents.find(name);
+    if (it == extents.end())
+        tf_fatal("unbound index '", name, "'");
+    return it->second;
+}
+
+bool
+DimEnv::has(const std::string &name) const
+{
+    return extents.count(name) != 0;
+}
+
+double
+DimEnv::product(const std::vector<std::string> &names) const
+{
+    double p = 1.0;
+    for (const auto &n : names)
+        p *= static_cast<double>(extent(n));
+    return p;
+}
+
+std::vector<std::string>
+DimEnv::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(extents.size());
+    for (const auto &kv : extents)
+        out.push_back(kv.first);
+    return out;
+}
+
+DimEnv
+DimEnv::withOverrides(const DimEnv &overrides) const
+{
+    DimEnv copy = *this;
+    for (const auto &n : overrides.names())
+        copy.set(n, overrides.extent(n));
+    return copy;
+}
+
+} // namespace transfusion::einsum

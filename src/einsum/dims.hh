@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dimension environment: binds Einsum index names (p, m0, m1, h, e,
+ * f, d, s, b ...) to concrete extents for a particular workload or
+ * tile.  Every load/traffic/buffer computation is evaluated against a
+ * DimEnv, so re-tiling is just evaluating the same cascade under a
+ * different environment.
+ */
+
+#ifndef TRANSFUSION_EINSUM_DIMS_HH
+#define TRANSFUSION_EINSUM_DIMS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace transfusion::einsum
+{
+
+/** Mapping from index-variable name to its extent. */
+class DimEnv
+{
+  public:
+    DimEnv() = default;
+
+    /** Construct from an initializer list of (name, extent) pairs. */
+    DimEnv(std::initializer_list<std::pair<const std::string,
+                                           std::int64_t>> init);
+
+    /** Bind (or rebind) an index name to an extent (must be > 0). */
+    void set(const std::string &name, std::int64_t extent);
+
+    /** Extent of an index; fatal if unbound. */
+    std::int64_t extent(const std::string &name) const;
+
+    /** Whether the index is bound. */
+    bool has(const std::string &name) const;
+
+    /** Product of extents of the given index names. */
+    double product(const std::vector<std::string> &names) const;
+
+    /** All bound names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Copy with some extents overridden (tiling). */
+    DimEnv withOverrides(const DimEnv &overrides) const;
+
+  private:
+    std::map<std::string, std::int64_t> extents;
+};
+
+} // namespace transfusion::einsum
+
+#endif // TRANSFUSION_EINSUM_DIMS_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Implementation of TensorRef and Einsum.
+ */
+
+#include "einsum.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace transfusion::einsum
+{
+
+double
+TensorRef::elementCount(const DimEnv &env) const
+{
+    return env.product(indices);
+}
+
+std::string
+TensorRef::toString() const
+{
+    std::ostringstream os;
+    os << name << (previous ? "'" : "") << "[";
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        os << indices[i] << (i + 1 == indices.size() ? "" : ",");
+    os << "]";
+    return os.str();
+}
+
+Einsum::Einsum(std::string name, std::vector<std::string> out_indices)
+    : output_{std::move(name), std::move(out_indices)}
+{
+    tf_assert(!output_.name.empty(), "Einsum needs an output name");
+}
+
+Einsum &
+Einsum::input(std::string tensor, std::vector<std::string> indices)
+{
+    tf_assert(inputs_.size() < 2,
+              "extended Einsums take at most two inputs; op ",
+              output_.name);
+    inputs_.push_back(TensorRef{std::move(tensor),
+                                std::move(indices), false});
+    return *this;
+}
+
+Einsum &
+Einsum::inputPrevious(std::string tensor,
+                      std::vector<std::string> indices)
+{
+    tf_assert(inputs_.size() < 2,
+              "extended Einsums take at most two inputs; op ",
+              output_.name);
+    inputs_.push_back(TensorRef{std::move(tensor),
+                                std::move(indices), true});
+    return *this;
+}
+
+Einsum &
+Einsum::combine(CombineOp op)
+{
+    combine_ = op;
+    return *this;
+}
+
+Einsum &
+Einsum::unary(UnaryOp op)
+{
+    unary_ = op;
+    return *this;
+}
+
+Einsum &
+Einsum::reduce(ReduceOp op)
+{
+    reduce_ = op;
+    return *this;
+}
+
+Einsum &
+Einsum::scale(double factor)
+{
+    scale_ = factor;
+    return *this;
+}
+
+Einsum &
+Einsum::recurrentOver(std::string idx)
+{
+    recurrent_index = std::move(idx);
+    return *this;
+}
+
+Einsum &
+Einsum::forcePeClass(PeClass pc)
+{
+    pe_class_forced = true;
+    forced_pe_class = pc;
+    return *this;
+}
+
+std::vector<std::string>
+Einsum::reductionIndices() const
+{
+    std::set<std::string> out_set(output_.indices.begin(),
+                                  output_.indices.end());
+    std::set<std::string> seen;
+    std::vector<std::string> red;
+    for (const auto &in : inputs_) {
+        for (const auto &idx : in.indices) {
+            if (!out_set.count(idx) && seen.insert(idx).second)
+                red.push_back(idx);
+        }
+    }
+    return red;
+}
+
+double
+Einsum::computeLoad(const DimEnv &env) const
+{
+    // Eq. 40: product over output dims times product over reduction
+    // dims.  Every scalar map-reduce step counts as one operation.
+    return env.product(output_.indices)
+        * env.product(reductionIndices());
+}
+
+PeClass
+Einsum::peClass() const
+{
+    if (pe_class_forced)
+        return forced_pe_class;
+    const bool contraction = inputs_.size() == 2
+        && combine_ == CombineOp::Mul && reduce_ == ReduceOp::Sum
+        && !reductionIndices().empty();
+    return contraction ? PeClass::Matrix : PeClass::Vector;
+}
+
+std::string
+Einsum::toString() const
+{
+    std::ostringstream os;
+    os << output_.toString() << " =";
+    if (reduce_ != ReduceOp::None)
+        os << " " << einsum::toString(reduce_) << "_red";
+    if (unary_ != UnaryOp::None)
+        os << " " << einsum::toString(unary_);
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        os << " " << inputs_[i].toString();
+        if (i + 1 < inputs_.size())
+            os << " " << einsum::toString(combine_);
+    }
+    if (scale_ != 1.0)
+        os << " * " << scale_;
+    if (isRecurrent())
+        os << " (recurrent over " << recurrent_index << ")";
+    return os.str();
+}
+
+} // namespace transfusion::einsum

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * String names for the extended-Einsum operator vocabulary.
+ */
+
+#include "ops.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::einsum
+{
+
+std::string
+toString(CombineOp op)
+{
+    switch (op) {
+      case CombineOp::None: return "none";
+      case CombineOp::Mul:  return "mul";
+      case CombineOp::Add:  return "add";
+      case CombineOp::Sub:  return "sub";
+      case CombineOp::Div:  return "div";
+      case CombineOp::Max:  return "max";
+    }
+    tf_panic("unknown CombineOp");
+}
+
+std::string
+toString(UnaryOp op)
+{
+    switch (op) {
+      case UnaryOp::None:    return "none";
+      case UnaryOp::Exp:     return "exp";
+      case UnaryOp::Square:  return "square";
+      case UnaryOp::Rsqrt:   return "rsqrt";
+      case UnaryOp::Recip:   return "recip";
+      case UnaryOp::Relu:    return "relu";
+      case UnaryOp::Gelu:    return "gelu";
+      case UnaryOp::Silu:    return "silu";
+      case UnaryOp::Sigmoid: return "sigmoid";
+    }
+    tf_panic("unknown UnaryOp");
+}
+
+std::string
+toString(ReduceOp op)
+{
+    switch (op) {
+      case ReduceOp::None: return "none";
+      case ReduceOp::Sum:  return "sum";
+      case ReduceOp::Max:  return "max";
+    }
+    tf_panic("unknown ReduceOp");
+}
+
+std::string
+toString(PeClass pc)
+{
+    switch (pc) {
+      case PeClass::Matrix: return "2d";
+      case PeClass::Vector: return "1d";
+    }
+    tf_panic("unknown PeClass");
+}
+
+} // namespace transfusion::einsum

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Operator vocabulary of the extended-Einsum abstraction (Sec. 2.4).
+ *
+ * An extended Einsum is
+ *
+ *   Out[outIdx] = reduce_{redIdx} unary(combine(In0, In1)) * scale
+ *
+ * where combine merges the (map-aligned) inputs point-wise, unary is
+ * an optional user-defined map, and reduce folds the reduction
+ * indices (those present in inputs but absent from the output).
+ * Classic tensor contraction is combine=Mul, reduce=Sum; the softmax
+ * building blocks of Fig. 2 use Max/Sub/Exp/Div.
+ */
+
+#ifndef TRANSFUSION_EINSUM_OPS_HH
+#define TRANSFUSION_EINSUM_OPS_HH
+
+#include <string>
+
+namespace transfusion::einsum
+{
+
+/** Point-wise combination of two input operands. */
+enum class CombineOp
+{
+    None, ///< single-input Einsum (pure map / reduce / copy)
+    Mul,  ///< product (tensor contraction map stage)
+    Add,  ///< element-wise sum (residual adds, accumulations)
+    Sub,  ///< element-wise difference (max subtraction in softmax)
+    Div,  ///< element-wise quotient (softmax normalization)
+    Max,  ///< element-wise maximum (running-max update)
+};
+
+/** User-defined unary map applied after combine. */
+enum class UnaryOp
+{
+    None,
+    Exp,     ///< e^x (softmax numerators, Eq. 15/18)
+    Square,  ///< x^2 (LayerNorm variance, Eq. 32)
+    Rsqrt,   ///< 1/sqrt(x) (LayerNorm scale, Eq. 35)
+    Recip,   ///< 1/x
+    Relu,    ///< max(x, 0)
+    Gelu,    ///< Gaussian Error Linear Unit (tanh approximation)
+    Silu,    ///< x * sigmoid(x)
+    Sigmoid, ///< 1 / (1 + e^-x)
+};
+
+/** Reduction over the indices missing from the output. */
+enum class ReduceOp
+{
+    None,
+    Sum,
+    Max,
+};
+
+/**
+ * Which PE array an Einsum natively targets.  GEMM-like contractions
+ * (two inputs, Mul/Sum over a shared index) map to the 2D array;
+ * everything else is a streaming/vector op on the 1D array.  DPipe
+ * may override the native choice when offloading balances load
+ * (Sec. 6.2, "Utilization").
+ */
+enum class PeClass
+{
+    Matrix, ///< 2D PE array native
+    Vector, ///< 1D PE array native
+};
+
+/** Printable names (for schedules, DAG dumps, and error text). */
+std::string toString(CombineOp op);
+std::string toString(UnaryOp op);
+std::string toString(ReduceOp op);
+std::string toString(PeClass pc);
+
+} // namespace transfusion::einsum
+
+#endif // TRANSFUSION_EINSUM_OPS_HH

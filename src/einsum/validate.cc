@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Implementation of the cascade validator.
+ */
+
+#include "validate.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace transfusion::einsum
+{
+
+std::string
+toString(ValidationIssue::Kind kind)
+{
+    switch (kind) {
+      case ValidationIssue::Kind::SignatureMismatch:
+        return "signature-mismatch";
+      case ValidationIssue::Kind::BadRecurrence:
+        return "bad-recurrence";
+      case ValidationIssue::Kind::UnboundIndex:
+        return "unbound-index";
+      case ValidationIssue::Kind::MissingReduce:
+        return "missing-reduce";
+    }
+    tf_panic("unknown ValidationIssue::Kind");
+}
+
+namespace
+{
+
+bool
+contains(const std::vector<std::string> &v, const std::string &x)
+{
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+void
+checkConsumerSignature(const Cascade &cascade, const Einsum &op,
+                       const TensorRef &in,
+                       std::vector<ValidationIssue> &issues)
+{
+    const int producer_id = cascade.producerOf(in.name);
+    if (producer_id < 0)
+        return; // external tensor: no declared signature to match
+    const Einsum &producer =
+        cascade.op(static_cast<std::size_t>(producer_id));
+    const std::size_t produced_arity =
+        producer.output().indices.size();
+    if (in.indices.size() == produced_arity)
+        return;
+
+    // Final-slice read of recurrent state: exactly the recurrent
+    // index is dropped (Fig. 2, m1 = M1 + 1).
+    if (producer.isRecurrent()
+            && in.indices.size() + 1 == produced_arity
+            && contains(producer.output().indices,
+                        producer.recurrentIndex())
+            && !contains(in.indices, producer.recurrentIndex())) {
+        return;
+    }
+
+    std::ostringstream msg;
+    msg << "op '" << op.name() << "' reads " << in.toString()
+        << " but '" << in.name << "' is produced as "
+        << producer.output().toString();
+    issues.push_back({ ValidationIssue::Kind::SignatureMismatch,
+                       op.name(), msg.str() });
+}
+
+} // namespace
+
+std::vector<ValidationIssue>
+validateCascade(const Cascade &cascade, const DimEnv *dims)
+{
+    std::vector<ValidationIssue> issues;
+
+    for (const auto &op : cascade.ops()) {
+        // Rule 2: recurrence indexing.
+        if (op.isRecurrent()
+                && !contains(op.output().indices,
+                             op.recurrentIndex())) {
+            issues.push_back(
+                { ValidationIssue::Kind::BadRecurrence, op.name(),
+                  "recurrent index '" + op.recurrentIndex()
+                      + "' missing from output "
+                      + op.output().toString() });
+        }
+
+        // Rule 1: consumer signatures.
+        for (const auto &in : op.inputs())
+            checkConsumerSignature(cascade, op, in, issues);
+
+        // Rule 1b: previous-reads must target recurrent state.
+        for (const auto &in : op.inputs()) {
+            if (!in.previous)
+                continue;
+            const int producer = cascade.producerOf(in.name);
+            const bool recurrent_target = producer >= 0
+                && cascade.op(static_cast<std::size_t>(producer))
+                       .isRecurrent();
+            if (!recurrent_target) {
+                issues.push_back(
+                    { ValidationIssue::Kind::BadRecurrence,
+                      op.name(),
+                      "previous-read " + in.toString()
+                          + " does not target recurrent state" });
+            }
+        }
+
+        // Rule 3: index binding.
+        if (dims) {
+            auto check_ref = [&](const TensorRef &ref) {
+                for (const auto &idx : ref.indices) {
+                    if (!dims->has(idx)) {
+                        issues.push_back(
+                            { ValidationIssue::Kind::UnboundIndex,
+                              op.name(),
+                              "index '" + idx + "' of "
+                                  + ref.toString()
+                                  + " is unbound" });
+                    }
+                }
+            };
+            check_ref(op.output());
+            for (const auto &in : op.inputs())
+                check_ref(in);
+        }
+
+        // Rule 4: reduction sanity.
+        if (!op.reductionIndices().empty()
+                && op.reduceOp() == ReduceOp::None) {
+            issues.push_back(
+                { ValidationIssue::Kind::MissingReduce, op.name(),
+                  "op '" + op.name() + "' drops indices from its "
+                  "output without a reduction operator" });
+        }
+    }
+    return issues;
+}
+
+void
+checkCascade(const Cascade &cascade, const DimEnv *dims)
+{
+    const auto issues = validateCascade(cascade, dims);
+    if (!issues.empty()) {
+        tf_fatal("cascade '", cascade.name(), "' is malformed: [",
+                 toString(issues.front().kind), "] ",
+                 issues.front().message, " (", issues.size(),
+                 " issue(s) total)");
+    }
+}
+
+} // namespace transfusion::einsum

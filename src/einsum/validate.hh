@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Static validation of Einsum cascades: the well-formedness rules
+ * a cascade must satisfy before scheduling makes sense.
+ *
+ * Rules:
+ *  1. Signature consistency: a consumer's index list for a tensor
+ *     must have the producer's arity -- except the "final-slice"
+ *     read of recurrent state, where the consumer omits exactly
+ *     the recurrent index (Fig. 2's diamond note, m1 = M1 + 1:
+ *     AV reads RNV[h,f,p] out of RNV[h,f,m1,p]).
+ *  2. Recurrent ops must carry their recurrent index in the output
+ *     (state is indexed by the loop it is carried across).
+ *  3. Under a DimEnv, every referenced index must be bound.
+ *  4. Reduction sanity: indices present in the inputs but absent
+ *     from the output require a ReduceOp -- otherwise the output
+ *     cells would be silently overwritten per reduction point.
+ */
+
+#ifndef TRANSFUSION_EINSUM_VALIDATE_HH
+#define TRANSFUSION_EINSUM_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "einsum/cascade.hh"
+
+namespace transfusion::einsum
+{
+
+/** One finding of the validator. */
+struct ValidationIssue
+{
+    enum class Kind
+    {
+        SignatureMismatch, ///< arity disagrees with the producer
+        BadRecurrence,     ///< recurrent index missing from output
+        UnboundIndex,      ///< index not bound in the DimEnv
+        MissingReduce,     ///< reduction indices but no ReduceOp
+    };
+
+    Kind kind;
+    std::string op;      ///< offending op (output tensor name)
+    std::string message; ///< human-readable description
+};
+
+/** Printable name of an issue kind. */
+std::string toString(ValidationIssue::Kind kind);
+
+/**
+ * Validate a cascade; with `dims` also checks index binding.
+ * Returns all findings (empty = clean).
+ */
+std::vector<ValidationIssue>
+validateCascade(const Cascade &cascade, const DimEnv *dims = nullptr);
+
+/** Fatal on the first finding; for construction-time checking. */
+void checkCascade(const Cascade &cascade,
+                  const DimEnv *dims = nullptr);
+
+} // namespace transfusion::einsum
+
+#endif // TRANSFUSION_EINSUM_VALIDATE_HH

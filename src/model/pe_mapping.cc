@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Implementation of the Table 1 dimension mapping.
+ */
+
+#include "pe_mapping.hh"
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace transfusion::model
+{
+
+DimMapping
+peMapping(LayerKind kind, const std::string &op_name)
+{
+    switch (kind) {
+      case LayerKind::Qkv:
+        // Table 1 row 1: rows p/m0, cols (h,e).  The Q projection
+        // streams query positions (p); BK/BV stream context
+        // positions (m0).
+        if (op_name == "BK")
+            return { {"m0"}, {"h", "e"} };
+        if (op_name == "BV")
+            return { {"m0"}, {"h", "f"} };
+        return { {"p"}, {"h", "e"} };
+      case LayerKind::Mha:
+        return { {"p"}, {"m0"} };
+      case LayerKind::LayerNorm:
+        return { {"p"}, {"h", "f"} };
+      case LayerKind::Ffn:
+        return { {"p"}, {"s"} };
+    }
+    tf_panic("unknown LayerKind");
+}
+
+std::int64_t
+epochCount(const DimMapping &mapping, const einsum::DimEnv &dims,
+           std::int64_t pe_rows, std::int64_t pe_cols)
+{
+    tf_assert(pe_rows > 0 && pe_cols > 0, "PE extents must be > 0");
+    std::int64_t row_work = 1, col_work = 1;
+    for (const auto &idx : mapping.rows)
+        row_work *= dims.extent(idx);
+    for (const auto &idx : mapping.cols)
+        col_work *= dims.extent(idx);
+    return ceilDiv(row_work, pe_rows) * ceilDiv(col_work, pe_cols);
+}
+
+} // namespace transfusion::model

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table 1: dimension mapping of each Transformer layer onto the 2D
+ * PE array.  Rows carry sequence-like indices; columns carry the
+ * remaining shared Einsum dimensions.  On a 1D array the row mapping
+ * is kept and column work is serialized (Sec. 3.3).
+ */
+
+#ifndef TRANSFUSION_MODEL_PE_MAPPING_HH
+#define TRANSFUSION_MODEL_PE_MAPPING_HH
+
+#include <string>
+#include <vector>
+
+#include "einsum/dims.hh"
+#include "model/cascades.hh"
+
+namespace transfusion::model
+{
+
+/** Index labels assigned to PE rows and columns. */
+struct DimMapping
+{
+    std::vector<std::string> rows;
+    std::vector<std::string> cols;
+};
+
+/**
+ * Table 1 mapping for a layer.  QKV distinguishes the Q projection
+ * (rows carry p) from BK/BV (rows carry m0); pass the producing op
+ * name to select, or empty for the layer default.
+ */
+DimMapping peMapping(LayerKind kind, const std::string &op_name = "");
+
+/**
+ * Number of inner-tile epochs needed to sweep a layer's mapped
+ * iteration space with one tile pinned to the PE array: the product
+ * of ceil(extent/rows) over row dims times ceil(extent/cols) over
+ * col dims (row/col extents multiply within their group).
+ */
+std::int64_t epochCount(const DimMapping &mapping,
+                        const einsum::DimEnv &dims,
+                        std::int64_t pe_rows, std::int64_t pe_cols);
+
+} // namespace transfusion::model
+
+#endif // TRANSFUSION_MODEL_PE_MAPPING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Implementation of the stack composition helpers.
+ */
+
+#include "stack.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::model
+{
+
+std::string
+toString(AttentionKind kind)
+{
+    switch (kind) {
+      case AttentionKind::BidirectionalSelf:
+        return "self";
+      case AttentionKind::CausalSelf:
+        return "causal-self";
+      case AttentionKind::Cross:
+        return "cross";
+    }
+    tf_panic("unknown AttentionKind");
+}
+
+void
+StackConfig::validate() const
+{
+    block.validate();
+    if (encoder_layers < 0 || decoder_layers < 0)
+        tf_fatal("stack '", name, "' has negative layer counts");
+    if (encoder_layers + decoder_layers == 0)
+        tf_fatal("stack '", name, "' has no layers");
+    if (decoder_cross_attention && decoder_layers > 0
+            && encoder_layers == 0) {
+        tf_fatal("stack '", name, "' wants cross-attention but has "
+                 "no encoder to attend to");
+    }
+}
+
+StackConfig
+encoderOnly(TransformerConfig block)
+{
+    StackConfig s;
+    s.name = block.name + "-encoder";
+    s.encoder_layers = block.layers;
+    s.decoder_layers = 0;
+    s.decoder_cross_attention = false;
+    s.block = std::move(block);
+    return s;
+}
+
+StackConfig
+decoderOnly(TransformerConfig block)
+{
+    StackConfig s;
+    s.name = block.name + "-decoder";
+    s.encoder_layers = 0;
+    s.decoder_layers = block.layers;
+    s.decoder_cross_attention = false;
+    s.block = std::move(block);
+    return s;
+}
+
+StackConfig
+encoderDecoder(TransformerConfig block, std::int64_t encoder_layers,
+               std::int64_t decoder_layers)
+{
+    StackConfig s;
+    s.name = block.name + "-encdec";
+    s.encoder_layers = encoder_layers;
+    s.decoder_layers = decoder_layers;
+    s.decoder_cross_attention = true;
+    s.block = std::move(block);
+    s.validate();
+    return s;
+}
+
+} // namespace transfusion::model

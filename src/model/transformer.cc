@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Model presets.  Shapes follow the public model cards; E = F = D/H
+ * throughout, as the paper assumes.
+ */
+
+#include "transformer.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::model
+{
+
+void
+TransformerConfig::validate() const
+{
+    if (layers <= 0 || d_model <= 0 || heads <= 0 || head_dim <= 0
+            || ffn_hidden <= 0 || batch <= 0) {
+        tf_fatal("model '", name, "' has non-positive dimensions");
+    }
+    if (d_model != heads * head_dim)
+        tf_fatal("model '", name, "': D (", d_model,
+                 ") != H*E (", heads * head_dim, ")");
+}
+
+TransformerConfig
+bertBase()
+{
+    TransformerConfig c;
+    c.name = "BERT";
+    c.layers = 12;
+    c.d_model = 768;
+    c.heads = 12;
+    c.head_dim = 64;
+    c.ffn_hidden = 3072;
+    c.activation = einsum::UnaryOp::Gelu;
+    return c;
+}
+
+TransformerConfig
+trxl()
+{
+    TransformerConfig c;
+    c.name = "TrXL";
+    c.layers = 18;
+    c.d_model = 1024;
+    c.heads = 16;
+    c.head_dim = 64;
+    c.ffn_hidden = 4096;
+    c.activation = einsum::UnaryOp::Relu;
+    return c;
+}
+
+TransformerConfig
+t5Small()
+{
+    TransformerConfig c;
+    c.name = "T5";
+    c.layers = 6;
+    c.d_model = 512;
+    c.heads = 8;
+    c.head_dim = 64;
+    c.ffn_hidden = 2048;
+    c.activation = einsum::UnaryOp::Relu;
+    return c;
+}
+
+TransformerConfig
+xlm()
+{
+    TransformerConfig c;
+    c.name = "XLM";
+    c.layers = 12;
+    c.d_model = 2048;
+    c.heads = 16;
+    c.head_dim = 128;
+    c.ffn_hidden = 8192;
+    c.activation = einsum::UnaryOp::Gelu;
+    return c;
+}
+
+TransformerConfig
+llama3_8b()
+{
+    TransformerConfig c;
+    c.name = "Llama3";
+    c.layers = 32;
+    c.d_model = 4096;
+    c.heads = 32;
+    c.head_dim = 128;
+    c.ffn_hidden = 14336;
+    c.activation = einsum::UnaryOp::Silu;
+    return c;
+}
+
+std::vector<TransformerConfig>
+allModels()
+{
+    return { bertBase(), trxl(), t5Small(), xlm(), llama3_8b() };
+}
+
+TransformerConfig
+modelByName(const std::string &name)
+{
+    for (const auto &m : allModels()) {
+        if (m.name == name)
+            return m;
+    }
+    tf_fatal("unknown model '", name, "'");
+}
+
+} // namespace transfusion::model

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Implementation of the cascade interpreter.
+ */
+
+#include "interpreter.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace transfusion::ref
+{
+
+double
+applyUnary(einsum::UnaryOp op, double x)
+{
+    using einsum::UnaryOp;
+    switch (op) {
+      case UnaryOp::None:
+        return x;
+      case UnaryOp::Exp:
+        return std::exp(x);
+      case UnaryOp::Square:
+        return x * x;
+      case UnaryOp::Rsqrt:
+        return 1.0 / std::sqrt(x);
+      case UnaryOp::Recip:
+        return 1.0 / x;
+      case UnaryOp::Relu:
+        return x > 0.0 ? x : 0.0;
+      case UnaryOp::Gelu: {
+        // tanh approximation (as deployed in BERT/GPT kernels)
+        const double c = std::sqrt(2.0 / M_PI);
+        return 0.5 * x
+            * (1.0 + std::tanh(c * (x + 0.044715 * x * x * x)));
+      }
+      case UnaryOp::Silu:
+        return x / (1.0 + std::exp(-x));
+      case UnaryOp::Sigmoid:
+        return 1.0 / (1.0 + std::exp(-x));
+    }
+    tf_panic("unknown UnaryOp");
+}
+
+double
+applyCombine(einsum::CombineOp op, double a, double b)
+{
+    using einsum::CombineOp;
+    switch (op) {
+      case CombineOp::None:
+        tf_panic("applyCombine on a single-input Einsum");
+      case CombineOp::Mul:
+        return a * b;
+      case CombineOp::Add:
+        return a + b;
+      case CombineOp::Sub:
+        return a - b;
+      case CombineOp::Div:
+        return a / b;
+      case CombineOp::Max:
+        return std::max(a, b);
+    }
+    tf_panic("unknown CombineOp");
+}
+
+namespace
+{
+
+/** Shape of a tensor ref under an environment. */
+std::vector<std::int64_t>
+shapeOf(const einsum::TensorRef &ref, const einsum::DimEnv &dims)
+{
+    std::vector<std::int64_t> shape;
+    shape.reserve(ref.indices.size());
+    for (const auto &idx : ref.indices)
+        shape.push_back(dims.extent(idx));
+    return shape;
+}
+
+/** Positions of a tensor's indices inside the loop-index list. */
+std::vector<std::size_t>
+axisMap(const einsum::TensorRef &ref,
+        const std::vector<std::string> &loop_indices)
+{
+    std::vector<std::size_t> map;
+    map.reserve(ref.indices.size());
+    for (const auto &idx : ref.indices) {
+        auto it = std::find(loop_indices.begin(), loop_indices.end(),
+                            idx);
+        tf_assert(it != loop_indices.end(), "tensor ", ref.name,
+                  " uses index '", idx, "' missing from loop nest");
+        map.push_back(static_cast<std::size_t>(
+            it - loop_indices.begin()));
+    }
+    return map;
+}
+
+} // namespace
+
+Tensor
+evaluateEinsum(const einsum::Einsum &op, const einsum::DimEnv &dims,
+               const Bindings &bound, bool allow_recurrent)
+{
+    using einsum::ReduceOp;
+
+    if (op.isRecurrent() && !allow_recurrent)
+        tf_fatal("interpreter cannot execute recurrent Einsum '",
+                 op.name(), "'; use the recurrent interpreter");
+
+    // Loop nest: output indices first, reduction indices after.
+    std::vector<std::string> loop = op.output().indices;
+    for (const auto &idx : op.reductionIndices())
+        loop.push_back(idx);
+
+    std::vector<std::int64_t> loop_extent;
+    loop_extent.reserve(loop.size());
+    for (const auto &idx : loop)
+        loop_extent.push_back(dims.extent(idx));
+
+    // Gather inputs and their axis maps.
+    std::vector<const Tensor *> ins;
+    std::vector<std::vector<std::size_t>> in_axes;
+    for (const auto &ref : op.inputs()) {
+        auto it = bound.find(ref.name);
+        if (it == bound.end())
+            tf_fatal("unbound input tensor '", ref.name, "' for op '",
+                     op.name(), "'");
+        tf_assert(it->second.shape() == shapeOf(ref, dims),
+                  "shape mismatch for input '", ref.name, "' of op '",
+                  op.name(), "'");
+        ins.push_back(&it->second);
+        in_axes.push_back(axisMap(ref, loop));
+    }
+    tf_assert(!ins.empty(), "op '", op.name(), "' has no inputs");
+
+    const ReduceOp red = op.reduceOp();
+    const std::size_t out_rank = op.output().indices.size();
+    const double init = red == ReduceOp::Max
+        ? -std::numeric_limits<double>::infinity() : 0.0;
+    Tensor out(shapeOf(op.output(), dims), init);
+    std::vector<bool> touched(
+        static_cast<std::size_t>(out.size()), false);
+
+    // Odometer over the full loop nest.
+    std::vector<std::int64_t> point(loop.size(), 0);
+    std::vector<std::int64_t> in_index;
+    while (true) {
+        // Evaluate the map stage at this point.
+        auto fetch = [&](std::size_t which) {
+            const auto &axes = in_axes[which];
+            in_index.assign(axes.size(), 0);
+            for (std::size_t a = 0; a < axes.size(); ++a)
+                in_index[a] = point[axes[a]];
+            return ins[which]->at(in_index);
+        };
+        double v = fetch(0);
+        if (ins.size() == 2)
+            v = applyCombine(op.combineOp(), v, fetch(1));
+        v = applyUnary(op.unaryOp(), v);
+
+        // Fold into the output cell.
+        std::vector<std::int64_t> out_index(
+            point.begin(),
+            point.begin() + static_cast<std::int64_t>(out_rank));
+        const std::int64_t off = out.offsetOf(out_index);
+        double &cell = out.flat(off);
+        switch (red) {
+          case ReduceOp::None:
+            cell = v;
+            break;
+          case ReduceOp::Sum:
+            cell += v;
+            break;
+          case ReduceOp::Max:
+            cell = std::max(cell, v);
+            break;
+        }
+        touched[static_cast<std::size_t>(off)] = true;
+
+        // Advance the odometer; stop after the last point.
+        bool rolled_over = true;
+        for (std::size_t a = loop.size(); a-- > 0;) {
+            if (++point[a] < loop_extent[a]) {
+                rolled_over = false;
+                break;
+            }
+            point[a] = 0;
+        }
+        if (rolled_over)
+            break;
+    }
+
+    // Reductions over an empty domain would leave cells at init;
+    // that would be a modelling bug, so check.
+    for (bool t : touched)
+        tf_assert(t, "op '", op.name(), "' left output cells unset");
+
+    if (op.scaleFactor() != 1.0) {
+        for (std::int64_t i = 0; i < out.size(); ++i)
+            out.flat(i) *= op.scaleFactor();
+    }
+    return out;
+}
+
+Bindings
+evaluateCascade(const einsum::Cascade &cascade,
+                const einsum::DimEnv &dims, Bindings inputs)
+{
+    const auto dag = cascade.buildDag();
+    for (int node : dag.topoSort()) {
+        const auto &op = cascade.op(static_cast<std::size_t>(node));
+        Tensor result = evaluateEinsum(op, dims, inputs);
+        inputs[op.name()] = std::move(result);
+    }
+    return inputs;
+}
+
+} // namespace transfusion::ref

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cascade interpreter: executes a feed-forward cascade of extended
+ * Einsums numerically against a DimEnv and a set of bound input
+ * tensors.  This is the functional half of the simulator -- it proves
+ * that the cascades the scheduler optimizes compute the intended
+ * mathematics (e.g. Cascade 3 really is LayerNorm).
+ *
+ * Recurrent Einsums (the running-max/denominator updates of the
+ * 1-pass attention) are loop-carried; those are executed by the
+ * dedicated streaming implementation in streaming_attention.hh, and
+ * the interpreter rejects them with fatal().
+ */
+
+#ifndef TRANSFUSION_REF_INTERPRETER_HH
+#define TRANSFUSION_REF_INTERPRETER_HH
+
+#include <map>
+#include <string>
+
+#include "einsum/cascade.hh"
+#include "ref/tensor.hh"
+
+namespace transfusion::ref
+{
+
+/** Name -> tensor binding set. */
+using Bindings = std::map<std::string, Tensor>;
+
+/** Apply a unary op to a scalar. */
+double applyUnary(einsum::UnaryOp op, double x);
+
+/** Apply a combine op to two scalars. */
+double applyCombine(einsum::CombineOp op, double a, double b);
+
+/**
+ * Execute one Einsum.  Inputs must be present in `env` bindings with
+ * shapes matching their index signatures under `dims`.
+ *
+ * @param allow_recurrent permit a recurrent op when the caller (the
+ *        recurrent interpreter) supplies the carried state as an
+ *        ordinary operand; the plain cascade path leaves it false
+ * @return the freshly computed output tensor.
+ */
+Tensor evaluateEinsum(const einsum::Einsum &op,
+                      const einsum::DimEnv &dims,
+                      const Bindings &bound,
+                      bool allow_recurrent = false);
+
+/**
+ * Execute a whole cascade in topological order.  External inputs
+ * must be bound; every produced tensor is added to the returned
+ * binding set (inputs included).
+ */
+Bindings evaluateCascade(const einsum::Cascade &cascade,
+                         const einsum::DimEnv &dims,
+                         Bindings inputs);
+
+} // namespace transfusion::ref
+
+#endif // TRANSFUSION_REF_INTERPRETER_HH

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Implementation of the recurrent-cascade interpreter.
+ */
+
+#include "recurrent_interpreter.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace transfusion::ref
+{
+
+namespace
+{
+
+using einsum::Cascade;
+using einsum::CombineOp;
+using einsum::DimEnv;
+using einsum::Einsum;
+using einsum::TensorRef;
+
+bool
+hasIndex(const std::vector<std::string> &indices,
+         const std::string &idx)
+{
+    return std::find(indices.begin(), indices.end(), idx)
+        != indices.end();
+}
+
+int
+axisOf(const std::vector<std::string> &indices,
+       const std::string &idx)
+{
+    const auto it = std::find(indices.begin(), indices.end(), idx);
+    tf_assert(it != indices.end(), "index '", idx, "' not present");
+    return static_cast<int>(it - indices.begin());
+}
+
+/** Slice one position along `axis`, keeping the axis (extent 1). */
+Tensor
+sliceKeep(const Tensor &t, int axis, std::int64_t at)
+{
+    auto shape = t.shape();
+    tf_assert(axis >= 0 && axis < t.rank(), "bad slice axis");
+    tf_assert(at >= 0 && at < shape[static_cast<std::size_t>(axis)],
+              "slice position out of range");
+    auto out_shape = shape;
+    out_shape[static_cast<std::size_t>(axis)] = 1;
+    Tensor out(out_shape);
+
+    std::vector<std::int64_t> idx(shape.size(), 0);
+    idx[static_cast<std::size_t>(axis)] = at;
+    // Odometer over all axes except `axis`.
+    while (true) {
+        auto out_idx = idx;
+        out_idx[static_cast<std::size_t>(axis)] = 0;
+        out.at(out_idx) = t.at(idx);
+        bool rolled = true;
+        for (std::size_t a = shape.size(); a-- > 0;) {
+            if (static_cast<int>(a) == axis)
+                continue;
+            if (++idx[a] < shape[a]) {
+                rolled = false;
+                break;
+            }
+            idx[a] = 0;
+        }
+        if (rolled)
+            break;
+    }
+    return out;
+}
+
+/** Write a kept-axis slice back into the full tensor at `at`. */
+void
+storeSlice(Tensor &full, const Tensor &slice, int axis,
+           std::int64_t at)
+{
+    auto idx = std::vector<std::int64_t>(
+        static_cast<std::size_t>(full.rank()), 0);
+    while (true) {
+        auto in_idx = idx;
+        in_idx[static_cast<std::size_t>(axis)] = 0;
+        auto out_idx = idx;
+        out_idx[static_cast<std::size_t>(axis)] = at;
+        full.at(out_idx) = slice.at(in_idx);
+        bool rolled = true;
+        for (std::size_t a = idx.size(); a-- > 0;) {
+            if (static_cast<int>(a) == axis)
+                continue;
+            if (++idx[a] < full.shape()[a]) {
+                rolled = false;
+                break;
+            }
+            idx[a] = 0;
+        }
+        if (rolled)
+            break;
+    }
+}
+
+/** Drop a size-1 axis. */
+Tensor
+squeeze(const Tensor &t, int axis)
+{
+    tf_assert(t.shape()[static_cast<std::size_t>(axis)] == 1,
+              "can only squeeze a unit axis");
+    auto shape = t.shape();
+    shape.erase(shape.begin() + axis);
+    if (shape.empty())
+        shape.push_back(1); // keep rank >= 1 for simplicity
+    Tensor out(shape);
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        out.flat(i) = t.flat(i);
+    return out;
+}
+
+/** Identity element of a recurrent op's combine operator. */
+double
+stateInit(const Einsum &op)
+{
+    switch (op.combineOp()) {
+      case CombineOp::Max:
+        return -std::numeric_limits<double>::infinity();
+      case CombineOp::Mul:
+        return 1.0;
+      case CombineOp::Add:
+      default:
+        return 0.0;
+    }
+}
+
+/** Shape of a signature under an environment. */
+std::vector<std::int64_t>
+shapeOf(const std::vector<std::string> &indices, const DimEnv &env)
+{
+    std::vector<std::int64_t> shape;
+    for (const auto &idx : indices)
+        shape.push_back(env.extent(idx));
+    return shape;
+}
+
+/** Binding key for a previous-iteration operand. */
+std::string
+prevKey(const std::string &name)
+{
+    return name + "@prev";
+}
+
+/**
+ * Copy of `op` with previous-reads renamed to their binding key,
+ * so an op like PRM = exp(RM' - RM) can see both time steps of the
+ * same tensor through the name-keyed binding map.
+ */
+Einsum
+materializeOp(const Einsum &op)
+{
+    Einsum copy(op.name(), op.output().indices);
+    for (const auto &in : op.inputs()) {
+        copy.input(in.previous ? prevKey(in.name) : in.name,
+                   in.indices);
+    }
+    copy.combine(op.combineOp());
+    copy.unary(op.unaryOp());
+    copy.reduce(op.reduceOp());
+    copy.scale(op.scaleFactor());
+    return copy;
+}
+
+} // namespace
+
+Bindings
+evaluateRecurrentCascade(const einsum::Cascade &cascade,
+                         const einsum::DimEnv &dims,
+                         Bindings inputs, const std::string &loop)
+{
+    const std::int64_t trip = dims.extent(loop);
+    DimEnv iter_dims = dims;
+    iter_dims.set(loop, 1);
+
+    // Partition ops: per-iteration (loop in the output) vs
+    // post-loop (final-slice consumers).
+    const auto dag = cascade.buildDag();
+    std::vector<int> per_iter, post;
+    for (int v : dag.topoSort()) {
+        const auto &op = cascade.op(static_cast<std::size_t>(v));
+        if (hasIndex(op.output().indices, loop))
+            per_iter.push_back(v);
+        else
+            post.push_back(v);
+    }
+
+    // State tensors (per-iteration slice shape) at their identity.
+    std::map<std::string, Tensor> state;
+    for (int v : per_iter) {
+        const auto &op = cascade.op(static_cast<std::size_t>(v));
+        if (op.isRecurrent()) {
+            tf_assert(op.recurrentIndex() == loop,
+                      "op '", op.name(), "' recurs over '",
+                      op.recurrentIndex(), "', not '", loop, "'");
+            state.emplace(op.name(),
+                          Tensor(shapeOf(op.output().indices,
+                                         iter_dims),
+                                 stateInit(op)));
+        }
+    }
+
+    // Full per-iteration output storage (returned to the caller).
+    Bindings full = inputs;
+    for (int v : per_iter) {
+        const auto &op = cascade.op(static_cast<std::size_t>(v));
+        full[op.name()] =
+            Tensor(shapeOf(op.output().indices, dims));
+    }
+
+    for (std::int64_t i = 0; i < trip; ++i) {
+        const auto state_prev = state; // pre-iteration snapshot
+        Bindings current; // this iteration's slices
+
+        for (int v : per_iter) {
+            const auto &op =
+                cascade.op(static_cast<std::size_t>(v));
+
+            Bindings operand_env;
+            for (const auto &in : op.inputs()) {
+                if (in.previous) {
+                    const auto it = state_prev.find(in.name);
+                    if (it == state_prev.end())
+                        tf_fatal("previous-read of '", in.name,
+                                 "' which is not recurrent state");
+                    // Keyed separately so an op can see both time
+                    // steps of the same tensor (PRM, Eq. 18).
+                    operand_env[prevKey(in.name)] = it->second;
+                    continue;
+                }
+                if (current.count(in.name)) {
+                    operand_env[in.name] = current.at(in.name);
+                    continue;
+                }
+                const auto ext = inputs.find(in.name);
+                if (ext == inputs.end())
+                    tf_fatal("unbound input '", in.name,
+                             "' for op '", op.name(), "'");
+                if (hasIndex(in.indices, loop)) {
+                    operand_env[in.name] = sliceKeep(
+                        ext->second, axisOf(in.indices, loop), i);
+                } else {
+                    operand_env[in.name] = ext->second;
+                }
+            }
+
+            Tensor result = evaluateEinsum(
+                materializeOp(op), iter_dims, operand_env);
+            if (op.isRecurrent())
+                state[op.name()] = result;
+            current[op.name()] = result;
+            storeSlice(full.at(op.name()), current.at(op.name()),
+                       axisOf(op.output().indices, loop), i);
+        }
+    }
+
+    // Post-loop ops read the final state with the loop axis
+    // dropped (the Fig. 2 slice convention), everything else as a
+    // whole tensor.
+    for (int v : post) {
+        const auto &op = cascade.op(static_cast<std::size_t>(v));
+        Bindings operand_env;
+        for (const auto &in : op.inputs()) {
+            const int producer = cascade.producerOf(in.name);
+            const bool final_slice = producer >= 0
+                && cascade.op(static_cast<std::size_t>(producer))
+                       .isRecurrent()
+                && !hasIndex(in.indices, loop);
+            if (final_slice) {
+                const auto &prod = cascade.op(
+                    static_cast<std::size_t>(producer));
+                operand_env[in.name] = squeeze(
+                    state.at(in.name),
+                    axisOf(prod.output().indices, loop));
+            } else if (full.count(in.name)) {
+                operand_env[in.name] = full.at(in.name);
+            } else {
+                tf_fatal("unbound input '", in.name, "' for op '",
+                         op.name(), "'");
+            }
+        }
+        full[op.name()] = evaluateEinsum(op, dims, operand_env);
+    }
+    return full;
+}
+
+} // namespace transfusion::ref

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Generic recurrent-cascade interpreter: executes a cascade whose
+ * ops carry state across a loop index (e.g. Cascade 1's m1-carried
+ * RM/RD/RNV recurrences) directly from the Einsum data structures
+ * -- the same objects DPipe schedules.  This closes the strongest
+ * functional loop: the exact cascade the scheduler optimizes is run
+ * numerically and checked against naive softmax attention.
+ *
+ * Execution model:
+ *  - Per-iteration ops (the loop index appears in their output) run
+ *    once per loop step on iteration slices, in dependency order.
+ *  - Recurrent ops update their state; operands marked `previous`
+ *    (TensorRef::previous) read the pre-iteration snapshot.
+ *  - State initialization follows the combine operator's identity:
+ *    Max -> -inf, Add -> 0, Mul -> 1.
+ *  - Post-loop ops (no loop index in the output, reading final
+ *    state through the Fig. 2 "m1 = M1 + 1" slice convention) run
+ *    once after the loop on the final state.
+ */
+
+#ifndef TRANSFUSION_REF_RECURRENT_INTERPRETER_HH
+#define TRANSFUSION_REF_RECURRENT_INTERPRETER_HH
+
+#include "ref/interpreter.hh"
+
+namespace transfusion::ref
+{
+
+/**
+ * Execute `cascade` with recurrences carried over `loop`.
+ *
+ * @param cascade cascade containing recurrent ops over `loop`
+ * @param dims    full extents (including the loop index)
+ * @param inputs  external tensor bindings; tensors whose signature
+ *                contains the loop index hold all iterations
+ * @param loop    the carried index (e.g. "m1")
+ * @return all bindings: externals, full per-iteration tensors,
+ *         final state (loop axis kept, extent 1), and post-loop
+ *         outputs
+ */
+Bindings evaluateRecurrentCascade(const einsum::Cascade &cascade,
+                                  const einsum::DimEnv &dims,
+                                  Bindings inputs,
+                                  const std::string &loop);
+
+} // namespace transfusion::ref
+
+#endif // TRANSFUSION_REF_RECURRENT_INTERPRETER_HH

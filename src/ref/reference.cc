@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Implementation of the unfused reference Transformer.
+ */
+
+#include "reference.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "ref/interpreter.hh"
+
+namespace transfusion::ref
+{
+
+Tensor
+projectQkv(const Tensor &input, const Tensor &weight)
+{
+    tf_assert(input.rank() == 2 && weight.rank() == 3,
+              "projectQkv expects INPUT[d,p], W[d,h,e]");
+    const auto d = input.shape()[0], p = input.shape()[1];
+    const auto h = weight.shape()[1], e = weight.shape()[2];
+    tf_assert(weight.shape()[0] == d, "model-dim mismatch");
+
+    Tensor out({h, e, p});
+    for (std::int64_t hi = 0; hi < h; ++hi) {
+        for (std::int64_t ei = 0; ei < e; ++ei) {
+            for (std::int64_t pi = 0; pi < p; ++pi) {
+                double acc = 0.0;
+                for (std::int64_t di = 0; di < d; ++di) {
+                    acc += input.at({di, pi})
+                        * weight.at({di, hi, ei});
+                }
+                out.at({hi, ei, pi}) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+naiveAttention(const Tensor &q, const Tensor &k, const Tensor &v)
+{
+    tf_assert(q.rank() == 3 && k.rank() == 3 && v.rank() == 3,
+              "naiveAttention expects Q[h,e,p], K[h,e,m], V[h,f,m]");
+    const auto h = q.shape()[0], e = q.shape()[1], p = q.shape()[2];
+    const auto m = k.shape()[2], f = v.shape()[1];
+    tf_assert(k.shape()[0] == h && k.shape()[1] == e,
+              "K shape mismatch");
+    tf_assert(v.shape()[0] == h && v.shape()[2] == m,
+              "V shape mismatch");
+
+    Tensor out({h, f, p});
+    std::vector<double> scores(static_cast<std::size_t>(m));
+    for (std::int64_t hi = 0; hi < h; ++hi) {
+        for (std::int64_t pi = 0; pi < p; ++pi) {
+            double mx = -1e300;
+            for (std::int64_t mi = 0; mi < m; ++mi) {
+                double acc = 0.0;
+                for (std::int64_t ei = 0; ei < e; ++ei)
+                    acc += q.at({hi, ei, pi}) * k.at({hi, ei, mi});
+                scores[static_cast<std::size_t>(mi)] = acc;
+                mx = std::max(mx, acc);
+            }
+            double denom = 0.0;
+            for (std::int64_t mi = 0; mi < m; ++mi) {
+                auto &s = scores[static_cast<std::size_t>(mi)];
+                s = std::exp(s - mx);
+                denom += s;
+            }
+            for (std::int64_t fi = 0; fi < f; ++fi) {
+                double acc = 0.0;
+                for (std::int64_t mi = 0; mi < m; ++mi) {
+                    acc += scores[static_cast<std::size_t>(mi)]
+                        * v.at({hi, fi, mi});
+                }
+                out.at({hi, fi, pi}) = acc / denom;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+addLayerNorm(const Tensor &inp, const Tensor &av)
+{
+    tf_assert(inp.shape() == av.shape() && inp.rank() == 3,
+              "addLayerNorm expects matching [h,f,p] tensors");
+    const auto h = inp.shape()[0], f = inp.shape()[1],
+               p = inp.shape()[2];
+    const double n = static_cast<double>(h * f);
+
+    Tensor out({h, f, p});
+    for (std::int64_t pi = 0; pi < p; ++pi) {
+        double sum = 0.0;
+        for (std::int64_t hi = 0; hi < h; ++hi) {
+            for (std::int64_t fi = 0; fi < f; ++fi)
+                sum += inp.at({hi, fi, pi}) + av.at({hi, fi, pi});
+        }
+        const double mean = sum / n;
+
+        double sq = 0.0;
+        for (std::int64_t hi = 0; hi < h; ++hi) {
+            for (std::int64_t fi = 0; fi < f; ++fi) {
+                const double d = inp.at({hi, fi, pi})
+                    + av.at({hi, fi, pi}) - mean;
+                sq += d * d;
+            }
+        }
+        const double inv_std = 1.0 / std::sqrt(sq / n);
+
+        for (std::int64_t hi = 0; hi < h; ++hi) {
+            for (std::int64_t fi = 0; fi < f; ++fi) {
+                const double d = inp.at({hi, fi, pi})
+                    + av.at({hi, fi, pi}) - mean;
+                out.at({hi, fi, pi}) = d * inv_std;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+feedForward(const Tensor &nr, const Tensor &wf1, const Tensor &bf1,
+            const Tensor &wf2, const Tensor &bf2,
+            einsum::UnaryOp activation)
+{
+    tf_assert(nr.rank() == 3 && wf1.rank() == 3 && wf2.rank() == 3,
+              "feedForward expects NR[h,f,p], WF[h,f,s]");
+    const auto h = nr.shape()[0], f = nr.shape()[1],
+               p = nr.shape()[2];
+    const auto s = wf1.shape()[2];
+    tf_assert(wf1.shape()[0] == h && wf1.shape()[1] == f,
+              "WF1 shape mismatch");
+    tf_assert(bf1.shape() == std::vector<std::int64_t>{s},
+              "BF1 shape mismatch");
+    tf_assert(wf2.shape() == wf1.shape(), "WF2 shape mismatch");
+    tf_assert((bf2.shape() == std::vector<std::int64_t>{h, f}),
+              "BF2 shape mismatch");
+
+    Tensor out({h, f, p});
+    std::vector<double> hidden(static_cast<std::size_t>(s));
+    for (std::int64_t pi = 0; pi < p; ++pi) {
+        for (std::int64_t si = 0; si < s; ++si) {
+            double acc = bf1.at({si});
+            for (std::int64_t hi = 0; hi < h; ++hi) {
+                for (std::int64_t fi = 0; fi < f; ++fi) {
+                    acc += nr.at({hi, fi, pi})
+                        * wf1.at({hi, fi, si});
+                }
+            }
+            hidden[static_cast<std::size_t>(si)] =
+                applyUnary(activation, acc);
+        }
+        for (std::int64_t hi = 0; hi < h; ++hi) {
+            for (std::int64_t fi = 0; fi < f; ++fi) {
+                double acc = bf2.at({hi, fi});
+                for (std::int64_t si = 0; si < s; ++si) {
+                    acc += hidden[static_cast<std::size_t>(si)]
+                        * wf2.at({hi, fi, si});
+                }
+                out.at({hi, fi, pi}) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+transformerLayer(const Tensor &input, const Tensor &wq,
+                 const Tensor &wk, const Tensor &wv,
+                 const Tensor &wf1, const Tensor &bf1,
+                 const Tensor &wf2, const Tensor &bf2,
+                 einsum::UnaryOp activation)
+{
+    const Tensor q = projectQkv(input, wq);
+    const Tensor k = projectQkv(input, wk);
+    const Tensor v = projectQkv(input, wv);
+    const Tensor av = naiveAttention(q, k, v);
+
+    // Residual input reshaped [d,p] -> [h,f,p] with d = h*F + f.
+    const auto h = av.shape()[0], f = av.shape()[1],
+               p = av.shape()[2];
+    tf_assert(input.shape()[0] == h * f,
+              "model dim must equal H*F for the residual reshape");
+    Tensor residual({h, f, p});
+    for (std::int64_t hi = 0; hi < h; ++hi) {
+        for (std::int64_t fi = 0; fi < f; ++fi) {
+            for (std::int64_t pi = 0; pi < p; ++pi) {
+                residual.at({hi, fi, pi}) =
+                    input.at({hi * f + fi, pi});
+            }
+        }
+    }
+
+    const Tensor nr = addLayerNorm(residual, av);
+    return feedForward(nr, wf1, bf1, wf2, bf2, activation);
+}
+
+} // namespace transfusion::ref

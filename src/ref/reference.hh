@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unfused reference implementations of the Transformer sub-layers,
+ * written directly from Sec. 2.2 (Eq. 1-4).  These are the ground
+ * truth the fused Einsum cascades are validated against.
+ *
+ * Tensor layouts follow the paper's index conventions:
+ *   INPUT[d,p]   model-dim x sequence
+ *   WQ/WK[d,h,e], WV[d,h,f]
+ *   Q[h,e,p], K[h,e,m], V[h,f,m]
+ *   AV/activations[h,f,p]
+ *   WF1[h,f,s], BF1[s], WF2[h,f,s], BF2[h,f]
+ */
+
+#ifndef TRANSFUSION_REF_REFERENCE_HH
+#define TRANSFUSION_REF_REFERENCE_HH
+
+#include "einsum/ops.hh"
+#include "ref/tensor.hh"
+
+namespace transfusion::ref
+{
+
+/** Q[h,e,p] = sum_d INPUT[d,p] * W[d,h,e]. */
+Tensor projectQkv(const Tensor &input, const Tensor &weight);
+
+/**
+ * Naive (materialize-everything) softmax attention:
+ * AV[h,f,p] = sum_m softmax_m(sum_e Q[h,e,p] K[h,e,m]) * V[h,f,m].
+ * No 1/sqrt(dk) scaling, matching Einsum Cascade 1.
+ */
+Tensor naiveAttention(const Tensor &q, const Tensor &k,
+                      const Tensor &v);
+
+/**
+ * Residual add + LayerNorm over the (h,f) feature axes per token p,
+ * with unit affine (gamma/beta deferred downstream per Li et al.):
+ * NR[h,f,p] = (INP + AV - mean_p) / sqrt(var_p).
+ */
+Tensor addLayerNorm(const Tensor &inp, const Tensor &av);
+
+/**
+ * Two-layer FFN per Eq. 4:
+ * FFN2[h,f,p] = act(NR.WF1 + BF1).WF2 + BF2.
+ */
+Tensor feedForward(const Tensor &nr, const Tensor &wf1,
+                   const Tensor &bf1, const Tensor &wf2,
+                   const Tensor &bf2, einsum::UnaryOp activation);
+
+/**
+ * Full unfused Transformer layer: QKV projection, attention,
+ * Add&LayerNorm, FFN, final residual-free output (the paper's
+ * dataflow forwards FFN2 directly).
+ */
+Tensor transformerLayer(const Tensor &input, const Tensor &wq,
+                        const Tensor &wk, const Tensor &wv,
+                        const Tensor &wf1, const Tensor &bf1,
+                        const Tensor &wf2, const Tensor &bf2,
+                        einsum::UnaryOp activation);
+
+} // namespace transfusion::ref
+
+#endif // TRANSFUSION_REF_REFERENCE_HH

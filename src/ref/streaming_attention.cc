@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Implementation of the 1-pass streaming attention (Fig. 2).
+ */
+
+#include "streaming_attention.hh"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace transfusion::ref
+{
+
+Tensor
+streamingAttention(const Tensor &q, const Tensor &k, const Tensor &v,
+                   std::int64_t m0_tile)
+{
+    tf_assert(q.rank() == 3 && k.rank() == 3 && v.rank() == 3,
+              "streamingAttention expects Q[h,e,p], K[h,e,m], "
+              "V[h,f,m]");
+    const auto h = q.shape()[0], e = q.shape()[1], p = q.shape()[2];
+    const auto m = k.shape()[2], f = v.shape()[1];
+    tf_assert(k.shape()[0] == h && k.shape()[1] == e,
+              "K shape mismatch");
+    tf_assert(v.shape()[0] == h && v.shape()[2] == m,
+              "V shape mismatch");
+    if (m0_tile <= 0 || m % m0_tile != 0)
+        tf_fatal("m0 tile ", m0_tile, " must divide context length ",
+                 m);
+    const std::int64_t m1_tiles = m / m0_tile;
+
+    const double neg_inf = -std::numeric_limits<double>::infinity();
+    Tensor av({h, f, p});
+    // Per (h,p) recurrent state: RM, RD; RNV adds the f axis.
+    std::vector<double> bqk(static_cast<std::size_t>(m0_tile));
+
+    for (std::int64_t hi = 0; hi < h; ++hi) {
+        for (std::int64_t pi = 0; pi < p; ++pi) {
+            double rm = neg_inf; // RM[h, m1=0, p]
+            double rd = 0.0;     // RD[h, m1=0, p]
+            std::vector<double> rnv(static_cast<std::size_t>(f),
+                                    0.0);
+
+            for (std::int64_t m1 = 0; m1 < m1_tiles; ++m1) {
+                // Eq. 12: BQK = Q x BK for this tile.
+                // Eq. 13: LM = max over m0.
+                double lm = neg_inf;
+                for (std::int64_t m0 = 0; m0 < m0_tile; ++m0) {
+                    const std::int64_t mi = m1 * m0_tile + m0;
+                    double acc = 0.0;
+                    for (std::int64_t ei = 0; ei < e; ++ei) {
+                        acc += q.at({hi, ei, pi})
+                            * k.at({hi, ei, mi});
+                    }
+                    bqk[static_cast<std::size_t>(m0)] = acc;
+                    lm = std::max(lm, acc);
+                }
+
+                // Eq. 14: RM[m1+1] = max(RM[m1], LM).
+                const double rm_next = std::max(rm, lm);
+
+                // Eq. 15-16: SLN = exp(BQK - RM[m1+1]); SLD = sum.
+                double sld = 0.0;
+                for (std::int64_t m0 = 0; m0 < m0_tile; ++m0) {
+                    auto &s = bqk[static_cast<std::size_t>(m0)];
+                    s = std::exp(s - rm_next);
+                    sld += s;
+                }
+
+                // Eq. 18: PRM = exp(RM[m1] - RM[m1+1]); on the very
+                // first tile RM is -inf, so the correction is 0.
+                const double prm = rm == neg_inf
+                    ? 0.0 : std::exp(rm - rm_next);
+
+                // Eq. 19-20: RD[m1+1] = SLD + RD[m1] * PRM.
+                const double spd = rd * prm;
+                rd = sld + spd;
+
+                // Eq. 17, 21-22: RNV[m1+1] = SLNV + RNV[m1] * PRM.
+                for (std::int64_t fi = 0; fi < f; ++fi) {
+                    double slnv = 0.0;
+                    for (std::int64_t m0 = 0; m0 < m0_tile; ++m0) {
+                        const std::int64_t mi = m1 * m0_tile + m0;
+                        slnv += bqk[static_cast<std::size_t>(m0)]
+                            * v.at({hi, fi, mi});
+                    }
+                    auto &r = rnv[static_cast<std::size_t>(fi)];
+                    r = slnv + r * prm;
+                }
+
+                rm = rm_next;
+            }
+
+            // Eq. 23: AV = RNV[M1] / RD[M1].
+            for (std::int64_t fi = 0; fi < f; ++fi) {
+                av.at({hi, fi, pi}) =
+                    rnv[static_cast<std::size_t>(fi)] / rd;
+            }
+        }
+    }
+    return av;
+}
+
+} // namespace transfusion::ref

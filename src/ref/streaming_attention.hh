@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Functional implementation of Einsum Cascade 1 (Fig. 2): the 1-pass
+ * streaming attention dataflow from FuseMax/FlashAttention-2 with a
+ * running max (RM), running denominator (RD) and running
+ * numerator-times-V (RNV) carried across m1 tiles.
+ *
+ * This executes the *exact* recurrence of Eq. 12-24 tile by tile and
+ * is compared against naiveAttention() in the tests to establish
+ * that the cascade TransFusion schedules is the same function as
+ * softmax attention (the paper's "correctness of end-to-end fusion"
+ * obligation).
+ */
+
+#ifndef TRANSFUSION_REF_STREAMING_ATTENTION_HH
+#define TRANSFUSION_REF_STREAMING_ATTENTION_HH
+
+#include <cstdint>
+
+#include "ref/tensor.hh"
+
+namespace transfusion::ref
+{
+
+/**
+ * 1-pass attention over m1 tiles of size m0.
+ *
+ * @param q   Q[h,e,p]
+ * @param k   K[h,e,m] with m = M1 * m0_tile
+ * @param v   V[h,f,m]
+ * @param m0_tile inner sequence tile size (must divide m)
+ * @return AV[h,f,p]
+ */
+Tensor streamingAttention(const Tensor &q, const Tensor &k,
+                          const Tensor &v, std::int64_t m0_tile);
+
+} // namespace transfusion::ref
+
+#endif // TRANSFUSION_REF_STREAMING_ATTENTION_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Implementation of the dense reference tensor.
+ */
+
+#include "tensor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace transfusion::ref
+{
+
+Tensor::Tensor()
+    : data(1, 0.0)
+{
+    computeStrides();
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape)
+    : Tensor(std::move(shape), 0.0)
+{}
+
+Tensor::Tensor(std::vector<std::int64_t> shape, double fill_value)
+    : dims(std::move(shape))
+{
+    std::int64_t total = 1;
+    for (std::int64_t d : dims) {
+        tf_assert(d > 0, "tensor dimensions must be positive, got ",
+                  d);
+        total *= d;
+    }
+    data.assign(static_cast<std::size_t>(total), fill_value);
+    computeStrides();
+}
+
+Tensor
+Tensor::random(std::vector<std::int64_t> shape, Rng &rng, double lo,
+               double hi)
+{
+    Tensor t(std::move(shape));
+    for (auto &v : t.data)
+        v = rng.nextDouble(lo, hi);
+    return t;
+}
+
+void
+Tensor::computeStrides()
+{
+    strides.assign(dims.size(), 1);
+    for (std::int64_t i = static_cast<std::int64_t>(dims.size()) - 2;
+         i >= 0; --i) {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+}
+
+std::int64_t
+Tensor::offsetOf(const std::vector<std::int64_t> &index) const
+{
+    tf_assert(index.size() == dims.size(), "index rank ",
+              index.size(), " != tensor rank ", dims.size());
+    std::int64_t off = 0;
+    for (std::size_t i = 0; i < index.size(); ++i) {
+        tf_assert(index[i] >= 0 && index[i] < dims[i],
+                  "index out of range on axis ", i);
+        off += index[i] * strides[i];
+    }
+    return off;
+}
+
+double &
+Tensor::at(const std::vector<std::int64_t> &index)
+{
+    return data[static_cast<std::size_t>(offsetOf(index))];
+}
+
+double
+Tensor::at(const std::vector<std::int64_t> &index) const
+{
+    return data[static_cast<std::size_t>(offsetOf(index))];
+}
+
+double &
+Tensor::flat(std::int64_t offset)
+{
+    tf_assert(offset >= 0 && offset < size(), "flat offset ", offset,
+              " out of range");
+    return data[static_cast<std::size_t>(offset)];
+}
+
+double
+Tensor::flat(std::int64_t offset) const
+{
+    tf_assert(offset >= 0 && offset < size(), "flat offset ", offset,
+              " out of range");
+    return data[static_cast<std::size_t>(offset)];
+}
+
+void
+Tensor::fill(double value)
+{
+    for (auto &v : data)
+        v = value;
+}
+
+double
+Tensor::maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    tf_assert(a.dims == b.dims, "shape mismatch in maxAbsDiff");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.data.size(); ++i)
+        worst = std::max(worst, std::fabs(a.data[i] - b.data[i]));
+    return worst;
+}
+
+} // namespace transfusion::ref

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal dense N-dimensional tensor used by the functional
+ * simulator.  Stores doubles in row-major order.  This is a
+ * correctness vehicle, not a performance kernel: the scheduler never
+ * touches real data, only the tests and the cascade interpreter do.
+ */
+
+#ifndef TRANSFUSION_REF_TENSOR_HH
+#define TRANSFUSION_REF_TENSOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace transfusion::ref
+{
+
+/** Dense row-major tensor of doubles. */
+class Tensor
+{
+  public:
+    /** Scalar tensor (rank 0, one element). */
+    Tensor();
+
+    /** Zero-initialized tensor with the given shape. */
+    explicit Tensor(std::vector<std::int64_t> shape);
+
+    /** Tensor filled with a constant. */
+    Tensor(std::vector<std::int64_t> shape, double fill);
+
+    /** Tensor with iid uniform values in [lo, hi). */
+    static Tensor random(std::vector<std::int64_t> shape, Rng &rng,
+                         double lo = -1.0, double hi = 1.0);
+
+    const std::vector<std::int64_t> &shape() const { return dims; }
+    std::int64_t rank() const
+    {
+        return static_cast<std::int64_t>(dims.size());
+    }
+    std::int64_t size() const
+    {
+        return static_cast<std::int64_t>(data.size());
+    }
+
+    /** Element access by multi-index. */
+    double &at(const std::vector<std::int64_t> &index);
+    double at(const std::vector<std::int64_t> &index) const;
+
+    /** Element access by flat offset. */
+    double &flat(std::int64_t offset);
+    double flat(std::int64_t offset) const;
+
+    /** Row-major flat offset of a multi-index. */
+    std::int64_t offsetOf(const std::vector<std::int64_t> &index) const;
+
+    /** Fill every element with a constant. */
+    void fill(double value);
+
+    /** Largest absolute element difference; shapes must match. */
+    static double maxAbsDiff(const Tensor &a, const Tensor &b);
+
+  private:
+    std::vector<std::int64_t> dims;
+    std::vector<std::int64_t> strides;
+    std::vector<double> data;
+
+    void computeStrides();
+};
+
+} // namespace transfusion::ref
+
+#endif // TRANSFUSION_REF_TENSOR_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Autoregressive-generation evaluation: prefill (self-attention
+ * over the prompt) plus T decode steps, each a single-query pass
+ * (query_len = 1 per batch element) over a KV cache that grows by
+ * one position per step.  Decode is the workload the paper's
+ * introduction motivates for generation models [4][39][56][44];
+ * it stresses a different corner of the design space -- weight
+ * streaming dominates, so fusion's activation savings matter less
+ * and bandwidth rules.
+ *
+ * Cost integration: the per-step cost is affine in the cache
+ * length at query_len = 1, so the evaluator samples a handful of
+ * cache lengths and integrates trapezoidally instead of pricing
+ * every step.
+ */
+
+#ifndef TRANSFUSION_SCHEDULE_DECODE_HH
+#define TRANSFUSION_SCHEDULE_DECODE_HH
+
+#include "schedule/evaluator.hh"
+
+namespace transfusion::schedule
+{
+
+/** A generation request. */
+struct DecodeWorkload
+{
+    std::int64_t prompt_len = 0;      ///< prefill length
+    std::int64_t generate_tokens = 0; ///< decode steps T
+};
+
+/** Result of one generation evaluation. */
+struct DecodeResult
+{
+    LayerMetrics prefill; ///< the prompt pass
+    LayerMetrics decode;  ///< all T single-token steps
+    LayerMetrics total;
+
+    /** Generated tokens per second across the whole batch. */
+    double tokens_per_second = 0;
+    /** Mean seconds per decode step (one token per batch lane). */
+    double seconds_per_step = 0;
+};
+
+/** Prices prefill + decode for each strategy. */
+class DecodeEvaluator
+{
+  public:
+    /**
+     * @param samples cache lengths sampled for the trapezoidal
+     *                integration of the decode phase (>= 2)
+     */
+    DecodeEvaluator(arch::ArchConfig arch,
+                    model::TransformerConfig cfg,
+                    DecodeWorkload workload,
+                    EvaluatorOptions options = {},
+                    int samples = 5);
+
+    DecodeResult evaluate(StrategyKind strategy) const;
+
+  private:
+    arch::ArchConfig arch_;
+    model::TransformerConfig cfg_;
+    DecodeWorkload workload_;
+    EvaluatorOptions opts_;
+    int samples_;
+
+    /** Metrics of one decode step at a given cache length. */
+    LayerMetrics stepMetrics(std::int64_t cache_len,
+                             StrategyKind strategy) const;
+};
+
+} // namespace transfusion::schedule
+
+#endif // TRANSFUSION_SCHEDULE_DECODE_HH

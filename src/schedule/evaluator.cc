@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Implementation of the end-to-end evaluator.
+ */
+
+#include "evaluator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+#include "costmodel/roofline.hh"
+#include "costmodel/traffic.hh"
+#include "model/cascades.hh"
+#include "model/pe_mapping.hh"
+#include "schedule/tiling.hh"
+
+namespace transfusion::schedule
+{
+
+using model::LayerKind;
+
+Workload
+Workload::selfAttention(std::int64_t seq)
+{
+    return Workload{ seq, seq, false };
+}
+
+Workload
+Workload::causalSelfAttention(std::int64_t seq)
+{
+    return Workload{ seq, seq, true };
+}
+
+Workload
+Workload::crossAttention(std::int64_t tgt, std::int64_t src)
+{
+    return Workload{ tgt, src, false, false };
+}
+
+Workload
+Workload::decodeStep(std::int64_t cache_len)
+{
+    return Workload{ 1, cache_len, false, true };
+}
+
+Evaluator::Evaluator(arch::ArchConfig arch,
+                     model::TransformerConfig cfg, std::int64_t seq,
+                     EvaluatorOptions options)
+    : Evaluator(std::move(arch), std::move(cfg),
+                Workload::selfAttention(seq), options)
+{}
+
+Evaluator::Evaluator(arch::ArchConfig arch,
+                     model::TransformerConfig cfg,
+                     Workload workload, EvaluatorOptions options)
+    : arch_(std::move(arch)), cfg_(std::move(cfg)),
+      workload_(workload), opts_(options)
+{
+    cfg_.validate();
+    if (workload_.query_len <= 0 || workload_.context_len <= 0)
+        tf_fatal("workload lengths must be positive, got P=",
+                 workload_.query_len, " M=",
+                 workload_.context_len);
+    // Inner context tile: the largest divisor of the context that
+    // fits the 2D columns (Table 1 maps m0 onto columns for MHA).
+    const std::int64_t m0 =
+        divisorsUpTo(workload_.context_len, arch_.pe2d.cols).back();
+    dims_ = model::makeDims(cfg_, workload_.query_len, m0,
+                            workload_.context_len / m0);
+    // With a KV cache, the QKV layer only projects the new
+    // positions: its context extent shrinks to query_len.
+    if (workload_.kv_cached) {
+        const std::int64_t q0 = divisorsUpTo(
+            workload_.query_len, arch_.pe2d.cols).back();
+        qkv_dims_ = model::makeDims(cfg_, workload_.query_len, q0,
+                                    workload_.query_len / q0);
+    } else {
+        qkv_dims_ = dims_;
+    }
+}
+
+double
+Evaluator::bufferWords() const
+{
+    return static_cast<double>(arch_.buffer_bytes)
+        / static_cast<double>(arch_.element_bytes);
+}
+
+dpipe::PipelineResult
+Evaluator::computePlan(LayerKind kind, StrategyKind strategy) const
+{
+    const bool is_mha = kind == LayerKind::Mha;
+    const einsum::DimEnv &dims =
+        kind == LayerKind::Qkv ? qkv_dims_ : dims_;
+    switch (strategy) {
+      case StrategyKind::Unfused:
+        return dpipe::scheduleSequential(
+            is_mha ? model::buildUnfusedMhaCascade()
+                   : model::buildCascade(kind, cfg_),
+            dims, arch_, opts_.pipeline);
+      case StrategyKind::Flat:
+        // FLAT fuses attention on-chip per Q row but recomputes a
+        // full (multi-pass) row softmax and executes operators
+        // serially -- the unfused MHA cascade models its compute.
+        return dpipe::scheduleSequential(
+            is_mha ? model::buildUnfusedMhaCascade()
+                   : model::buildCascade(kind, cfg_),
+            dims, arch_, opts_.pipeline);
+      case StrategyKind::FuseMax:
+      case StrategyKind::FuseMaxLayerFuse:
+        // FuseMax pipelines inside MHA only (with partial softmax
+        // mapped onto the 2D array); the rest is serial.
+        if (is_mha) {
+            auto popts = opts_.pipeline;
+            popts.static_exp_on_2d = true;
+            return dpipe::scheduleStaticPipeline(
+                model::buildCascade(kind, cfg_), dims, arch_,
+                popts);
+        }
+        return dpipe::scheduleSequential(
+            model::buildCascade(kind, cfg_), dims, arch_,
+            opts_.pipeline);
+      case StrategyKind::TransFusion: {
+        // DPipe explores three plan families and keeps the best:
+        // bipartition pipelining with DP placement, the static
+        // 2D/1D split, and the cooperative tile-split execution.
+        const auto cascade = model::buildCascade(kind, cfg_);
+        auto best = dpipe::schedulePipeline(cascade, dims, arch_,
+                                            model::peMapping(kind),
+                                            opts_.pipeline);
+        auto fixed = dpipe::scheduleStaticPipeline(cascade, dims,
+                                                   arch_,
+                                                   opts_.pipeline);
+        if (fixed.total_seconds < best.total_seconds)
+            best = fixed;
+        auto coop = dpipe::scheduleCooperative(cascade, dims,
+                                               arch_,
+                                               opts_.pipeline);
+        if (coop.total_seconds < best.total_seconds)
+            best = coop;
+        return best;
+      }
+    }
+    tf_panic("unknown StrategyKind");
+}
+
+double
+Evaluator::phaseTrafficWords(LayerKind kind,
+                             StrategyKind strategy) const
+{
+    const double w = bufferWords();
+    const double b = static_cast<double>(cfg_.batch);
+    const double p = static_cast<double>(workload_.query_len);
+    const double m = static_cast<double>(workload_.context_len);
+    const double d = static_cast<double>(cfg_.d_model);
+    const double s = static_cast<double>(cfg_.ffn_hidden);
+    const double h = static_cast<double>(cfg_.heads);
+    const double e = static_cast<double>(cfg_.head_dim);
+    const double f = e;
+    // Per-phase mappings re-read operands beyond the blocked
+    // optimum; fused dataflows are exempt from the factor.
+    const double rr = opts_.unfused_reread_factor;
+
+    switch (kind) {
+      case LayerKind::Qkv: {
+        // Q from the query stream, K/V from the context stream
+        // (only the new positions when the cache holds the rest).
+        const double kv_rows = workload_.kv_cached ? p : m;
+        return rr
+            * (costmodel::gemmTrafficWords(b * p, d, d, w)
+               + 2.0
+                     * costmodel::gemmTrafficWords(b * kv_rows, d,
+                                                   d, w));
+      }
+      case LayerKind::Mha:
+        if (strategy == StrategyKind::Unfused) {
+            // QK^T, materialized scores, multi-pass softmax, AV.
+            const double scores = p * m;
+            return rr * b * h
+                * (costmodel::gemmTrafficWords(p, e, m, w)
+                   + opts_.softmax_extra_words * scores
+                   + costmodel::gemmTrafficWords(p, m, f, w));
+        }
+        // FLAT / FuseMax: fused streaming attention.
+        return b * h * costmodel::attentionStreamWords(p, m, e, f, w);
+      case LayerKind::LayerNorm:
+        // Read residual + attention output, write normalized.
+        return rr * 3.0 * b * p * d;
+      case LayerKind::Ffn:
+        // Two GEMMs with an activation round trip between them.
+        return rr
+            * (costmodel::gemmTrafficWords(b * p, d, s, w)
+               + 2.0 * b * p * s
+               + costmodel::gemmTrafficWords(b * p, s, d, w));
+    }
+    tf_panic("unknown LayerKind");
+}
+
+std::array<double, 4>
+Evaluator::fusedTrafficWords(const tileseek::TileShape &tile) const
+{
+    costmodel::FusedStackShape shape;
+    shape.batch = static_cast<double>(cfg_.batch);
+    shape.seq = static_cast<double>(workload_.query_len);
+    shape.context = static_cast<double>(workload_.context_len);
+    shape.kv_precomputed = workload_.kv_cached;
+    shape.d_model = static_cast<double>(cfg_.d_model);
+    shape.ffn_hidden = static_cast<double>(cfg_.ffn_hidden);
+
+    const costmodel::FusedStackTraffic t =
+        costmodel::fusedStackTraffic(shape,
+                                     { tile.b, tile.p },
+                                     bufferWords());
+
+    const double d = shape.d_model, s = shape.ffn_hidden;
+    const double w_total = 3.0 * d * d + 2.0 * d * s + s + d;
+    const double qkv_frac = 3.0 * d * d / w_total;
+    const double ffn_frac = 1.0 - qkv_frac;
+
+    std::array<double, 4> words{};
+    words[layerIndex(LayerKind::Qkv)] = t.input_words
+        + t.kv_spill_words + t.weight_words * qkv_frac;
+    words[layerIndex(LayerKind::Mha)] = t.kv_stream_words;
+    words[layerIndex(LayerKind::LayerNorm)] = 0.0;
+    words[layerIndex(LayerKind::Ffn)] = t.output_words
+        + t.weight_words * ffn_frac;
+    return words;
+}
+
+std::array<double, 4>
+Evaluator::selectiveTrafficWords() const
+{
+    const double w = bufferWords();
+    const double b = static_cast<double>(cfg_.batch);
+    const double p = static_cast<double>(workload_.query_len);
+    const double m = static_cast<double>(workload_.context_len);
+    const double d = static_cast<double>(cfg_.d_model);
+    const double s = static_cast<double>(cfg_.ffn_hidden);
+    const double h = static_cast<double>(cfg_.heads);
+    const double e = static_cast<double>(cfg_.head_dim);
+    const double f = e;
+
+    std::array<double, 4> words{};
+    // QKV phase-wise with optimally blocked weight streaming; with
+    // a KV cache only the new positions are projected.
+    const double kv_rows = workload_.kv_cached ? p : m;
+    words[layerIndex(LayerKind::Qkv)] =
+        costmodel::gemmTrafficWords(b * p, d, d, w)
+        + 2.0 * costmodel::gemmTrafficWords(b * kv_rows, d, d, w);
+    // Attention + LayerNorm stay fused: AV never leaves the chip;
+    // LayerNorm only reads the residual and writes NR.
+    words[layerIndex(LayerKind::Mha)] =
+        b * h * costmodel::attentionStreamWords(p, m, e, f, w);
+    words[layerIndex(LayerKind::LayerNorm)] = 2.0 * b * p * d;
+    words[layerIndex(LayerKind::Ffn)] =
+        costmodel::gemmTrafficWords(b * p, d, s, w)
+        + 2.0 * b * p * s
+        + costmodel::gemmTrafficWords(b * p, s, d, w);
+    return words;
+}
+
+bool
+Evaluator::overlapsDram(LayerKind kind, StrategyKind strategy) const
+{
+    if (!opts_.overlap_dram)
+        return false;
+    switch (strategy) {
+      case StrategyKind::Unfused:
+        // Phase-by-phase execution: load, compute, store.
+        return false;
+      case StrategyKind::Flat:
+      case StrategyKind::FuseMax:
+        // Only the fused attention double-buffers its streams.
+        return kind == LayerKind::Mha;
+      case StrategyKind::FuseMaxLayerFuse:
+      case StrategyKind::TransFusion:
+        return true;
+    }
+    tf_panic("unknown StrategyKind");
+}
+
+costmodel::EnergyBreakdown
+Evaluator::onChipEnergy(LayerKind kind, StrategyKind strategy) const
+{
+    const bool is_mha = kind == LayerKind::Mha;
+    const einsum::Cascade cascade =
+        (is_mha && strategy == StrategyKind::Unfused)
+            ? model::buildUnfusedMhaCascade()
+            : model::buildCascade(kind, cfg_);
+
+    costmodel::OnChipParams params;
+    switch (strategy) {
+      case StrategyKind::Unfused:
+      case StrategyKind::Flat:
+        params.rf_forward_fraction = 0.0;
+        break;
+      case StrategyKind::FuseMax:
+      case StrategyKind::FuseMaxLayerFuse:
+        params.rf_forward_fraction =
+            is_mha ? opts_.rf_forward_fused : 0.0;
+        break;
+      case StrategyKind::TransFusion:
+        params.rf_forward_fraction = opts_.rf_forward_fused;
+        break;
+    }
+    return costmodel::cascadeOnChipEnergy(
+               cascade,
+               kind == LayerKind::Qkv ? qkv_dims_ : dims_, arch_,
+               params)
+        .scaled(static_cast<double>(cfg_.batch));
+}
+
+EvalResult
+Evaluator::evaluate(StrategyKind strategy) const
+{
+    EvalResult result;
+    const double batch = static_cast<double>(cfg_.batch);
+    const double eb = static_cast<double>(arch_.element_bytes);
+
+    // Causal masking touches only the attended score matrix: the
+    // triangular mask halves the context-dependent MHA work and
+    // its K/V streaming on average.
+    const double mha_scale = workload_.causal ? 0.5 : 1.0;
+
+    // Compute side (per sub-layer, scaled to the whole batch).
+    for (LayerKind kind : model::allLayerKinds()) {
+        const auto plan = computePlan(kind, strategy);
+        const double scale = batch
+            * (kind == LayerKind::Mha ? mha_scale : 1.0);
+        LayerMetrics &m = result.layer(kind);
+        m.compute_s = plan.total_seconds * scale;
+        m.ops_2d = plan.work.ops_2d * scale;
+        m.ops_1d = plan.work.ops_1d * scale;
+    }
+
+    // Traffic side.
+    std::array<double, 4> traffic_words{};
+    if (usesLayerFusion(strategy)) {
+        double compute_hint = 0;
+        for (const auto &m : result.layers)
+            compute_hint += m.compute_s;
+        if (strategy == StrategyKind::TransFusion
+                && opts_.use_tileseek) {
+            result.tile = seekTile(arch_, cfg_,
+                                   workload_.query_len,
+                                   compute_hint, opts_.mcts,
+                                   workload_.context_len);
+        } else {
+            result.tile = naiveTile(arch_, cfg_,
+                                    workload_.query_len,
+                                    workload_.context_len);
+        }
+        traffic_words = fusedTrafficWords(result.tile);
+        // Selective fusion: when per-tile weight re-streaming costs
+        // more than phase-wise blocked weights, de-fuse QKV/FFN and
+        // keep only attention+LayerNorm fused.
+        const auto selective = selectiveTrafficWords();
+        double full_total = 0, selective_total = 0;
+        for (std::size_t i = 0; i < 4; ++i) {
+            full_total += traffic_words[i];
+            selective_total += selective[i];
+        }
+        if (selective_total < full_total)
+            traffic_words = selective;
+    } else {
+        for (LayerKind kind : model::allLayerKinds()) {
+            traffic_words[layerIndex(kind)] =
+                phaseTrafficWords(kind, strategy);
+        }
+    }
+
+    // Roofline combination and energy, then whole-model scaling.
+    const double layers = static_cast<double>(cfg_.layers);
+    for (LayerKind kind : model::allLayerKinds()) {
+        LayerMetrics &m = result.layer(kind);
+        const double traffic_scale =
+            kind == LayerKind::Mha ? mha_scale : 1.0;
+        m.dram_bytes = traffic_words[layerIndex(kind)] * eb
+            * traffic_scale;
+        m.dram_s = costmodel::dramSeconds(arch_, m.dram_bytes);
+        m.latency_s = overlapsDram(kind, strategy)
+            ? costmodel::overlapped(m.compute_s, m.dram_s)
+            : m.compute_s + m.dram_s;
+
+        m.energy = onChipEnergy(kind, strategy)
+                       .scaled(traffic_scale);
+        m.energy.dram_j = costmodel::dramEnergy(arch_, m.dram_bytes);
+
+        // Scale to all encoder/decoder layers.
+        m.latency_s *= layers;
+        m.compute_s *= layers;
+        m.dram_s *= layers;
+        m.dram_bytes *= layers;
+        m.ops_2d *= layers;
+        m.ops_1d *= layers;
+        m.energy = m.energy.scaled(layers);
+
+        result.total += m;
+    }
+    return result;
+}
+
+} // namespace transfusion::schedule

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Implementation of the stack evaluator.
+ */
+
+#include "stack_evaluator.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::schedule
+{
+
+StackEvaluator::StackEvaluator(arch::ArchConfig arch,
+                               model::StackConfig stack,
+                               std::int64_t src_len,
+                               std::int64_t tgt_len,
+                               EvaluatorOptions options)
+    : arch_(std::move(arch)), stack_(std::move(stack)),
+      src_len_(src_len), tgt_len_(tgt_len), opts_(options)
+{
+    stack_.validate();
+    if (stack_.encoder_layers > 0 && src_len_ <= 0)
+        tf_fatal("stack has an encoder but src_len is ", src_len_);
+    if (stack_.decoder_layers > 0 && tgt_len_ <= 0)
+        tf_fatal("stack has a decoder but tgt_len is ", tgt_len_);
+}
+
+LayerMetrics
+StackEvaluator::blockMetrics(const Workload &workload,
+                             StrategyKind strategy,
+                             std::int64_t layers,
+                             bool include_ffn) const
+{
+    // Evaluate one block (layers = 1), then scale: the per-layer
+    // Evaluator already multiplies by its config's layer count.
+    model::TransformerConfig one = stack_.block;
+    one.layers = 1;
+    Evaluator eval(arch_, one, workload, opts_);
+    const EvalResult r = eval.evaluate(strategy);
+
+    LayerMetrics m;
+    m += r.layer(model::LayerKind::Qkv);
+    m += r.layer(model::LayerKind::Mha);
+    m += r.layer(model::LayerKind::LayerNorm);
+    if (include_ffn)
+        m += r.layer(model::LayerKind::Ffn);
+
+    LayerMetrics scaled;
+    scaled.latency_s = m.latency_s * static_cast<double>(layers);
+    scaled.compute_s = m.compute_s * static_cast<double>(layers);
+    scaled.dram_s = m.dram_s * static_cast<double>(layers);
+    scaled.dram_bytes =
+        m.dram_bytes * static_cast<double>(layers);
+    scaled.ops_2d = m.ops_2d * static_cast<double>(layers);
+    scaled.ops_1d = m.ops_1d * static_cast<double>(layers);
+    scaled.energy = m.energy.scaled(static_cast<double>(layers));
+    return scaled;
+}
+
+StackResult
+StackEvaluator::evaluate(StrategyKind strategy) const
+{
+    StackResult r;
+    if (stack_.encoder_layers > 0) {
+        r.encoder = blockMetrics(
+            Workload::selfAttention(src_len_), strategy,
+            stack_.encoder_layers, /*include_ffn=*/true);
+        r.total += r.encoder;
+    }
+    if (stack_.decoder_layers > 0) {
+        r.decoder_self = blockMetrics(
+            Workload::causalSelfAttention(tgt_len_), strategy,
+            stack_.decoder_layers, /*include_ffn=*/true);
+        r.total += r.decoder_self;
+        if (stack_.decoder_cross_attention) {
+            r.decoder_cross = blockMetrics(
+                Workload::crossAttention(tgt_len_, src_len_),
+                strategy, stack_.decoder_layers,
+                /*include_ffn=*/false);
+            r.total += r.decoder_cross;
+        }
+    }
+    return r;
+}
+
+} // namespace transfusion::schedule

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Whole-stack evaluation (Sec. 3.2's encoder/decoder/hybrid
+ * composition): prices an encoder stack over the source sequence,
+ * a (causal) decoder stack over the target sequence, and the
+ * decoder's cross-attention over the encoder output, under any
+ * strategy.  Built entirely on the per-layer Evaluator.
+ */
+
+#ifndef TRANSFUSION_SCHEDULE_STACK_EVALUATOR_HH
+#define TRANSFUSION_SCHEDULE_STACK_EVALUATOR_HH
+
+#include "model/stack.hh"
+#include "schedule/evaluator.hh"
+
+namespace transfusion::schedule
+{
+
+/** Per-section and total results of one stack evaluation. */
+struct StackResult
+{
+    /** All encoder layers (zeroed when the stack has none). */
+    LayerMetrics encoder;
+    /** Decoder self-attention blocks (QKV+MHA+LN+FFN). */
+    LayerMetrics decoder_self;
+    /** Decoder cross-attention blocks (QKV+MHA+LN, no FFN). */
+    LayerMetrics decoder_cross;
+    /** Whole-stack sum. */
+    LayerMetrics total;
+};
+
+/** Evaluates a StackConfig at one (src_len, tgt_len) point. */
+class StackEvaluator
+{
+  public:
+    /**
+     * @param arch    architecture instance
+     * @param stack   encoder/decoder composition
+     * @param src_len source-sequence length (encoder input)
+     * @param tgt_len target-sequence length (decoder input); only
+     *                meaningful when the stack has decoder layers
+     */
+    StackEvaluator(arch::ArchConfig arch, model::StackConfig stack,
+                   std::int64_t src_len, std::int64_t tgt_len,
+                   EvaluatorOptions options = {});
+
+    /** Evaluate one strategy over the whole stack. */
+    StackResult evaluate(StrategyKind strategy) const;
+
+    const model::StackConfig &stack() const { return stack_; }
+
+  private:
+    arch::ArchConfig arch_;
+    model::StackConfig stack_;
+    std::int64_t src_len_;
+    std::int64_t tgt_len_;
+    EvaluatorOptions opts_;
+
+    /** One block's metrics under a workload, for `layers` copies. */
+    LayerMetrics blockMetrics(const Workload &workload,
+                              StrategyKind strategy,
+                              std::int64_t layers,
+                              bool include_ffn) const;
+};
+
+} // namespace transfusion::schedule
+
+#endif // TRANSFUSION_SCHEDULE_STACK_EVALUATOR_HH

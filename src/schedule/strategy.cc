@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Strategy names and properties.
+ */
+
+#include "strategy.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::schedule
+{
+
+std::string
+toString(StrategyKind kind)
+{
+    switch (kind) {
+      case StrategyKind::Unfused:          return "Unfused";
+      case StrategyKind::Flat:             return "FLAT";
+      case StrategyKind::FuseMax:          return "FuseMax";
+      case StrategyKind::FuseMaxLayerFuse: return "FuseMax+LayerFuse";
+      case StrategyKind::TransFusion:      return "TransFusion";
+    }
+    tf_panic("unknown StrategyKind");
+}
+
+std::vector<StrategyKind>
+allStrategies()
+{
+    return { StrategyKind::Unfused, StrategyKind::Flat,
+             StrategyKind::FuseMax, StrategyKind::FuseMaxLayerFuse,
+             StrategyKind::TransFusion };
+}
+
+bool
+usesLayerFusion(StrategyKind kind)
+{
+    return kind == StrategyKind::FuseMaxLayerFuse
+        || kind == StrategyKind::TransFusion;
+}
+
+} // namespace transfusion::schedule

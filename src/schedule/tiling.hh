@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bridges TileSeek to concrete workloads: builds the [B, D, P, M0,
+ * M1, S] search space for an (architecture, model, sequence) point,
+ * converts assignments to TileShapes, provides the naive
+ * largest-fitting tile used by the FuseMax+LayerFuse ablation, and
+ * runs the MCTS to pick TransFusion's outer tile.
+ */
+
+#ifndef TRANSFUSION_SCHEDULE_TILING_HH
+#define TRANSFUSION_SCHEDULE_TILING_HH
+
+#include <cstdint>
+
+#include "arch/arch.hh"
+#include "model/transformer.hh"
+#include "tileseek/mcts.hh"
+
+namespace transfusion::schedule
+{
+
+/**
+ * Level order of the tiling space: b, d, p, m0, m1, s.  `context`
+ * is the attended length the m0 candidates tile (0 = self-attention
+ * = seq).
+ */
+tileseek::SearchSpace
+buildTilingSpace(const arch::ArchConfig &arch,
+                 const model::TransformerConfig &cfg,
+                 std::int64_t seq, std::int64_t context = 0);
+
+/** Interpret an assignment from buildTilingSpace as a TileShape. */
+tileseek::TileShape
+assignmentToTile(const tileseek::Assignment &a,
+                 const arch::ArchConfig &arch,
+                 const model::TransformerConfig &cfg);
+
+/**
+ * Feasibility for a tile: Table 2 buffer fit and the resident
+ * context (m1*m0) not exceeding the attended length.
+ */
+bool tileFeasible(const tileseek::TileShape &tile,
+                  const arch::ArchConfig &arch,
+                  std::int64_t context_len);
+
+/**
+ * The LayerFuse baseline's heuristic tile: batch tile 1, modest
+ * fixed D/S/M0 slices, then the largest sequence tile that fits.
+ * No joint search -- this is exactly what TileSeek improves on.
+ * `context` is the attended length (0 = self-attention = seq).
+ */
+tileseek::TileShape naiveTile(const arch::ArchConfig &arch,
+                              const model::TransformerConfig &cfg,
+                              std::int64_t seq,
+                              std::int64_t context = 0);
+
+/** What the MCTS reward optimizes (Sec. 5.1: "energy or latency"). */
+enum class TileObjective
+{
+    Latency, ///< max(compute, DRAM stream time) + traffic tie-break
+    Energy,  ///< DRAM energy of the tile's traffic
+};
+
+/**
+ * Run TileSeek.  With TileObjective::Latency the reward is the
+ * estimated fused-layer latency: max(compute_hint, DRAM streaming
+ * time of the tile's traffic) with a small traffic tie-breaker, so
+ * the search minimizes off-chip movement once compute-bound
+ * (Sec. 5.1 "Simulation").  With TileObjective::Energy it is the
+ * DRAM energy directly.
+ */
+tileseek::TileShape
+seekTile(const arch::ArchConfig &arch,
+         const model::TransformerConfig &cfg, std::int64_t seq,
+         double compute_hint_s,
+         const tileseek::MctsOptions &options = {},
+         std::int64_t context = 0,
+         TileObjective objective = TileObjective::Latency);
+
+} // namespace transfusion::schedule
+
+#endif // TRANSFUSION_SCHEDULE_TILING_HH

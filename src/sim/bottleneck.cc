@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Implementation of the bottleneck analysis.
+ */
+
+#include "bottleneck.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "model/cascades.hh"
+
+namespace transfusion::sim
+{
+
+std::string
+toString(Bound bound)
+{
+    switch (bound) {
+      case Bound::Compute:  return "compute-bound";
+      case Bound::Memory:   return "memory-bound";
+      case Bound::Balanced: return "balanced";
+    }
+    tf_panic("unknown Bound");
+}
+
+Bound
+classify(const schedule::LayerMetrics &metrics, double tolerance)
+{
+    tf_assert(tolerance >= 0, "negative tolerance");
+    tf_assert(metrics.compute_s > 0,
+              "cannot classify a layer with zero compute time");
+    const double ratio = metrics.dram_s / metrics.compute_s;
+    if (ratio > 1.0 + tolerance)
+        return Bound::Memory;
+    if (ratio < 1.0 - tolerance)
+        return Bound::Compute;
+    return Bound::Balanced;
+}
+
+BottleneckReport
+analyze(const schedule::EvalResult &result, double tolerance)
+{
+    BottleneckReport report;
+    for (model::LayerKind kind : model::allLayerKinds()) {
+        const auto idx = schedule::layerIndex(kind);
+        const auto &m = result.layer(kind);
+        report.layers[idx] = classify(m, tolerance);
+        report.ratios[idx] = m.dram_s / m.compute_s;
+    }
+    report.overall = classify(result.total, tolerance);
+    return report;
+}
+
+std::string
+BottleneckReport::toString() const
+{
+    std::ostringstream os;
+    for (model::LayerKind kind : model::allLayerKinds()) {
+        const auto idx = schedule::layerIndex(kind);
+        os << "  " << model::toString(kind) << ": "
+           << sim::toString(layers[idx]) << " (dram/compute = "
+           << ratios[idx] << ")\n";
+    }
+    os << "  overall: " << sim::toString(overall) << "\n";
+    return os.str();
+}
+
+} // namespace transfusion::sim

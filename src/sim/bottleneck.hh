@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Bottleneck analysis: classifies each sub-layer (and the whole
+ * run) as compute-bound or memory-bound from the roofline inputs
+ * the evaluator recorded.  This is the quantitative backing for the
+ * paper's narrative that short sequences are memory-bound (fusion
+ * helps) and long sequences compute-bound (pipelining helps).
+ */
+
+#ifndef TRANSFUSION_SIM_BOTTLENECK_HH
+#define TRANSFUSION_SIM_BOTTLENECK_HH
+
+#include <array>
+#include <string>
+
+#include "schedule/metrics.hh"
+
+namespace transfusion::sim
+{
+
+/** Which resource limits a phase. */
+enum class Bound
+{
+    Compute,
+    Memory,
+    Balanced, ///< within `tolerance` of each other
+};
+
+/** Printable name. */
+std::string toString(Bound bound);
+
+/**
+ * Classify one sub-layer: memory-bound when DRAM-streaming time
+ * exceeds compute time by more than `tolerance` (relative), and
+ * vice versa.
+ */
+Bound classify(const schedule::LayerMetrics &metrics,
+               double tolerance = 0.1);
+
+/** Per-sub-layer and overall classification of one evaluation. */
+struct BottleneckReport
+{
+    std::array<Bound, 4> layers;   ///< QKV, MHA, LayerNorm, FFN
+    std::array<double, 4> ratios;  ///< dram_s / compute_s
+    Bound overall = Bound::Balanced;
+
+    /** Multi-line rendering. */
+    std::string toString() const;
+};
+
+/** Analyze a full evaluation result. */
+BottleneckReport analyze(const schedule::EvalResult &result,
+                         double tolerance = 0.1);
+
+} // namespace transfusion::sim
+
+#endif // TRANSFUSION_SIM_BOTTLENECK_HH

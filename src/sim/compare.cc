@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Implementation of cross-strategy comparisons.
+ */
+
+#include "compare.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::sim
+{
+
+double
+speedup(const schedule::EvalResult &baseline,
+        const schedule::EvalResult &optimized)
+{
+    tf_assert(optimized.total.latency_s > 0,
+              "optimized latency must be positive");
+    return baseline.total.latency_s / optimized.total.latency_s;
+}
+
+double
+energyRatio(const schedule::EvalResult &baseline,
+            const schedule::EvalResult &optimized)
+{
+    tf_assert(baseline.total.energy.total() > 0,
+              "baseline energy must be positive");
+    return optimized.total.energy.total()
+        / baseline.total.energy.total();
+}
+
+std::array<double, 4>
+speedupContribution(const schedule::EvalResult &baseline,
+                    const schedule::EvalResult &optimized)
+{
+    std::array<double, 4> weighted{};
+    double sum = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double t_base = baseline.layers[i].latency_s;
+        const double t_opt = optimized.layers[i].latency_s;
+        tf_assert(t_opt > 0, "sub-layer latency must be positive");
+        const double s_i = t_base / t_opt;   // Eq. 47
+        weighted[i] = s_i * t_base;          // Eq. 48 numerator
+        sum += weighted[i];
+    }
+    tf_assert(sum > 0, "degenerate contribution decomposition");
+    for (auto &w : weighted)
+        w /= sum;
+    return weighted;
+}
+
+std::map<schedule::StrategyKind, schedule::EvalResult>
+evaluateAll(const arch::ArchConfig &arch,
+            const model::TransformerConfig &cfg, std::int64_t seq,
+            const schedule::EvaluatorOptions &options)
+{
+    schedule::Evaluator eval(arch, cfg, seq, options);
+    std::map<schedule::StrategyKind, schedule::EvalResult> out;
+    for (auto kind : schedule::allStrategies())
+        out.emplace(kind, eval.evaluate(kind));
+    return out;
+}
+
+std::vector<std::int64_t>
+paperSequenceSweep()
+{
+    return { 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+             1 << 20 };
+}
+
+} // namespace transfusion::sim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Cross-strategy comparison utilities: speedups, energy ratios, the
+ * Eq. 47-48 layer-wise speedup-contribution decomposition, and a
+ * convenience runner that evaluates all five strategies at a point.
+ */
+
+#ifndef TRANSFUSION_SIM_COMPARE_HH
+#define TRANSFUSION_SIM_COMPARE_HH
+
+#include <array>
+#include <map>
+
+#include "schedule/evaluator.hh"
+
+namespace transfusion::sim
+{
+
+/** Latency speedup of `optimized` over `baseline`. */
+double speedup(const schedule::EvalResult &baseline,
+               const schedule::EvalResult &optimized);
+
+/** Energy of `optimized` relative to `baseline` (< 1 is better). */
+double energyRatio(const schedule::EvalResult &baseline,
+                   const schedule::EvalResult &optimized);
+
+/**
+ * Eq. 47-48: normalized proportional speedup contribution of each
+ * sub-layer (QKV, MHA, LayerNorm, FFN order), summing to 1.
+ */
+std::array<double, 4>
+speedupContribution(const schedule::EvalResult &baseline,
+                    const schedule::EvalResult &optimized);
+
+/** All five strategies evaluated at one point. */
+std::map<schedule::StrategyKind, schedule::EvalResult>
+evaluateAll(const arch::ArchConfig &arch,
+            const model::TransformerConfig &cfg, std::int64_t seq,
+            const schedule::EvaluatorOptions &options = {});
+
+/** The paper's sequence sweep: 1K, 4K, 16K, 64K, 256K, 1M. */
+std::vector<std::int64_t> paperSequenceSweep();
+
+} // namespace transfusion::sim
+
+#endif // TRANSFUSION_SIM_COMPARE_HH

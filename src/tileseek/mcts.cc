@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Implementation of the TileSeek MCTS.
+ */
+
+#include "mcts.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace transfusion::tileseek
+{
+
+TileSeek::TileSeek(SearchSpace space_, FeasibleFn feasible_,
+                   CostFn cost_, MctsOptions options_)
+    : space(std::move(space_)), feasible(std::move(feasible_)),
+      cost(std::move(cost_)), options(options_), rng(options_.seed)
+{
+    space.validate();
+    tf_assert(feasible != nullptr, "feasibility predicate required");
+    tf_assert(cost != nullptr, "cost function required");
+    if (options.iterations <= 0)
+        tf_fatal("MCTS needs a positive iteration budget, got ",
+                 options.iterations);
+}
+
+int
+TileSeek::newNode(int level)
+{
+    Node n;
+    n.level = level;
+    if (level < static_cast<int>(space.depth())) {
+        n.child_of_choice.assign(
+            space.choices[static_cast<std::size_t>(level)].size(),
+            -1);
+    }
+    nodes.push_back(std::move(n));
+    ++nodes_expanded;
+    return static_cast<int>(nodes.size()) - 1;
+}
+
+double
+TileSeek::ucbScore(const Node &child, int parent_visits) const
+{
+    if (child.visits == 0)
+        return std::numeric_limits<double>::infinity();
+    const double mean = child.total_reward
+        / static_cast<double>(child.visits);
+    const double explore = options.ucb_c
+        * std::sqrt(std::log(static_cast<double>(parent_visits))
+                    / static_cast<double>(child.visits));
+    return mean + explore;
+}
+
+double
+TileSeek::evaluate(const Assignment &a, SearchResult &result)
+{
+    if (!feasible(a))
+        return 0.0; // infeasible leaves earn zero reward
+
+    const double c = cost(a);
+    ++result.evaluations;
+    if (reward_scale <= 0)
+        reward_scale = c > 0 ? c : 1.0;
+    if (!result.found || c < result.best_cost) {
+        result.found = true;
+        result.best = a;
+        result.best_cost = c;
+    }
+    // Shaped reward in (0, 1]: the first feasible cost maps to 0.5,
+    // cheaper tilings approach 1.
+    return reward_scale / (reward_scale + c);
+}
+
+double
+TileSeek::rolloutAndScore(Assignment &partial, std::size_t level,
+                          SearchResult &result)
+{
+    for (std::size_t l = level; l < space.depth(); ++l) {
+        const auto &cands = space.choices[l];
+        partial[l] = cands[static_cast<std::size_t>(
+            rng.nextBelow(cands.size()))];
+    }
+    return evaluate(partial, result);
+}
+
+void
+TileSeek::iterate(SearchResult &result)
+{
+    Assignment partial(space.depth(), 0);
+    std::vector<int> path;
+    int node = 0;
+    path.push_back(node);
+
+    // Selection: descend while fully expanded, maximizing UCB.
+    while (true) {
+        Node &n = nodes[static_cast<std::size_t>(node)];
+        if (n.level == static_cast<int>(space.depth()))
+            break; // complete assignment reached
+
+        const auto &cands =
+            space.choices[static_cast<std::size_t>(n.level)];
+
+        // Expansion: take the first unexpanded child, if any.
+        int unexpanded = -1;
+        for (std::size_t c = 0; c < cands.size(); ++c) {
+            if (n.child_of_choice[c] < 0) {
+                unexpanded = static_cast<int>(c);
+                break;
+            }
+        }
+        if (unexpanded >= 0) {
+            const int child = newNode(n.level + 1);
+            // `nodes` may have reallocated; re-reference.
+            nodes[static_cast<std::size_t>(node)]
+                .child_of_choice[static_cast<std::size_t>(
+                    unexpanded)] = child;
+            partial[static_cast<std::size_t>(
+                nodes[static_cast<std::size_t>(node)].level)] =
+                cands[static_cast<std::size_t>(unexpanded)];
+            node = child;
+            path.push_back(node);
+            break;
+        }
+
+        // All children expanded: UCB selection.
+        int best_choice = 0;
+        double best_score = -1;
+        for (std::size_t c = 0; c < cands.size(); ++c) {
+            const int child = n.child_of_choice[c];
+            const double score = ucbScore(
+                nodes[static_cast<std::size_t>(child)], n.visits);
+            if (score > best_score) {
+                best_score = score;
+                best_choice = static_cast<int>(c);
+            }
+        }
+        partial[static_cast<std::size_t>(n.level)] =
+            cands[static_cast<std::size_t>(best_choice)];
+        node = n.child_of_choice[static_cast<std::size_t>(
+            best_choice)];
+        path.push_back(node);
+    }
+
+    // Rollout from the frontier node's depth.
+    const std::size_t frontier_level = static_cast<std::size_t>(
+        nodes[static_cast<std::size_t>(node)].level);
+    const double reward =
+        rolloutAndScore(partial, frontier_level, result);
+
+    // Backpropagation.
+    for (int v : path) {
+        Node &n = nodes[static_cast<std::size_t>(v)];
+        n.visits += 1;
+        n.total_reward += reward;
+    }
+}
+
+SearchResult
+TileSeek::search()
+{
+    nodes.clear();
+    nodes_expanded = 0;
+    reward_scale = -1;
+    newNode(0); // root
+
+    SearchResult result;
+    for (int i = 0; i < options.iterations; ++i)
+        iterate(result);
+    return result;
+}
+
+} // namespace transfusion::tileseek

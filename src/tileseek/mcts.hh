@@ -1,0 +1,79 @@
+/**
+ * @file
+ * TileSeek's MCTS exploration framework (Sec. 5.1).  Each tree node
+ * fixes one more outer-tiling factor; selection follows UCB1;
+ * candidate tilings are validated against the Table 2 buffer
+ * constraints before the cost model scores them (the "Constraint
+ * Validation" and "Simulation" components); rewards backpropagate
+ * along the selected path.
+ */
+
+#ifndef TRANSFUSION_TILESEEK_MCTS_HH
+#define TRANSFUSION_TILESEEK_MCTS_HH
+
+#include "common/rng.hh"
+#include "tileseek/search_space.hh"
+
+namespace transfusion::tileseek
+{
+
+/** MCTS tuning knobs. */
+struct MctsOptions
+{
+    int iterations = 2048;    ///< selection/rollout/backprop rounds
+    double ucb_c = 1.41421356237; ///< UCB exploration constant
+    std::uint64_t seed = 0x7f4a7c15; ///< rollout RNG seed
+};
+
+/** MCTS-based outer tiling search. */
+class TileSeek
+{
+  public:
+    /**
+     * @param space    decision levels and candidates
+     * @param feasible Table 2 constraint validation
+     * @param cost     simulation/evaluation objective (lower better)
+     */
+    TileSeek(SearchSpace space, FeasibleFn feasible, CostFn cost,
+             MctsOptions options = {});
+
+    /** Run the configured number of iterations. */
+    SearchResult search();
+
+    /** Tree nodes materialized during the last search. */
+    std::int64_t nodesExpanded() const { return nodes_expanded; }
+
+  private:
+    struct Node
+    {
+        int level = 0;             ///< depth in the tree
+        std::vector<int> child_of_choice; ///< -1 = unexpanded
+        double total_reward = 0;
+        int visits = 0;
+    };
+
+    SearchSpace space;
+    FeasibleFn feasible;
+    CostFn cost;
+    MctsOptions options;
+    Rng rng;
+
+    std::vector<Node> nodes;
+    std::int64_t nodes_expanded = 0;
+    double reward_scale = -1; ///< first feasible cost, for shaping
+
+    int newNode(int level);
+    /** UCB1 score of a child given parent visit count. */
+    double ucbScore(const Node &child, int parent_visits) const;
+    /** One MCTS iteration; updates `result` with any new best. */
+    void iterate(SearchResult &result);
+    /** Complete `partial` randomly from `level`; returns reward. */
+    double rolloutAndScore(Assignment &partial, std::size_t level,
+                           SearchResult &result);
+    /** Evaluate a complete assignment, updating the incumbent. */
+    double evaluate(const Assignment &a, SearchResult &result);
+};
+
+} // namespace transfusion::tileseek
+
+#endif // TRANSFUSION_TILESEEK_MCTS_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Outer-tiling search space: ordered decision levels, one per tiled
+ * dimension ([B, D, M1, P, S] plus the inner context tile M0), each
+ * with a discrete candidate list (divisors of the full extent).  A
+ * complete root-to-leaf assignment is one tiling configuration.
+ */
+
+#ifndef TRANSFUSION_TILESEEK_SEARCH_SPACE_HH
+#define TRANSFUSION_TILESEEK_SEARCH_SPACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tileseek/buffer_model.hh"
+
+namespace transfusion::tileseek
+{
+
+/** A full assignment: one value per level. */
+using Assignment = std::vector<std::int64_t>;
+
+/** Ordered decision levels. */
+struct SearchSpace
+{
+    std::vector<std::string> level_names;
+    std::vector<std::vector<std::int64_t>> choices;
+
+    /** Number of decision levels. */
+    std::size_t depth() const { return choices.size(); }
+
+    /** Total leaf count (product of choice counts). */
+    double leafCount() const;
+
+    /** Validate shape invariants; fatal on malformed spaces. */
+    void validate() const;
+};
+
+/**
+ * Objective: maps an assignment to a cost (lower is better), or a
+ * negative value / infinity to signal infeasibility.  TileSeek only
+ * minimizes; feasibility is checked separately.
+ */
+using CostFn = std::function<double(const Assignment &)>;
+
+/** Feasibility predicate (Table 2 constraint validation). */
+using FeasibleFn = std::function<bool(const Assignment &)>;
+
+/** Result of any search over the space. */
+struct SearchResult
+{
+    bool found = false;
+    Assignment best;
+    double best_cost = 0;
+    std::int64_t evaluations = 0; ///< cost-model invocations
+};
+
+/**
+ * Exhaustive reference search (tests and small spaces).  Fatal when
+ * the space exceeds `max_leaves`.
+ */
+SearchResult exhaustiveSearch(const SearchSpace &space,
+                              const FeasibleFn &feasible,
+                              const CostFn &cost,
+                              double max_leaves = 2e6);
+
+} // namespace transfusion::tileseek
+
+#endif // TRANSFUSION_TILESEEK_SEARCH_SPACE_HH

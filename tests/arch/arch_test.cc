@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the architecture presets (Table 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/arch.hh"
+#include "common/logging.hh"
+
+namespace transfusion::arch
+{
+namespace
+{
+
+TEST(ArchPresets, CloudMatchesTable3)
+{
+    const ArchConfig a = cloudArch();
+    EXPECT_EQ(a.pe2d.rows, 256);
+    EXPECT_EQ(a.pe2d.cols, 256);
+    EXPECT_EQ(a.pe2d.count(), 256 * 256);
+    EXPECT_EQ(a.pe1d, 256);
+    EXPECT_EQ(a.buffer_bytes, std::int64_t{16} << 20);
+    EXPECT_DOUBLE_EQ(a.dram_bytes_per_sec, 400e9);
+}
+
+TEST(ArchPresets, EdgeMatchesTable3)
+{
+    const ArchConfig a = edgeArch();
+    EXPECT_EQ(a.pe2d.rows, 16);
+    EXPECT_EQ(a.pe2d.cols, 16);
+    EXPECT_EQ(a.pe1d, 256);
+    EXPECT_EQ(a.buffer_bytes, std::int64_t{5} << 20);
+    EXPECT_DOUBLE_EQ(a.dram_bytes_per_sec, 30e9);
+}
+
+TEST(ArchPresets, PeScalingVariants)
+{
+    EXPECT_EQ(edgeArch32().pe2d.rows, 32);
+    EXPECT_EQ(edgeArch32().buffer_bytes, std::int64_t{5} << 20);
+    // Sec. 6.2: 64x64 raises the buffer to 8 MB.
+    EXPECT_EQ(edgeArch64().pe2d.rows, 64);
+    EXPECT_EQ(edgeArch64().buffer_bytes, std::int64_t{8} << 20);
+}
+
+TEST(ArchPresets, PeakRatesConsistent)
+{
+    const ArchConfig a = cloudArch();
+    EXPECT_DOUBLE_EQ(a.peak2dOpsPerSec(),
+                     65536.0 * a.clock_hz);
+    EXPECT_DOUBLE_EQ(a.peak1dOpsPerSec(), 256.0 * a.clock_hz);
+    EXPECT_GT(a.peak2dOpsPerSec(), a.peak1dOpsPerSec());
+}
+
+TEST(ArchPresets, EnergyOrdering)
+{
+    // Per-access energy must grow down the hierarchy:
+    // RF < buffer < DRAM word.
+    for (const auto &a : { cloudArch(), edgeArch(), edgeArch32(),
+                           edgeArch64() }) {
+        EXPECT_LT(a.energy.reg_pj, a.energy.buffer_pj) << a.name;
+        EXPECT_LT(a.energy.buffer_pj,
+                  a.energy.dram_pj_per_byte
+                      * static_cast<double>(a.element_bytes))
+            << a.name;
+    }
+}
+
+TEST(ArchPresets, EdgeDramCostlierPerByte)
+{
+    // LPDDR-class vs HBM-class.
+    EXPECT_GT(edgeArch().energy.dram_pj_per_byte,
+              cloudArch().energy.dram_pj_per_byte);
+}
+
+TEST(ArchPresets, LookupByName)
+{
+    EXPECT_EQ(archByName("cloud").name, "cloud");
+    EXPECT_EQ(archByName("edge").name, "edge");
+    EXPECT_EQ(archByName("edge32").pe2d.cols, 32);
+    EXPECT_EQ(archByName("edge64").pe2d.cols, 64);
+    EXPECT_THROW(archByName("gpu"), FatalError);
+}
+
+TEST(ArchPresets, ToStringMentionsKeyNumbers)
+{
+    const std::string s = cloudArch().toString();
+    EXPECT_NE(s.find("256x256"), std::string::npos);
+    EXPECT_NE(s.find("16MB"), std::string::npos);
+    EXPECT_NE(s.find("400"), std::string::npos);
+}
+
+} // namespace
+} // namespace transfusion::arch

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+namespace transfusion
+{
+namespace
+{
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, CopyForksIndependentStream)
+{
+    Rng a(7);
+    a.next();
+    Rng fork = a;
+    EXPECT_EQ(a.next(), fork.next());
+    // Advancing the fork does not disturb the original.
+    fork.next();
+    Rng again = a;
+    EXPECT_EQ(a.next(), again.next());
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.nextBelow(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleUnitInterval)
+{
+    Rng r(11);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        const double v = r.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    // The stream should actually spread over the interval.
+    EXPECT_LT(lo, 0.05);
+    EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, NextDoubleBounds)
+{
+    Rng r(13);
+    for (int i = 0; i < 500; ++i) {
+        const double v = r.nextDouble(-2.5, 3.5);
+        ASSERT_GE(v, -2.5);
+        ASSERT_LT(v, 3.5);
+    }
+}
+
+} // namespace
+} // namespace transfusion

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the table emitter and logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace transfusion
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    Table t({ "name", "value" });
+    t.addRow({ "a", "1" });
+    t.addRow({ "longer", "2.5" });
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("longer  2.5"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({ "x", "y" });
+    t.addRow({ "1", "2" });
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, RejectsArityMismatch)
+{
+    Table t({ "a", "b" });
+    EXPECT_THROW(t.addRow({ "only-one" }), PanicError);
+}
+
+TEST(Table, CellFormatsPrecision)
+{
+    EXPECT_EQ(Table::cell(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::cell(2.0, 0), "2");
+}
+
+TEST(Table, RowCount)
+{
+    Table t({ "a" });
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({ "x" });
+    t.addRow({ "y" });
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(tf_fatal("user error ", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(tf_panic("bug"), PanicError);
+}
+
+TEST(Logging, FatalMessageContainsPayloadAndLocation)
+{
+    try {
+        tf_fatal("bad tile ", 7);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("bad tile 7"), std::string::npos);
+        EXPECT_NE(msg.find("table_test.cc"), std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(tf_assert(1 + 1 == 2, "fine"));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(tf_assert(false, "broken invariant"), PanicError);
+}
+
+} // namespace
+} // namespace transfusion

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the access-counting energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "costmodel/energy.hh"
+#include "model/cascades.hh"
+
+namespace transfusion::costmodel
+{
+namespace
+{
+
+using einsum::CombineOp;
+using einsum::DimEnv;
+using einsum::Einsum;
+using einsum::ReduceOp;
+using einsum::UnaryOp;
+
+TEST(EnergyBreakdown, SumAndScale)
+{
+    EnergyBreakdown e{ 1, 2, 3, 4 };
+    EXPECT_DOUBLE_EQ(e.total(), 10.0);
+    const auto s = e.scaled(2.0);
+    EXPECT_DOUBLE_EQ(s.dram_j, 2.0);
+    EXPECT_DOUBLE_EQ(s.total(), 20.0);
+    EnergyBreakdown acc;
+    acc += e;
+    acc += e;
+    EXPECT_DOUBLE_EQ(acc.total(), 20.0);
+}
+
+TEST(DramEnergy, ProportionalToBytes)
+{
+    const auto a = arch::cloudArch();
+    const double j = dramEnergy(a, 1e9);
+    EXPECT_DOUBLE_EQ(j, 1e9 * a.energy.dram_pj_per_byte * 1e-12);
+    EXPECT_DOUBLE_EQ(dramEnergy(a, 0), 0.0);
+}
+
+TEST(OpOnChipEnergy, VectorOpStreamsInputsAndOutputs)
+{
+    const auto a = arch::cloudArch();
+    DimEnv env{ { "m", 1000 } };
+    Einsum e("E", { "m" });
+    e.input("I", { "m" }).unary(UnaryOp::Exp);
+
+    const auto br = opOnChipEnergy(e, env, a);
+    // 1000 PE ops, 3000 RF accesses, 2000 buffer words.
+    EXPECT_DOUBLE_EQ(br.pe_j, 1000 * a.energy.mac_pj * 1e-12);
+    EXPECT_DOUBLE_EQ(br.rf_j, 3000 * a.energy.reg_pj * 1e-12);
+    EXPECT_DOUBLE_EQ(br.buffer_j,
+                     2000 * a.energy.buffer_pj * 1e-12);
+    EXPECT_DOUBLE_EQ(br.dram_j, 0.0);
+}
+
+TEST(OpOnChipEnergy, MatrixOpGetsSystolicReuse)
+{
+    const auto a = arch::cloudArch();
+    DimEnv env{ { "m", 256 }, { "k", 256 }, { "n", 256 } };
+    Einsum z("Z", { "m", "n" });
+    z.input("A", { "m", "k" }).input("B", { "k", "n" })
+        .combine(CombineOp::Mul).reduce(ReduceOp::Sum);
+
+    const auto br = opOnChipEnergy(z, env, a);
+    const double load = 256.0 * 256 * 256;
+    const double reuse = 256.0; // min(rows, cols)
+    const double words = load / reuse + 256.0 * 256;
+    EXPECT_DOUBLE_EQ(br.buffer_j,
+                     words * a.energy.buffer_pj * 1e-12);
+}
+
+TEST(OpOnChipEnergy, RfForwardingMovesBufferEnergyToRf)
+{
+    const auto a = arch::cloudArch();
+    DimEnv env{ { "m", 1000 } };
+    Einsum e("E", { "m" });
+    e.input("I", { "m" }).unary(UnaryOp::Exp);
+
+    OnChipParams fused;
+    fused.rf_forward_fraction = 0.5;
+    const auto plain = opOnChipEnergy(e, env, a);
+    const auto fwd = opOnChipEnergy(e, env, a, fused);
+    EXPECT_LT(fwd.buffer_j, plain.buffer_j);
+    EXPECT_GT(fwd.rf_j, plain.rf_j);
+    // RF access is cheaper than buffer access, so total drops.
+    EXPECT_LT(fwd.total(), plain.total());
+    EXPECT_DOUBLE_EQ(fwd.pe_j, plain.pe_j);
+}
+
+TEST(CascadeOnChipEnergy, SumsOverOps)
+{
+    const auto a = arch::cloudArch();
+    const auto cfg = model::bertBase();
+    const auto dims = model::makeDims(cfg, 64, 64, 2);
+    const auto cascade =
+        model::buildCascade(model::LayerKind::Ffn, cfg);
+
+    EnergyBreakdown by_hand;
+    for (const auto &op : cascade.ops())
+        by_hand += opOnChipEnergy(op, dims, a);
+    const auto total = cascadeOnChipEnergy(cascade, dims, a);
+    EXPECT_DOUBLE_EQ(total.total(), by_hand.total());
+    EXPECT_GT(total.pe_j, 0.0);
+}
+
+TEST(CascadeOnChipEnergy, RobustToConstantPerturbation)
+{
+    // DESIGN.md property: the qualitative ordering (fused cheaper
+    // on-chip than unfused thanks to RF forwarding) survives +-2x
+    // changes to the energy constants.
+    const auto cfg = model::bertBase();
+    const auto dims = model::makeDims(cfg, 64, 64, 2);
+    const auto cascade =
+        model::buildCascade(model::LayerKind::LayerNorm, cfg);
+    OnChipParams fused;
+    fused.rf_forward_fraction = 0.6;
+
+    for (double scale : { 0.5, 1.0, 2.0 }) {
+        auto a = arch::cloudArch();
+        a.energy.buffer_pj *= scale;
+        a.energy.reg_pj *= scale;
+        a.energy.mac_pj *= scale;
+        const double plain =
+            cascadeOnChipEnergy(cascade, dims, a).total();
+        const double fwd =
+            cascadeOnChipEnergy(cascade, dims, a, fused).total();
+        EXPECT_LT(fwd, plain) << "scale=" << scale;
+    }
+}
+
+} // namespace
+} // namespace transfusion::costmodel

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the Eq. 40-42 latency model and PE derating.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/arch.hh"
+#include "costmodel/latency.hh"
+
+namespace transfusion::costmodel
+{
+namespace
+{
+
+using einsum::CombineOp;
+using einsum::DimEnv;
+using einsum::Einsum;
+using einsum::ReduceOp;
+using einsum::UnaryOp;
+
+Einsum
+gemmOp()
+{
+    Einsum z("Z", { "m", "n" });
+    z.input("A", { "m", "k" }).input("B", { "k", "n" })
+        .combine(CombineOp::Mul).reduce(ReduceOp::Sum);
+    return z;
+}
+
+Einsum
+vectorOp()
+{
+    Einsum e("E", { "m" });
+    e.input("I", { "m" }).unary(UnaryOp::Exp);
+    return e;
+}
+
+TEST(EffectivePes, MatrixOn2dIsFullArray)
+{
+    const auto a = arch::cloudArch();
+    EXPECT_DOUBLE_EQ(effectivePes(gemmOp(), a, PeTarget::Array2d),
+                     65536.0);
+}
+
+TEST(EffectivePes, VectorOn2dIsLaneCapped)
+{
+    const auto cloud = arch::cloudArch();
+    LatencyParams p;
+    EXPECT_DOUBLE_EQ(
+        effectivePes(vectorOp(), cloud, PeTarget::Array2d, p),
+        p.vector_on_2d_max_lanes);
+    // A small edge array is below the cap: full width.
+    const auto edge = arch::edgeArch();
+    EXPECT_DOUBLE_EQ(
+        effectivePes(vectorOp(), edge, PeTarget::Array2d, p),
+        256.0);
+}
+
+TEST(EffectivePes, MatrixOn1dIsDerated)
+{
+    const auto a = arch::cloudArch();
+    LatencyParams p;
+    EXPECT_DOUBLE_EQ(
+        effectivePes(gemmOp(), a, PeTarget::Array1d, p),
+        256.0 * p.matrix_on_1d_efficiency);
+}
+
+TEST(EffectivePes, VectorOn1dIsNative)
+{
+    const auto a = arch::cloudArch();
+    EXPECT_DOUBLE_EQ(
+        effectivePes(vectorOp(), a, PeTarget::Array1d), 256.0);
+}
+
+TEST(ComputeCycles, Eq41Division)
+{
+    EXPECT_DOUBLE_EQ(computeCycles(1000.0, 10.0), 100.0);
+    EXPECT_DOUBLE_EQ(computeCycles(0.0, 10.0), 0.0);
+}
+
+TEST(OpLatency, Eq42EndToEnd)
+{
+    // Hand computation: load = 32*16*8 = 4096 MACs on the cloud
+    // 2D array (65536 PEs) at 940 MHz.
+    const auto a = arch::cloudArch();
+    DimEnv env{ { "m", 32 }, { "n", 16 }, { "k", 8 } };
+    const double lat = opLatencySeconds(gemmOp(), env, a,
+                                        PeTarget::Array2d);
+    EXPECT_DOUBLE_EQ(lat, (4096.0 / 65536.0) / 940e6);
+}
+
+TEST(OpLatency, VectorOpFasterOn1dThanDeratedUse)
+{
+    // On the cloud, a vector op on the lane-capped 2D array beats
+    // the 256-wide 1D array exactly when the cap exceeds 256.
+    const auto a = arch::cloudArch();
+    DimEnv env{ { "m", 1 << 20 } };
+    LatencyParams p;
+    const double on2d = opLatencySeconds(vectorOp(), env, a,
+                                         PeTarget::Array2d, p);
+    const double on1d = opLatencySeconds(vectorOp(), env, a,
+                                         PeTarget::Array1d, p);
+    EXPECT_LT(on2d, on1d);
+    EXPECT_DOUBLE_EQ(on1d / on2d,
+                     p.vector_on_2d_max_lanes / 256.0);
+}
+
+TEST(OpLatency, ScalesInverselyWithClock)
+{
+    auto a = arch::cloudArch();
+    DimEnv env{ { "m", 1024 } };
+    const double base = opLatencySeconds(vectorOp(), env, a,
+                                         PeTarget::Array1d);
+    a.clock_hz *= 2.0;
+    const double faster = opLatencySeconds(vectorOp(), env, a,
+                                           PeTarget::Array1d);
+    EXPECT_DOUBLE_EQ(base / faster, 2.0);
+}
+
+TEST(PeTargetNames, Printable)
+{
+    EXPECT_EQ(toString(PeTarget::Array2d), "2D");
+    EXPECT_EQ(toString(PeTarget::Array1d), "1D");
+}
+
+} // namespace
+} // namespace transfusion::costmodel

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Randomized property tests for the DRAM traffic primitives: on
+ * hundreds of random problem shapes, traffic must respect the
+ * compulsory lower bound, behave monotonically in problem size and
+ * anti-monotonically in buffer size, and the fused-stack accounting
+ * must stay internally consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "costmodel/traffic.hh"
+
+namespace transfusion::costmodel
+{
+namespace
+{
+
+TEST(TrafficFuzz, GemmBoundsAndMonotonicity)
+{
+    Rng rng(0x6E);
+    for (int trial = 0; trial < 400; ++trial) {
+        const double n = std::pow(2.0, rng.nextDouble(2, 16));
+        const double k = std::pow(2.0, rng.nextDouble(2, 14));
+        const double m = std::pow(2.0, rng.nextDouble(2, 16));
+        const double w = std::pow(2.0, rng.nextDouble(10, 23));
+
+        const double t = gemmTrafficWords(n, k, m, w);
+        // Compulsory floor.
+        ASSERT_GE(t, n * k + k * m + n * m - 1e-9);
+        // Monotone in every problem dimension.
+        ASSERT_GE(gemmTrafficWords(2 * n, k, m, w), t);
+        ASSERT_GE(gemmTrafficWords(n, 2 * k, m, w), t);
+        ASSERT_GE(gemmTrafficWords(n, k, 2 * m, w), t);
+        // Anti-monotone in buffer size.
+        ASSERT_LE(gemmTrafficWords(n, k, m, 4 * w), t + 1e-9);
+    }
+}
+
+TEST(TrafficFuzz, AttentionStreamBounds)
+{
+    Rng rng(0xA7);
+    for (int trial = 0; trial < 400; ++trial) {
+        const double p = std::pow(2.0, rng.nextDouble(2, 18));
+        const double m = std::pow(2.0, rng.nextDouble(2, 18));
+        const double e = std::pow(2.0, rng.nextDouble(3, 8));
+        const double w = std::pow(2.0, rng.nextDouble(12, 23));
+
+        const double t = attentionStreamWords(p, m, e, e, w);
+        // Must at least read Q and K/V once and write the output.
+        ASSERT_GE(t, p * e + 2 * m * e + p * e - 1e-9);
+        // A bigger buffer never increases streaming.
+        ASSERT_LE(attentionStreamWords(p, m, e, e, 8 * w),
+                  t + 1e-9);
+        // More context never decreases streaming.
+        ASSERT_GE(attentionStreamWords(p, 2 * m, e, e, w),
+                  t - 1e-9);
+    }
+}
+
+TEST(TrafficFuzz, FusedStackConsistency)
+{
+    Rng rng(0xF5);
+    for (int trial = 0; trial < 300; ++trial) {
+        FusedStackShape s;
+        s.batch = std::pow(2.0, rng.nextDouble(0, 7));
+        s.seq = std::pow(2.0, rng.nextDouble(8, 20));
+        s.d_model = 64.0 * (1 + rng.nextBelow(64));
+        s.ffn_hidden = s.d_model * 4;
+        const double w = std::pow(2.0, rng.nextDouble(18, 24));
+
+        OuterTile tile;
+        tile.batch_tile = 1;
+        tile.seq_tile = static_cast<std::int64_t>(
+            std::pow(2.0, rng.nextDouble(4, 11)));
+
+        const auto t = fusedStackTraffic(s, tile, w);
+        // Every component non-negative; total is their sum.
+        ASSERT_GE(t.input_words, 0.0);
+        ASSERT_GE(t.kv_spill_words, 0.0);
+        ASSERT_GE(t.kv_stream_words, 0.0);
+        ASSERT_GE(t.output_words, 0.0);
+        ASSERT_GE(t.weight_words, 0.0);
+        ASSERT_NEAR(t.total(),
+                    t.input_words + t.kv_spill_words
+                        + t.kv_stream_words + t.output_words
+                        + t.weight_words,
+                    1e-6 * t.total());
+        // The K/V stream can never undercut one full read.
+        ASSERT_GE(t.kv_stream_words,
+                  2.0 * s.batch * s.contextLen() * s.d_model
+                      - 1e-6);
+
+        // A larger sequence tile never increases total traffic.
+        OuterTile bigger = tile;
+        bigger.seq_tile *= 2;
+        ASSERT_LE(fusedStackTraffic(s, bigger, w).total(),
+                  t.total() + 1e-6 * t.total());
+
+        // The KV cache can only remove traffic.
+        FusedStackShape cached = s;
+        cached.kv_precomputed = true;
+        ASSERT_LE(fusedStackTraffic(cached, tile, w).total(),
+                  t.total() + 1e-9);
+    }
+}
+
+} // namespace
+} // namespace transfusion::costmodel

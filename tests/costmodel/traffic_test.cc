@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the DRAM traffic primitives: GEMM roofline, fused
+ * attention streaming, and the fused-stack model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "costmodel/roofline.hh"
+#include "costmodel/traffic.hh"
+
+namespace transfusion::costmodel
+{
+namespace
+{
+
+TEST(GemmTraffic, CompulsoryFloorForSmallProblems)
+{
+    // Tiny GEMM in a huge buffer: just read A, B and write C.
+    const double t = gemmTrafficWords(8, 4, 8, 1e9);
+    EXPECT_DOUBLE_EQ(t, 8 * 4 + 4 * 8 + 8 * 8);
+}
+
+TEST(GemmTraffic, HongKungBoundForLargeProblems)
+{
+    // Large cube, small buffer: the blocked bound dominates.
+    const double n = 1 << 14, k = 1 << 14, m = 1 << 14;
+    const double w = 1 << 20;
+    const double t = gemmTrafficWords(n, k, m, w);
+    EXPECT_DOUBLE_EQ(t, 2.0 * n * k * m / 1024.0);
+    EXPECT_GT(t, n * k + k * m + n * m);
+}
+
+TEST(GemmTraffic, MonotoneInBufferSize)
+{
+    const double small = gemmTrafficWords(4096, 4096, 4096, 1 << 16);
+    const double large = gemmTrafficWords(4096, 4096, 4096, 1 << 22);
+    EXPECT_GT(small, large);
+}
+
+TEST(GemmTraffic, RejectsBadArguments)
+{
+    EXPECT_THROW(gemmTrafficWords(0, 1, 1, 10), PanicError);
+    EXPECT_THROW(gemmTrafficWords(1, 1, 1, 0), PanicError);
+}
+
+TEST(AttentionStream, KvResidentReadsEverythingOnce)
+{
+    // K+V fit in half the buffer: q + kv + out.
+    const double p = 64, m = 128, e = 16, f = 16;
+    const double t = attentionStreamWords(p, m, e, f, 1 << 20);
+    EXPECT_DOUBLE_EQ(t, p * e + m * (e + f) + p * f);
+}
+
+TEST(AttentionStream, KvRestreamsPerQChunk)
+{
+    // K/V too large: streamed once per resident Q chunk.
+    const double p = 1 << 16, m = 1 << 16, e = 128, f = 128;
+    const double w = 1 << 20; // resident = 2^19 words
+    const double q_words = p * e;              // 2^23
+    const double chunks = std::ceil(q_words / (w / 2)); // 16
+    const double t = attentionStreamWords(p, m, e, f, w);
+    EXPECT_DOUBLE_EQ(t, q_words + chunks * m * (e + f) + p * f);
+}
+
+TEST(AttentionStream, QuadraticGrowthWhenNotResident)
+{
+    // Doubling the sequence roughly quadruples K/V streaming.
+    const double e = 128, f = 128, w = 1 << 20;
+    const double t1 = attentionStreamWords(1 << 16, 1 << 16, e, f,
+                                           w);
+    const double t2 = attentionStreamWords(1 << 17, 1 << 17, e, f,
+                                           w);
+    EXPECT_NEAR(t2 / t1, 4.0, 0.2);
+}
+
+TEST(FusedStack, ComponentAccounting)
+{
+    FusedStackShape s;
+    s.batch = 4;
+    s.seq = 1024;
+    s.d_model = 64;
+    s.ffn_hidden = 128;
+    const double act = s.batch * s.seq * s.d_model;
+
+    // Huge buffer: K/V of a batch group and the weights all fit.
+    const auto t = fusedStackTraffic(s, { 1, 256 }, 1e12);
+    EXPECT_DOUBLE_EQ(t.input_words, 2 * act);
+    EXPECT_DOUBLE_EQ(t.kv_spill_words, 2 * act);
+    EXPECT_DOUBLE_EQ(t.kv_stream_words, 2 * act);
+    EXPECT_DOUBLE_EQ(t.output_words, act);
+    EXPECT_DOUBLE_EQ(t.weight_words,
+                     3 * 64 * 64 + 2 * 64 * 128 + 128 + 64);
+    EXPECT_DOUBLE_EQ(t.total(),
+                     t.input_words + t.kv_spill_words
+                         + t.kv_stream_words + t.output_words
+                         + t.weight_words);
+}
+
+TEST(FusedStack, KvRestreamScalesWithSeqOverTile)
+{
+    FusedStackShape s;
+    s.batch = 2;
+    s.seq = 4096;
+    s.d_model = 512;
+    s.ffn_hidden = 1024;
+    const double act = s.batch * s.seq * s.d_model;
+
+    // Small buffer: K/V never resident, weights never resident.
+    const auto t = fusedStackTraffic(s, { 1, 128 }, 1 << 16);
+    EXPECT_DOUBLE_EQ(t.kv_stream_words,
+                     2.0 * act * (s.seq / 128.0));
+}
+
+TEST(FusedStack, WeightRestreamPerOuterTile)
+{
+    FusedStackShape s;
+    s.batch = 2;
+    s.seq = 4096;
+    s.d_model = 512;
+    s.ffn_hidden = 1024;
+    const double weight_words =
+        3 * 512 * 512 + 2 * 512 * 1024 + 1024 + 512;
+    const auto t = fusedStackTraffic(s, { 1, 128 }, 1 << 16);
+    const double n_outer = 2.0 * (4096.0 / 128.0);
+    EXPECT_DOUBLE_EQ(t.weight_words, weight_words * n_outer);
+}
+
+TEST(FusedStack, LargerSeqTileNeverIncreasesTraffic)
+{
+    FusedStackShape s;
+    s.batch = 8;
+    s.seq = 8192;
+    s.d_model = 256;
+    s.ffn_hidden = 512;
+    double prev = 1e300;
+    for (std::int64_t pt : { 64, 128, 256, 512 }) {
+        const double total =
+            fusedStackTraffic(s, { 1, pt }, 1 << 18).total();
+        EXPECT_LE(total, prev) << "pt=" << pt;
+        prev = total;
+    }
+}
+
+TEST(Roofline, OverlapAndBounds)
+{
+    EXPECT_DOUBLE_EQ(overlapped(2.0, 3.0), 3.0);
+    EXPECT_DOUBLE_EQ(overlapped(5.0, 3.0), 5.0);
+    EXPECT_TRUE(memoryBound(1.0, 2.0));
+    EXPECT_FALSE(memoryBound(2.0, 1.0));
+}
+
+TEST(Roofline, DramSeconds)
+{
+    auto a = arch::cloudArch();
+    EXPECT_DOUBLE_EQ(dramSeconds(a, 400e9), 1.0);
+}
+
+} // namespace
+} // namespace transfusion::costmodel

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the Eq. 43-46 DP scheduler: dependency and
+ * resource validity of every schedule, hand-checkable placements,
+ * and quality against exhaustive search over small instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/logging.hh"
+#include "dpipe/dp_scheduler.hh"
+
+namespace transfusion::dpipe
+{
+namespace
+{
+
+using costmodel::PeTarget;
+using einsum::Dag;
+
+/** Check dependency order and no per-array overlap. */
+void
+checkScheduleValid(const Dag &dag, const Schedule &s)
+{
+    std::map<int, const OpPlacement *> by_op;
+    for (const auto &p : s.placements)
+        by_op[p.op] = &p;
+    ASSERT_EQ(by_op.size(),
+              static_cast<std::size_t>(dag.nodeCount()));
+
+    // Dependencies: start >= every predecessor's end.
+    for (const auto &p : s.placements) {
+        for (int pre : dag.predecessors(p.op))
+            EXPECT_GE(p.start, by_op[pre]->end - 1e-12);
+    }
+    // Resources: placements on one array must not overlap.
+    for (const auto &a : s.placements) {
+        for (const auto &b : s.placements) {
+            if (a.op == b.op || a.pe != b.pe)
+                continue;
+            const bool disjoint = a.end <= b.start + 1e-12
+                || b.end <= a.start + 1e-12;
+            EXPECT_TRUE(disjoint)
+                << "ops " << a.op << " and " << b.op
+                << " overlap on the same array";
+        }
+    }
+    // Makespan is the max end time.
+    double max_end = 0;
+    for (const auto &p : s.placements)
+        max_end = std::max(max_end, p.end);
+    EXPECT_DOUBLE_EQ(s.makespan, max_end);
+}
+
+TEST(DpScheduler, IndependentOpsSpreadAcrossArrays)
+{
+    // Two equal ops with equal latency on both arrays: the DP
+    // should put them on different arrays and halve the makespan.
+    Dag d(2);
+    std::vector<OpLatencyPair> lat{ { 1.0, 1.0 }, { 1.0, 1.0 } };
+    const Schedule s = dpSchedule(d, { 0, 1 }, lat);
+    checkScheduleValid(d, s);
+    EXPECT_DOUBLE_EQ(s.makespan, 1.0);
+    EXPECT_NE(s.placements[0].pe, s.placements[1].pe);
+}
+
+TEST(DpScheduler, ChainSerializesOnFastestArray)
+{
+    Dag d(2);
+    d.addEdge(0, 1);
+    // Both ops much faster on the 2D array.
+    std::vector<OpLatencyPair> lat{ { 1.0, 10.0 },
+                                    { 1.0, 10.0 } };
+    const Schedule s = dpSchedule(d, { 0, 1 }, lat);
+    checkScheduleValid(d, s);
+    EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+    EXPECT_EQ(s.placements[0].pe, PeTarget::Array2d);
+    EXPECT_EQ(s.placements[1].pe, PeTarget::Array2d);
+}
+
+TEST(DpScheduler, DependentOpWaitsForPredecessor)
+{
+    // op1 depends on op0; op1 is faster on the idle 1D array but
+    // must still wait for op0 to finish.
+    Dag d(2);
+    d.addEdge(0, 1);
+    std::vector<OpLatencyPair> lat{ { 2.0, 8.0 }, { 4.0, 1.0 } };
+    const Schedule s = dpSchedule(d, { 0, 1 }, lat);
+    checkScheduleValid(d, s);
+    const auto &p1 = s.placementOf(1);
+    EXPECT_EQ(p1.pe, PeTarget::Array1d);
+    EXPECT_DOUBLE_EQ(p1.start, 2.0);
+    EXPECT_DOUBLE_EQ(s.makespan, 3.0);
+}
+
+TEST(DpScheduler, Eq45PicksEarliestCompletion)
+{
+    // 2D is busy (op0 there); op1 independent: finishing on 1D at
+    // t=5 beats queueing on 2D until t=6.
+    Dag d(2);
+    std::vector<OpLatencyPair> lat{ { 4.0, 9.0 }, { 2.0, 5.0 } };
+    const Schedule s = dpSchedule(d, { 0, 1 }, lat);
+    checkScheduleValid(d, s);
+    EXPECT_EQ(s.placementOf(0).pe, PeTarget::Array2d);
+    EXPECT_EQ(s.placementOf(1).pe, PeTarget::Array1d);
+    EXPECT_DOUBLE_EQ(s.makespan, 5.0);
+}
+
+TEST(DpScheduler, BusyTimesMatchPlacements)
+{
+    Dag d(3);
+    d.addEdge(0, 2);
+    std::vector<OpLatencyPair> lat{ { 1.0, 2.0 }, { 1.5, 3.0 },
+                                    { 2.0, 0.5 } };
+    const Schedule s = dpSchedule(d, d.topoSort(), lat);
+    double busy2 = 0, busy1 = 0;
+    for (const auto &p : s.placements) {
+        if (p.pe == PeTarget::Array2d)
+            busy2 += p.end - p.start;
+        else
+            busy1 += p.end - p.start;
+    }
+    EXPECT_DOUBLE_EQ(s.busy_2d, busy2);
+    EXPECT_DOUBLE_EQ(s.busy_1d, busy1);
+}
+
+TEST(DpScheduler, NonTopologicalOrderPanics)
+{
+    Dag d(2);
+    d.addEdge(0, 1);
+    std::vector<OpLatencyPair> lat{ { 1, 1 }, { 1, 1 } };
+    EXPECT_THROW(dpSchedule(d, { 1, 0 }, lat), PanicError);
+}
+
+TEST(BestDpSchedule, OrderSearchNeverHurts)
+{
+    // Adversarial order: scheduling the long chain late inflates
+    // the canonical order's makespan; enumeration should find the
+    // better interleaving.
+    Dag d(4);
+    d.addEdge(0, 1); // chain a: 0 -> 1 (long, on 2D)
+    d.addEdge(2, 3); // chain b: 2 -> 3 (long, on 1D)
+    std::vector<OpLatencyPair> lat{
+        { 1.0, 5.0 }, { 1.0, 5.0 }, { 5.0, 1.0 }, { 5.0, 1.0 }
+    };
+    const Schedule canonical = dpSchedule(d, d.topoSort(), lat);
+    const Schedule best = bestDpSchedule(d, lat, 64);
+    EXPECT_LE(best.makespan, canonical.makespan + 1e-12);
+    EXPECT_DOUBLE_EQ(best.makespan, 2.0);
+    checkScheduleValid(d, best);
+}
+
+TEST(BestDpSchedule, ExhaustiveAgreementOnSmallDags)
+{
+    // The capped search with a generous cap equals fully
+    // exhaustive enumeration for small DAGs.
+    Dag d(5);
+    d.addEdge(0, 2);
+    d.addEdge(1, 2);
+    d.addEdge(2, 4);
+    d.addEdge(3, 4);
+    std::vector<OpLatencyPair> lat{
+        { 2, 3 }, { 3, 1 }, { 1, 4 }, { 2, 2 }, { 3, 2 }
+    };
+    double best_possible = 1e300;
+    for (const auto &order : d.enumerateTopoOrders(100000)) {
+        best_possible = std::min(best_possible,
+                                 dpSchedule(d, order, lat).makespan);
+    }
+    const Schedule s = bestDpSchedule(d, lat, 100000);
+    EXPECT_DOUBLE_EQ(s.makespan, best_possible);
+}
+
+TEST(Schedule, ToStringListsOps)
+{
+    Dag d(1);
+    std::vector<OpLatencyPair> lat{ { 1.0, 2.0 } };
+    const Schedule s = dpSchedule(d, { 0 }, lat);
+    const std::string out = s.toString({ "BQK" });
+    EXPECT_NE(out.find("BQK"), std::string::npos);
+    EXPECT_NE(out.find("makespan"), std::string::npos);
+}
+
+TEST(Schedule, PlacementOfMissingOpPanics)
+{
+    Schedule s;
+    EXPECT_THROW(s.placementOf(3), PanicError);
+}
+
+} // namespace
+} // namespace transfusion::dpipe

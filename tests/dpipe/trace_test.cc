@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the Chrome-trace exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/arch.hh"
+#include "common/logging.hh"
+#include "dpipe/trace.hh"
+#include "model/cascades.hh"
+
+namespace transfusion::dpipe
+{
+namespace
+{
+
+Schedule
+twoOpSchedule()
+{
+    einsum::Dag d(2);
+    d.addEdge(0, 1);
+    std::vector<OpLatencyPair> lat{ { 1e-6, 2e-6 },
+                                    { 3e-6, 1e-6 } };
+    return dpSchedule(d, { 0, 1 }, lat);
+}
+
+TEST(ChromeTrace, ContainsSlicesAndStructure)
+{
+    const std::string json =
+        toChromeTrace(twoOpSchedule(), { "BQK", "LM" });
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"BQK\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"LM\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    // Both arrays appear as distinct tracks (op0 on 2D, op1 on 1D).
+    EXPECT_NE(json.find("\"tid\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+}
+
+TEST(ChromeTrace, FallsBackToNumericNames)
+{
+    const std::string json = toChromeTrace(twoOpSchedule());
+    EXPECT_NE(json.find("\"name\": \"op0\""), std::string::npos);
+}
+
+TEST(ChromeTrace, BalancedBraces)
+{
+    const std::string json =
+        toChromeTrace(twoOpSchedule(), { "a", "b" });
+    int depth = 0;
+    for (char c : json) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(ChromeTrace, PipelineReplaysEpochs)
+{
+    const auto cfg = model::bertBase();
+    const auto arch = arch::cloudArch();
+    const auto dims = model::makeDims(cfg, 4096, 256, 16);
+    const auto cascade =
+        model::buildCascade(model::LayerKind::Mha, cfg);
+    const auto plan = schedulePipeline(
+        cascade, dims, arch, model::peMapping(model::LayerKind::Mha));
+
+    auto names = cascade.opNames();
+    names.push_back("ROOT");
+    const std::string json = toChromeTrace(plan, names, 3);
+    // Epoch suffixes present for each replayed epoch.
+    EXPECT_NE(json.find("#0\""), std::string::npos);
+    EXPECT_NE(json.find("#1\""), std::string::npos);
+    EXPECT_NE(json.find("#2\""), std::string::npos);
+    EXPECT_EQ(json.find("#3\""), std::string::npos);
+    // The virtual ROOT has zero duration and must not appear.
+    EXPECT_EQ(json.find("ROOT"), std::string::npos);
+}
+
+TEST(Gantt, RendersBothArrays)
+{
+    const Schedule s = twoOpSchedule();
+    const std::string g = s.toGantt({ "BQK", "LM" }, 40);
+    EXPECT_NE(g.find("2D |"), std::string::npos);
+    EXPECT_NE(g.find("1D |"), std::string::npos);
+    EXPECT_NE(g.find("BQK"), std::string::npos);
+    EXPECT_NE(g.find("LM"), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleHandled)
+{
+    Schedule empty;
+    EXPECT_EQ(empty.toGantt(), "(empty schedule)\n");
+}
+
+TEST(Gantt, TinyWidthRejected)
+{
+    const Schedule s = twoOpSchedule();
+    EXPECT_THROW(s.toGantt({}, 4), PanicError);
+}
+
+TEST(ChromeTrace, RejectsNonPositiveEpochCount)
+{
+    PipelineResult plan;
+    plan.epochs = 4;
+    EXPECT_THROW(toChromeTrace(plan, {}, 0), PanicError);
+}
+
+} // namespace
+} // namespace transfusion::dpipe

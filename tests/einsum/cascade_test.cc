@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the Cascade container: producer lookup, external
+ * inputs/outputs, DAG construction including loop-carried recurrent
+ * reads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "einsum/cascade.hh"
+
+namespace transfusion::einsum
+{
+namespace
+{
+
+/** Y = A*B; Z = exp(Y). */
+Cascade
+twoStep()
+{
+    Cascade c("two");
+    c.add(Einsum("Y", { "m", "n" })
+              .input("A", { "m", "k" })
+              .input("B", { "k", "n" })
+              .combine(CombineOp::Mul)
+              .reduce(ReduceOp::Sum));
+    c.add(Einsum("Z", { "m", "n" })
+              .input("Y", { "m", "n" })
+              .unary(UnaryOp::Exp));
+    return c;
+}
+
+TEST(Cascade, ProducerLookup)
+{
+    const Cascade c = twoStep();
+    EXPECT_EQ(c.producerOf("Y"), 0);
+    EXPECT_EQ(c.producerOf("Z"), 1);
+    EXPECT_EQ(c.producerOf("A"), -1);
+}
+
+TEST(Cascade, DuplicateOutputRejected)
+{
+    Cascade c("dup");
+    c.add(Einsum("Y", { "m" }).input("A", { "m" }));
+    EXPECT_THROW(
+        c.add(Einsum("Y", { "m" }).input("B", { "m" })),
+        FatalError);
+}
+
+TEST(Cascade, ExternalInputsInFirstUseOrder)
+{
+    const Cascade c = twoStep();
+    EXPECT_EQ(c.externalInputs(),
+              (std::vector<std::string>{ "A", "B" }));
+}
+
+TEST(Cascade, ExternalOutputs)
+{
+    const Cascade c = twoStep();
+    EXPECT_EQ(c.externalOutputs(),
+              (std::vector<std::string>{ "Z" }));
+}
+
+TEST(Cascade, DagEdgesFollowTensors)
+{
+    const Cascade c = twoStep();
+    const Dag d = c.buildDag();
+    EXPECT_EQ(d.nodeCount(), 2);
+    EXPECT_TRUE(d.hasEdge(0, 1));
+}
+
+TEST(Cascade, RecurrentSelfReadIsNotAnEdge)
+{
+    Cascade c("state");
+    c.add(Einsum("RM", { "p" })
+              .input("RM", { "p" })
+              .input("LM", { "p" })
+              .combine(CombineOp::Max)
+              .recurrentOver("m1"));
+    const Dag d = c.buildDag();
+    EXPECT_EQ(d.edgeCount(), 0);
+    // The self-read is state, not an external input.
+    EXPECT_EQ(c.externalInputs(),
+              (std::vector<std::string>{ "LM" }));
+}
+
+TEST(Cascade, LoopCarriedReadOfLaterRecurrentOpAllowed)
+{
+    // SPD (op 0) reads RD, defined later (op 1) as recurrent state:
+    // the read refers to the previous loop iteration, so there must
+    // be no 1 -> 0 edge and no cycle.
+    Cascade c("carried");
+    c.add(Einsum("SPD", { "p" })
+              .input("RD", { "p" })
+              .input("PRM", { "p" })
+              .combine(CombineOp::Mul));
+    c.add(Einsum("RD", { "p" })
+              .input("SLD", { "p" })
+              .input("SPD", { "p" })
+              .combine(CombineOp::Add)
+              .recurrentOver("m1"));
+    const Dag d = c.buildDag();
+    EXPECT_TRUE(d.hasEdge(0, 1));  // RD consumes SPD this iteration
+    EXPECT_FALSE(d.hasEdge(1, 0)); // SPD's RD read is loop-carried
+    EXPECT_TRUE(d.isAcyclic());
+}
+
+TEST(Cascade, PreviousReadsCreateNoEdges)
+{
+    // PRM-style op: previous and current reads of the same state.
+    Cascade c("prev");
+    c.add(Einsum("RM", { "p" })
+              .inputPrevious("RM", { "p" })
+              .input("LM", { "p" })
+              .combine(CombineOp::Max)
+              .recurrentOver("m1"));
+    c.add(Einsum("PRM", { "p" })
+              .inputPrevious("RM", { "p" })
+              .input("RM", { "p" })
+              .combine(CombineOp::Sub)
+              .unary(UnaryOp::Exp));
+    const Dag d = c.buildDag();
+    // Only the current-read edge RM -> PRM exists.
+    EXPECT_TRUE(d.hasEdge(0, 1));
+    EXPECT_EQ(d.edgeCount(), 1);
+    // The marked reads are loop-carried state, not external.
+    EXPECT_EQ(c.externalInputs(),
+              (std::vector<std::string>{ "LM" }));
+}
+
+TEST(Cascade, UseBeforeNonRecurrentDefIsFatal)
+{
+    Cascade c("bad");
+    c.add(Einsum("X", { "p" }).input("Y", { "p" }));
+    c.add(Einsum("Y", { "p" }).input("I", { "p" }));
+    EXPECT_THROW(c.buildDag(), FatalError);
+}
+
+TEST(Cascade, TotalComputeLoadSums)
+{
+    const Cascade c = twoStep();
+    DimEnv env{ { "m", 4 }, { "n", 8 }, { "k", 2 } };
+    // Y: 4*8*2 = 64; Z: 4*8 = 32.
+    EXPECT_DOUBLE_EQ(c.totalComputeLoad(env), 96.0);
+}
+
+TEST(Cascade, OpNamesAlignWithDagNodes)
+{
+    const Cascade c = twoStep();
+    EXPECT_EQ(c.opNames(),
+              (std::vector<std::string>{ "Y", "Z" }));
+}
+
+TEST(Cascade, ToStringListsOps)
+{
+    const std::string s = twoStep().toString();
+    EXPECT_NE(s.find("cascade two (2 ops)"), std::string::npos);
+    EXPECT_NE(s.find("Y[m,n]"), std::string::npos);
+}
+
+} // namespace
+} // namespace transfusion::einsum

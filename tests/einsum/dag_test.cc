@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the DAG utility: structure queries, topological
+ * enumeration, weak connectivity and reachability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "einsum/dag.hh"
+
+namespace transfusion::einsum
+{
+namespace
+{
+
+/** Diamond: 0 -> {1,2} -> 3. */
+Dag
+diamond()
+{
+    Dag d(4);
+    d.addEdge(0, 1);
+    d.addEdge(0, 2);
+    d.addEdge(1, 3);
+    d.addEdge(2, 3);
+    return d;
+}
+
+TEST(Dag, EdgesAndDegrees)
+{
+    const Dag d = diamond();
+    EXPECT_EQ(d.nodeCount(), 4);
+    EXPECT_EQ(d.edgeCount(), 4);
+    EXPECT_TRUE(d.hasEdge(0, 1));
+    EXPECT_FALSE(d.hasEdge(1, 0));
+    EXPECT_EQ(d.successors(0), (std::vector<int>{ 1, 2 }));
+    EXPECT_EQ(d.predecessors(3), (std::vector<int>{ 1, 2 }));
+}
+
+TEST(Dag, DuplicateEdgesIgnored)
+{
+    Dag d(2);
+    d.addEdge(0, 1);
+    d.addEdge(0, 1);
+    EXPECT_EQ(d.edgeCount(), 1);
+}
+
+TEST(Dag, SelfEdgeRejected)
+{
+    Dag d(2);
+    EXPECT_THROW(d.addEdge(1, 1), PanicError);
+}
+
+TEST(Dag, SourcesAndSinks)
+{
+    const Dag d = diamond();
+    EXPECT_EQ(d.sources(), (std::vector<int>{ 0 }));
+    EXPECT_EQ(d.sinks(), (std::vector<int>{ 3 }));
+}
+
+TEST(Dag, TopoSortRespectsEdges)
+{
+    const Dag d = diamond();
+    const auto order = d.topoSort();
+    ASSERT_EQ(order.size(), 4u);
+    std::vector<int> position(4);
+    for (int i = 0; i < 4; ++i)
+        position[static_cast<std::size_t>(order[i])] = i;
+    for (int v = 0; v < 4; ++v) {
+        for (int w : d.successors(v))
+            EXPECT_LT(position[v], position[w]);
+    }
+}
+
+TEST(Dag, TopoSortDeterministicSmallestFirst)
+{
+    const Dag d = diamond();
+    EXPECT_EQ(d.topoSort(), (std::vector<int>{ 0, 1, 2, 3 }));
+}
+
+TEST(Dag, AcyclicDetection)
+{
+    EXPECT_TRUE(diamond().isAcyclic());
+    Dag cyc(3);
+    cyc.addEdge(0, 1);
+    cyc.addEdge(1, 2);
+    cyc.addEdge(2, 0);
+    EXPECT_FALSE(cyc.isAcyclic());
+    EXPECT_THROW(cyc.topoSort(), PanicError);
+}
+
+TEST(Dag, WeakConnectivity)
+{
+    const Dag d = diamond();
+    EXPECT_TRUE(d.isWeaklyConnected({ true, true, true, true }));
+    EXPECT_TRUE(d.isWeaklyConnected({ true, true, false, false }));
+    // {1} and {2} are not connected to each other without 0 or 3.
+    EXPECT_FALSE(d.isWeaklyConnected({ false, true, true, false }));
+    // Empty and singleton subsets count as connected.
+    EXPECT_TRUE(d.isWeaklyConnected({ false, false, false, false }));
+    EXPECT_TRUE(d.isWeaklyConnected({ false, true, false, false }));
+}
+
+TEST(Dag, DependencyCompleteness)
+{
+    const Dag d = diamond();
+    EXPECT_TRUE(d.isDependencyComplete({ true, true, true, false }));
+    // Node 3 without node 2 misses a dependency.
+    EXPECT_FALSE(d.isDependencyComplete({ true, true, false, true }));
+    EXPECT_TRUE(d.isDependencyComplete({ true, false, false,
+                                         false }));
+}
+
+TEST(Dag, ReachabilityFromSources)
+{
+    const Dag d = diamond();
+    EXPECT_TRUE(d.allReachableFromSources({ true, true, false,
+                                            false }));
+    // {1} alone: source 0 excluded, so 1 is unreachable inside.
+    EXPECT_FALSE(d.allReachableFromSources({ false, true, false,
+                                             false }));
+}
+
+TEST(Dag, CountTopoOrdersDiamond)
+{
+    // Diamond has exactly two linear extensions.
+    EXPECT_EQ(diamond().countTopoOrders(100), 2u);
+}
+
+TEST(Dag, CountTopoOrdersCapped)
+{
+    Dag d(6); // 6 isolated nodes: 720 orders, capped at 10.
+    EXPECT_EQ(d.countTopoOrders(10), 10u);
+}
+
+TEST(Dag, EnumerateTopoOrdersAllValid)
+{
+    const Dag d = diamond();
+    const auto orders = d.enumerateTopoOrders(100);
+    EXPECT_EQ(orders.size(), 2u);
+    for (const auto &order : orders) {
+        std::vector<int> position(4);
+        for (int i = 0; i < 4; ++i)
+            position[static_cast<std::size_t>(order[i])] = i;
+        for (int v = 0; v < 4; ++v) {
+            for (int w : d.successors(v))
+                EXPECT_LT(position[v], position[w]);
+        }
+    }
+}
+
+TEST(Dag, EnumerationIsDeterministic)
+{
+    const auto a = diamond().enumerateTopoOrders(100);
+    const auto b = diamond().enumerateTopoOrders(100);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Dag, ChainHasSingleOrder)
+{
+    Dag d(5);
+    for (int i = 0; i + 1 < 5; ++i)
+        d.addEdge(i, i + 1);
+    EXPECT_EQ(d.countTopoOrders(100), 1u);
+    EXPECT_EQ(d.enumerateTopoOrders(100).front(),
+              (std::vector<int>{ 0, 1, 2, 3, 4 }));
+}
+
+TEST(Dag, ToDotContainsEdges)
+{
+    const std::string dot = diamond().toDot({ "a", "b", "c", "d" });
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+}
+
+} // namespace
+} // namespace transfusion::einsum

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the cascade validator, including the Fig. 2
+ * final-slice rule and the check that every paper cascade is clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "einsum/validate.hh"
+#include "model/cascades.hh"
+
+namespace transfusion::einsum
+{
+namespace
+{
+
+TEST(Validate, AllPaperCascadesAreClean)
+{
+    const auto cfg = model::bertBase();
+    const auto dims = model::makeDims(cfg, 64, 16, 4);
+    for (auto kind : model::allLayerKinds()) {
+        const auto cascade = model::buildCascade(kind, cfg);
+        const auto issues = validateCascade(cascade, &dims);
+        EXPECT_TRUE(issues.empty())
+            << model::toString(kind) << ": "
+            << (issues.empty() ? "" : issues.front().message);
+        EXPECT_NO_THROW(checkCascade(cascade, &dims));
+    }
+    EXPECT_TRUE(
+        validateCascade(model::buildUnfusedMhaCascade()).empty());
+}
+
+TEST(Validate, SignatureMismatchDetected)
+{
+    Cascade c("bad");
+    c.add(Einsum("Y", { "m", "n" })
+              .input("A", { "m", "k" })
+              .input("B", { "k", "n" })
+              .combine(CombineOp::Mul)
+              .reduce(ReduceOp::Sum));
+    // Z reads Y with the wrong arity (and Y is not recurrent).
+    c.add(Einsum("Z", { "m" })
+              .input("Y", { "m" })
+              .unary(UnaryOp::Exp));
+    const auto issues = validateCascade(c);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].kind,
+              ValidationIssue::Kind::SignatureMismatch);
+    EXPECT_EQ(issues[0].op, "Z");
+    EXPECT_THROW(checkCascade(c), FatalError);
+}
+
+TEST(Validate, FinalSliceOfRecurrentStateAllowed)
+{
+    // AV-style read: drop exactly the recurrent index.
+    Cascade c("slice");
+    c.add(Einsum("RD", { "h", "m1", "p" })
+              .input("SLD", { "h", "m1", "p" })
+              .input("RD", { "h", "m1", "p" })
+              .combine(CombineOp::Add)
+              .recurrentOver("m1"));
+    c.add(Einsum("AV", { "h", "p" })
+              .input("RD", { "h", "p" })
+              .unary(UnaryOp::Recip));
+    EXPECT_TRUE(validateCascade(c).empty());
+}
+
+TEST(Validate, WrongSliceOfRecurrentStateRejected)
+{
+    // Dropping a non-recurrent index is not a final-slice read.
+    Cascade c("badslice");
+    c.add(Einsum("RD", { "h", "m1", "p" })
+              .input("SLD", { "h", "m1", "p" })
+              .input("RD", { "h", "m1", "p" })
+              .combine(CombineOp::Add)
+              .recurrentOver("m1"));
+    c.add(Einsum("AV", { "h", "m1" })
+              .input("RD", { "h", "m1" })
+              .unary(UnaryOp::Recip));
+    const auto issues = validateCascade(c);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].kind,
+              ValidationIssue::Kind::SignatureMismatch);
+}
+
+TEST(Validate, BadRecurrenceDetected)
+{
+    Cascade c("badrec");
+    c.add(Einsum("RM", { "h", "p" })
+              .input("RM", { "h", "p" })
+              .input("LM", { "h", "p" })
+              .combine(CombineOp::Max)
+              .recurrentOver("m1")); // m1 not in the output
+    const auto issues = validateCascade(c);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].kind,
+              ValidationIssue::Kind::BadRecurrence);
+}
+
+TEST(Validate, PreviousReadOfNonRecurrentRejected)
+{
+    Cascade c("badprev");
+    c.add(Einsum("X", { "m1" }).input("I", { "m1" }));
+    c.add(Einsum("Y", { "m1" })
+              .inputPrevious("X", { "m1" })
+              .unary(UnaryOp::Exp));
+    const auto issues = validateCascade(c);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].kind,
+              ValidationIssue::Kind::BadRecurrence);
+}
+
+TEST(Validate, PreviousReadOfRecurrentStateClean)
+{
+    Cascade c("goodprev");
+    c.add(Einsum("S", { "m1" })
+              .inputPrevious("S", { "m1" })
+              .input("X", { "m1" })
+              .combine(CombineOp::Add)
+              .recurrentOver("m1"));
+    EXPECT_TRUE(validateCascade(c).empty());
+}
+
+TEST(Validate, UnboundIndexDetectedOnlyWithDims)
+{
+    Cascade c("unbound");
+    c.add(Einsum("Y", { "weird" }).input("A", { "weird" }));
+    EXPECT_TRUE(validateCascade(c).empty());
+    DimEnv dims{ { "m", 4 } };
+    const auto issues = validateCascade(c, &dims);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].kind,
+              ValidationIssue::Kind::UnboundIndex);
+}
+
+TEST(Validate, MissingReduceDetected)
+{
+    Cascade c("overwrite");
+    c.add(Einsum("Y", { "m" }).input("A", { "m", "k" }));
+    const auto issues = validateCascade(c);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].kind,
+              ValidationIssue::Kind::MissingReduce);
+}
+
+TEST(Validate, KindNamesPrintable)
+{
+    EXPECT_EQ(toString(ValidationIssue::Kind::SignatureMismatch),
+              "signature-mismatch");
+    EXPECT_EQ(toString(ValidationIssue::Kind::BadRecurrence),
+              "bad-recurrence");
+    EXPECT_EQ(toString(ValidationIssue::Kind::UnboundIndex),
+              "unbound-index");
+    EXPECT_EQ(toString(ValidationIssue::Kind::MissingReduce),
+              "missing-reduce");
+}
+
+TEST(Validate, MultipleIssuesAllReported)
+{
+    Cascade c("multi");
+    c.add(Einsum("Y", { "m" }).input("A", { "m", "k" }));
+    c.add(Einsum("Z", { "m", "q" })
+              .input("Y", { "m", "q" })
+              .unary(UnaryOp::Exp));
+    DimEnv dims{ { "m", 4 }, { "k", 2 } };
+    const auto issues = validateCascade(c, &dims);
+    // Missing reduce on Y, signature mismatch on Z, unbound q.
+    EXPECT_GE(issues.size(), 3u);
+}
+
+} // namespace
+} // namespace transfusion::einsum

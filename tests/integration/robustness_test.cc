@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Robustness property tests (DESIGN.md §5): the qualitative results
+ * must survive perturbation of the modelling constants -- energy
+ * table entries swept +-2x, the unfused re-read factor swept, and
+ * the DPipe offload lane cap varied.  If a headline ordering ever
+ * depends on one finely tuned constant, these tests catch it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/compare.hh"
+
+namespace transfusion
+{
+namespace
+{
+
+using schedule::StrategyKind;
+
+schedule::EvaluatorOptions
+fastOptions()
+{
+    schedule::EvaluatorOptions o;
+    o.mcts.iterations = 256;
+    return o;
+}
+
+TEST(Robustness, EnergyOrderingSurvivesConstantSweep)
+{
+    // TransFusion <= FuseMax <= Unfused in energy, for every +-2x
+    // scaling of each energy constant independently.
+    const auto cfg = model::bertBase();
+    const std::int64_t seq = 16384;
+
+    for (int knob = 0; knob < 4; ++knob) {
+        for (double scale : { 0.5, 2.0 }) {
+            auto arch = arch::edgeArch();
+            switch (knob) {
+              case 0: arch.energy.mac_pj *= scale; break;
+              case 1: arch.energy.reg_pj *= scale; break;
+              case 2: arch.energy.buffer_pj *= scale; break;
+              case 3: arch.energy.dram_pj_per_byte *= scale; break;
+            }
+            const auto all =
+                sim::evaluateAll(arch, cfg, seq, fastOptions());
+            const double tf = all.at(StrategyKind::TransFusion)
+                                  .total.energy.total();
+            const double fm = all.at(StrategyKind::FuseMax)
+                                  .total.energy.total();
+            const double un = all.at(StrategyKind::Unfused)
+                                  .total.energy.total();
+            EXPECT_LE(tf, fm * 1.01)
+                << "knob " << knob << " scale " << scale;
+            EXPECT_LT(fm, un) << "knob " << knob << " scale "
+                              << scale;
+        }
+    }
+}
+
+TEST(Robustness, SpeedupOrderingSurvivesRereadFactor)
+{
+    // The latency ordering must not hinge on the unfused traffic
+    // pessimism factor.
+    const auto arch = arch::cloudArch();
+    const auto cfg = model::bertBase();
+    for (double rr : { 1.0, 2.0, 4.0 }) {
+        auto opts = fastOptions();
+        opts.unfused_reread_factor = rr;
+        schedule::Evaluator eval(arch, cfg, 16384, opts);
+        const double un =
+            eval.evaluate(StrategyKind::Unfused).total.latency_s;
+        const double fm =
+            eval.evaluate(StrategyKind::FuseMax).total.latency_s;
+        const double tf = eval.evaluate(StrategyKind::TransFusion)
+                              .total.latency_s;
+        EXPECT_GT(un, fm) << "rr=" << rr;
+        EXPECT_GT(fm, tf) << "rr=" << rr;
+    }
+}
+
+TEST(Robustness, DPipeWinSurvivesOffloadCapSweep)
+{
+    // Even with a pessimistic vector-on-2D lane cap, TransFusion
+    // must not lose to FuseMax (the plan search includes FuseMax's
+    // own static split as a fallback).
+    const auto cfg = model::llama3_8b();
+    for (double lanes : { 256.0, 1024.0, 4096.0 }) {
+        auto opts = fastOptions();
+        opts.pipeline.latency.vector_on_2d_max_lanes = lanes;
+        schedule::Evaluator eval(arch::cloudArch(), cfg, 65536,
+                                 opts);
+        const double fm =
+            eval.evaluate(StrategyKind::FuseMax).total.latency_s;
+        const double tf = eval.evaluate(StrategyKind::TransFusion)
+                              .total.latency_s;
+        EXPECT_LE(tf, fm * 1.001) << "lanes=" << lanes;
+    }
+}
+
+TEST(Robustness, GainsScaleMonotonicallyWithOffloadCap)
+{
+    // More offload bandwidth can only help TransFusion's MHA.
+    const auto cfg = model::llama3_8b();
+    double prev = 0;
+    for (double lanes : { 256.0, 1024.0, 4096.0 }) {
+        auto opts = fastOptions();
+        opts.pipeline.latency.vector_on_2d_max_lanes = lanes;
+        schedule::Evaluator eval(arch::cloudArch(), cfg, 65536,
+                                 opts);
+        const double fm =
+            eval.evaluate(StrategyKind::FuseMax).total.latency_s;
+        const double tf = eval.evaluate(StrategyKind::TransFusion)
+                              .total.latency_s;
+        const double gain = fm / tf;
+        EXPECT_GE(gain, prev - 0.05) << "lanes=" << lanes;
+        prev = gain;
+    }
+}
+
+} // namespace
+} // namespace transfusion

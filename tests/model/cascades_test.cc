@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Functional validation of the paper's cascades: executing Cascade
+ * 2 (QKV), Cascade 3 (Add & LayerNorm) and Cascade 4 (FFN) through
+ * the interpreter reproduces the reference Transformer bit-for-bit
+ * (fp64), and the unfused-MHA cascade reproduces naive attention.
+ * Also checks the structural properties DPipe depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/cascades.hh"
+#include "ref/interpreter.hh"
+#include "ref/reference.hh"
+
+namespace transfusion::model
+{
+namespace
+{
+
+using einsum::DimEnv;
+using ref::Bindings;
+using transfusion::Rng;
+using ref::Tensor;
+
+/** Small model for functional tests. */
+TransformerConfig
+tinyConfig()
+{
+    TransformerConfig c;
+    c.name = "tiny";
+    c.layers = 1;
+    c.heads = 2;
+    c.head_dim = 4;
+    c.d_model = 8;
+    c.ffn_hidden = 16;
+    c.activation = einsum::UnaryOp::Relu;
+    c.batch = 1;
+    return c;
+}
+
+TEST(QkvCascade, MatchesReferenceProjections)
+{
+    const TransformerConfig cfg = tinyConfig();
+    const std::int64_t p = 3, m0 = 3, m1 = 2;
+    const DimEnv dims = makeDims(cfg, p, m0, m1);
+
+    Rng rng(101);
+    const Tensor input =
+        Tensor::random({ cfg.d_model, p }, rng);
+    const Tensor input_kv =
+        Tensor::random({ cfg.d_model, m1, m0 }, rng);
+    const Tensor wq = Tensor::random(
+        { cfg.d_model, cfg.heads, cfg.head_dim }, rng);
+    const Tensor wk = Tensor::random(
+        { cfg.d_model, cfg.heads, cfg.head_dim }, rng);
+    const Tensor wv = Tensor::random(
+        { cfg.d_model, cfg.heads, cfg.head_dim }, rng);
+
+    Bindings in;
+    in["INPUT"] = input;
+    in["INPUT_KV"] = input_kv;
+    in["WQ"] = wq;
+    in["WK"] = wk;
+    in["WV"] = wv;
+    const Bindings out =
+        ref::evaluateCascade(buildQkvCascade(), dims, in);
+
+    // Q against the reference projection.
+    const Tensor q_ref = ref::projectQkv(input, wq);
+    EXPECT_LT(Tensor::maxAbsDiff(out.at("Q"), q_ref), 1e-12);
+
+    // BK against a flattened-context reference projection.
+    Tensor kv_flat({ cfg.d_model, m1 * m0 });
+    for (std::int64_t d = 0; d < cfg.d_model; ++d) {
+        for (std::int64_t i = 0; i < m1 * m0; ++i) {
+            kv_flat.at({ d, i }) =
+                input_kv.at({ d, i / m0, i % m0 });
+        }
+    }
+    const Tensor k_ref = ref::projectQkv(kv_flat, wk);
+    const Tensor &bk = out.at("BK");
+    for (std::int64_t h = 0; h < cfg.heads; ++h) {
+        for (std::int64_t e = 0; e < cfg.head_dim; ++e) {
+            for (std::int64_t i = 0; i < m1 * m0; ++i) {
+                EXPECT_NEAR(bk.at({ h, e, i / m0, i % m0 }),
+                            k_ref.at({ h, e, i }), 1e-12);
+            }
+        }
+    }
+}
+
+TEST(LayerNormCascade, MatchesReferenceLayerNorm)
+{
+    const TransformerConfig cfg = tinyConfig();
+    const DimEnv dims = makeDims(cfg, 5, 1, 1);
+
+    Rng rng(55);
+    const Tensor inp = Tensor::random(
+        { cfg.heads, cfg.head_dim, 5 }, rng);
+    const Tensor av = Tensor::random(
+        { cfg.heads, cfg.head_dim, 5 }, rng);
+
+    Bindings in;
+    in["INP"] = inp;
+    in["AV"] = av;
+    const Bindings out = ref::evaluateCascade(
+        buildCascade(LayerKind::LayerNorm, cfg), dims, in);
+
+    const Tensor nr_ref = ref::addLayerNorm(inp, av);
+    EXPECT_LT(Tensor::maxAbsDiff(out.at("NR"), nr_ref), 1e-10);
+}
+
+TEST(FfnCascade, MatchesReferenceFeedForward)
+{
+    const TransformerConfig cfg = tinyConfig();
+    const DimEnv dims = makeDims(cfg, 4, 1, 1);
+
+    Rng rng(77);
+    const Tensor nr = Tensor::random(
+        { cfg.heads, cfg.head_dim, 4 }, rng);
+    const Tensor wf1 = Tensor::random(
+        { cfg.heads, cfg.head_dim, cfg.ffn_hidden }, rng, -0.5,
+        0.5);
+    const Tensor bf1 = Tensor::random({ cfg.ffn_hidden }, rng);
+    const Tensor wf2 = Tensor::random(
+        { cfg.heads, cfg.head_dim, cfg.ffn_hidden }, rng, -0.5,
+        0.5);
+    const Tensor bf2 = Tensor::random(
+        { cfg.heads, cfg.head_dim }, rng);
+
+    Bindings in;
+    in["NR"] = nr;
+    in["WF1"] = wf1;
+    in["BF1"] = bf1;
+    in["WF2"] = wf2;
+    in["BF2"] = bf2;
+    const Bindings out = ref::evaluateCascade(
+        buildFfnCascade(cfg.activation), dims, in);
+
+    const Tensor ref_out = ref::feedForward(nr, wf1, bf1, wf2, bf2,
+                                            cfg.activation);
+    EXPECT_LT(Tensor::maxAbsDiff(out.at("FFN2B"), ref_out), 1e-10);
+}
+
+TEST(FfnCascade, EveryPaperActivationAgrees)
+{
+    const TransformerConfig base = tinyConfig();
+    const DimEnv dims = makeDims(base, 2, 1, 1);
+    Rng rng(88);
+    const Tensor nr = Tensor::random(
+        { base.heads, base.head_dim, 2 }, rng);
+    const Tensor wf1 = Tensor::random(
+        { base.heads, base.head_dim, base.ffn_hidden }, rng);
+    const Tensor bf1 = Tensor::random({ base.ffn_hidden }, rng);
+    const Tensor wf2 = Tensor::random(
+        { base.heads, base.head_dim, base.ffn_hidden }, rng);
+    const Tensor bf2 = Tensor::random(
+        { base.heads, base.head_dim }, rng);
+
+    for (auto act : { einsum::UnaryOp::Relu, einsum::UnaryOp::Gelu,
+                      einsum::UnaryOp::Silu }) {
+        Bindings in;
+        in["NR"] = nr;
+        in["WF1"] = wf1;
+        in["BF1"] = bf1;
+        in["WF2"] = wf2;
+        in["BF2"] = bf2;
+        const Bindings out = ref::evaluateCascade(
+            buildFfnCascade(act), dims, in);
+        const Tensor expect = ref::feedForward(nr, wf1, bf1, wf2,
+                                               bf2, act);
+        EXPECT_LT(Tensor::maxAbsDiff(out.at("FFN2B"), expect),
+                  1e-10);
+    }
+}
+
+TEST(UnfusedMhaCascade, MatchesNaiveAttention)
+{
+    const TransformerConfig cfg = tinyConfig();
+    const std::int64_t p = 3, m0 = 4, m1 = 2;
+    const DimEnv dims = makeDims(cfg, p, m0, m1);
+
+    Rng rng(99);
+    const Tensor q = Tensor::random(
+        { cfg.heads, cfg.head_dim, p }, rng);
+    // Context in (m1, m0) blocked layout.
+    const Tensor bk = Tensor::random(
+        { cfg.heads, cfg.head_dim, m1, m0 }, rng);
+    const Tensor bv = Tensor::random(
+        { cfg.heads, cfg.head_dim, m1, m0 }, rng);
+
+    Bindings in;
+    in["Q"] = q;
+    in["BK"] = bk;
+    in["BV"] = bv;
+    const Bindings out = ref::evaluateCascade(
+        buildUnfusedMhaCascade(), dims, in);
+
+    // Flatten the blocked context for the reference.
+    Tensor k_flat({ cfg.heads, cfg.head_dim, m1 * m0 });
+    Tensor v_flat({ cfg.heads, cfg.head_dim, m1 * m0 });
+    for (std::int64_t h = 0; h < cfg.heads; ++h) {
+        for (std::int64_t e = 0; e < cfg.head_dim; ++e) {
+            for (std::int64_t i = 0; i < m1 * m0; ++i) {
+                k_flat.at({ h, e, i }) =
+                    bk.at({ h, e, i / m0, i % m0 });
+                v_flat.at({ h, e, i }) =
+                    bv.at({ h, e, i / m0, i % m0 });
+            }
+        }
+    }
+    const Tensor expect = ref::naiveAttention(q, k_flat, v_flat);
+    EXPECT_LT(Tensor::maxAbsDiff(out.at("AV"), expect), 1e-10);
+}
+
+TEST(MhaCascade, HasTwelvePaperOps)
+{
+    const auto c = buildMhaCascade();
+    EXPECT_EQ(c.size(), 12u);
+    EXPECT_EQ(c.opNames(),
+              (std::vector<std::string>{
+                  "BQK", "LM", "RM", "SLN", "SLD", "SLNV", "PRM",
+                  "SPD", "RD", "SPNV", "RNV", "AV" }));
+}
+
+TEST(MhaCascade, DagStructureMatchesFig2)
+{
+    const auto c = buildMhaCascade();
+    const auto dag = c.buildDag();
+    EXPECT_TRUE(dag.isAcyclic());
+    auto id = [&](const char *n) { return c.producerOf(n); };
+    EXPECT_TRUE(dag.hasEdge(id("BQK"), id("LM")));
+    EXPECT_TRUE(dag.hasEdge(id("LM"), id("RM")));
+    EXPECT_TRUE(dag.hasEdge(id("BQK"), id("SLN")));
+    EXPECT_TRUE(dag.hasEdge(id("RM"), id("SLN")));
+    EXPECT_TRUE(dag.hasEdge(id("SLN"), id("SLD")));
+    EXPECT_TRUE(dag.hasEdge(id("SLN"), id("SLNV")));
+    EXPECT_TRUE(dag.hasEdge(id("RM"), id("PRM")));
+    EXPECT_TRUE(dag.hasEdge(id("PRM"), id("SPD")));
+    EXPECT_TRUE(dag.hasEdge(id("SLD"), id("RD")));
+    EXPECT_TRUE(dag.hasEdge(id("SPD"), id("RD")));
+    EXPECT_TRUE(dag.hasEdge(id("RNV"), id("AV")));
+    EXPECT_TRUE(dag.hasEdge(id("RD"), id("AV")));
+    // Loop-carried reads must not appear as edges.
+    EXPECT_FALSE(dag.hasEdge(id("RD"), id("SPD")));
+    EXPECT_FALSE(dag.hasEdge(id("RNV"), id("SPNV")));
+    // BQK is the only source; AV the only sink.
+    EXPECT_EQ(dag.sources(), (std::vector<int>{ id("BQK") }));
+    EXPECT_EQ(dag.sinks(), (std::vector<int>{ id("AV") }));
+}
+
+TEST(MhaCascade, PeClassesSplitAsInFuseMax)
+{
+    const auto c = buildMhaCascade();
+    for (const auto &op : c.ops()) {
+        const bool matrix =
+            op.peClass() == einsum::PeClass::Matrix;
+        if (op.name() == "BQK" || op.name() == "SLNV")
+            EXPECT_TRUE(matrix) << op.name();
+        else
+            EXPECT_FALSE(matrix) << op.name();
+    }
+}
+
+TEST(QkvCascade, AllOpsAreMatrixClass)
+{
+    const auto cascade = buildQkvCascade();
+    for (const auto &op : cascade.ops())
+        EXPECT_EQ(op.peClass(), einsum::PeClass::Matrix);
+}
+
+TEST(QkvCascade, OpsAreIndependent)
+{
+    EXPECT_EQ(buildQkvCascade().buildDag().edgeCount(), 0);
+}
+
+TEST(LayerNormCascade, ScaleBoundToModelDim)
+{
+    const TransformerConfig cfg = tinyConfig();
+    const auto c = buildCascade(LayerKind::LayerNorm, cfg);
+    const auto &mav = c.op(static_cast<std::size_t>(
+        c.producerOf("MAV")));
+    EXPECT_DOUBLE_EQ(mav.scaleFactor(),
+                     1.0 / static_cast<double>(cfg.d_model));
+}
+
+TEST(MakeDims, BindsPaperIndices)
+{
+    const TransformerConfig cfg = tinyConfig();
+    const DimEnv dims = makeDims(cfg, 10, 5, 2);
+    EXPECT_EQ(dims.extent("d"), cfg.d_model);
+    EXPECT_EQ(dims.extent("h"), cfg.heads);
+    EXPECT_EQ(dims.extent("e"), cfg.head_dim);
+    EXPECT_EQ(dims.extent("f"), cfg.head_dim);
+    EXPECT_EQ(dims.extent("s"), cfg.ffn_hidden);
+    EXPECT_EQ(dims.extent("p"), 10);
+    EXPECT_EQ(dims.extent("m0"), 5);
+    EXPECT_EQ(dims.extent("m1"), 2);
+}
+
+TEST(LayerKinds, NamesAndOrder)
+{
+    const auto kinds = allLayerKinds();
+    ASSERT_EQ(kinds.size(), 4u);
+    EXPECT_EQ(toString(kinds[0]), "QKV");
+    EXPECT_EQ(toString(kinds[1]), "MHA");
+    EXPECT_EQ(toString(kinds[2]), "LayerNorm");
+    EXPECT_EQ(toString(kinds[3]), "FFN");
+}
+
+} // namespace
+} // namespace transfusion::model

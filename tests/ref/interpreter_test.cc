@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the cascade interpreter: unary/combine semantics,
+ * contraction, reductions, broadcasting, scaling, and cascade-level
+ * topological execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "ref/interpreter.hh"
+
+namespace transfusion::ref
+{
+namespace
+{
+
+using einsum::Cascade;
+using einsum::CombineOp;
+using einsum::DimEnv;
+using einsum::Einsum;
+using einsum::ReduceOp;
+using einsum::UnaryOp;
+
+TEST(ApplyUnary, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(applyUnary(UnaryOp::None, 3.0), 3.0);
+    EXPECT_DOUBLE_EQ(applyUnary(UnaryOp::Exp, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(applyUnary(UnaryOp::Square, -3.0), 9.0);
+    EXPECT_DOUBLE_EQ(applyUnary(UnaryOp::Rsqrt, 4.0), 0.5);
+    EXPECT_DOUBLE_EQ(applyUnary(UnaryOp::Recip, 4.0), 0.25);
+    EXPECT_DOUBLE_EQ(applyUnary(UnaryOp::Relu, -2.0), 0.0);
+    EXPECT_DOUBLE_EQ(applyUnary(UnaryOp::Relu, 2.0), 2.0);
+    EXPECT_DOUBLE_EQ(applyUnary(UnaryOp::Sigmoid, 0.0), 0.5);
+    EXPECT_DOUBLE_EQ(applyUnary(UnaryOp::Silu, 0.0), 0.0);
+    EXPECT_NEAR(applyUnary(UnaryOp::Gelu, 3.0), 3.0, 0.02);
+    EXPECT_NEAR(applyUnary(UnaryOp::Gelu, -3.0), 0.0, 0.02);
+}
+
+TEST(ApplyCombine, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(applyCombine(CombineOp::Mul, 3, 4), 12.0);
+    EXPECT_DOUBLE_EQ(applyCombine(CombineOp::Add, 3, 4), 7.0);
+    EXPECT_DOUBLE_EQ(applyCombine(CombineOp::Sub, 3, 4), -1.0);
+    EXPECT_DOUBLE_EQ(applyCombine(CombineOp::Div, 3, 4), 0.75);
+    EXPECT_DOUBLE_EQ(applyCombine(CombineOp::Max, 3, 4), 4.0);
+}
+
+TEST(EvaluateEinsum, MatrixMultiply)
+{
+    DimEnv env{ { "m", 2 }, { "k", 3 }, { "n", 2 } };
+    Bindings b;
+    Tensor a({ 2, 3 });
+    // [[1,2,3],[4,5,6]]
+    for (std::int64_t i = 0; i < 6; ++i)
+        a.flat(i) = static_cast<double>(i + 1);
+    Tensor bb({ 3, 2 });
+    // [[1,0],[0,1],[1,1]]
+    bb.at({ 0, 0 }) = 1;
+    bb.at({ 1, 1 }) = 1;
+    bb.at({ 2, 0 }) = 1;
+    bb.at({ 2, 1 }) = 1;
+    b["A"] = a;
+    b["B"] = bb;
+
+    Einsum z("Z", { "m", "n" });
+    z.input("A", { "m", "k" }).input("B", { "k", "n" })
+        .combine(CombineOp::Mul).reduce(ReduceOp::Sum);
+    const Tensor out = evaluateEinsum(z, env, b);
+    EXPECT_DOUBLE_EQ(out.at({ 0, 0 }), 4.0);  // 1 + 3
+    EXPECT_DOUBLE_EQ(out.at({ 0, 1 }), 5.0);  // 2 + 3
+    EXPECT_DOUBLE_EQ(out.at({ 1, 0 }), 10.0); // 4 + 6
+    EXPECT_DOUBLE_EQ(out.at({ 1, 1 }), 11.0); // 5 + 6
+}
+
+TEST(EvaluateEinsum, MaxReduction)
+{
+    DimEnv env{ { "m", 2 }, { "k", 3 } };
+    Bindings b;
+    Tensor a({ 2, 3 });
+    a.at({ 0, 1 }) = 5.0;
+    a.at({ 1, 2 }) = -1.0;
+    a.at({ 1, 0 }) = -3.0;
+    a.at({ 1, 1 }) = -2.0;
+    a.at({ 0, 0 }) = 1.0;
+    a.at({ 0, 2 }) = 2.0;
+    b["A"] = a;
+
+    Einsum m("M", { "m" });
+    m.input("A", { "m", "k" }).reduce(ReduceOp::Max);
+    const Tensor out = evaluateEinsum(m, env, b);
+    EXPECT_DOUBLE_EQ(out.at({ 0 }), 5.0);
+    EXPECT_DOUBLE_EQ(out.at({ 1 }), -1.0);
+}
+
+TEST(EvaluateEinsum, BroadcastSubtractExp)
+{
+    // SLN-style: S[m,k] = exp(A[m,k] - G[m]).
+    DimEnv env{ { "m", 2 }, { "k", 2 } };
+    Bindings b;
+    Tensor a({ 2, 2 });
+    a.at({ 0, 0 }) = 1;
+    a.at({ 0, 1 }) = 2;
+    a.at({ 1, 0 }) = 3;
+    a.at({ 1, 1 }) = 3;
+    Tensor g({ 2 });
+    g.at({ 0 }) = 2;
+    g.at({ 1 }) = 3;
+    b["A"] = a;
+    b["G"] = g;
+
+    Einsum s("S", { "m", "k" });
+    s.input("A", { "m", "k" }).input("G", { "m" })
+        .combine(CombineOp::Sub).unary(UnaryOp::Exp);
+    const Tensor out = evaluateEinsum(s, env, b);
+    EXPECT_NEAR(out.at({ 0, 0 }), std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(out.at({ 0, 1 }), 1.0, 1e-12);
+    EXPECT_NEAR(out.at({ 1, 1 }), 1.0, 1e-12);
+}
+
+TEST(EvaluateEinsum, ScaleFactorApplied)
+{
+    DimEnv env{ { "m", 3 } };
+    Bindings b;
+    Tensor a({ 3 }, 2.0);
+    b["A"] = a;
+    Einsum m("M", { "m" });
+    m.input("A", { "m" }).scale(0.5);
+    const Tensor out = evaluateEinsum(m, env, b);
+    for (std::int64_t i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(out.flat(i), 1.0);
+}
+
+TEST(EvaluateEinsum, OutputBroadcastFromScalarInput)
+{
+    // N[m] = D[m] * S[] is not used; instead test output index
+    // present in only one input: N[m,k] = D[m] * E[k].
+    DimEnv env{ { "m", 2 }, { "k", 2 } };
+    Bindings b;
+    Tensor dd({ 2 });
+    dd.at({ 0 }) = 2;
+    dd.at({ 1 }) = 3;
+    Tensor e({ 2 });
+    e.at({ 0 }) = 10;
+    e.at({ 1 }) = 100;
+    b["D"] = dd;
+    b["E"] = e;
+    Einsum n("N", { "m", "k" });
+    n.input("D", { "m" }).input("E", { "k" })
+        .combine(CombineOp::Mul);
+    const Tensor out = evaluateEinsum(n, env, b);
+    EXPECT_DOUBLE_EQ(out.at({ 0, 0 }), 20.0);
+    EXPECT_DOUBLE_EQ(out.at({ 1, 1 }), 300.0);
+}
+
+TEST(EvaluateEinsum, UnboundInputIsFatal)
+{
+    DimEnv env{ { "m", 2 } };
+    Einsum m("M", { "m" });
+    m.input("A", { "m" });
+    EXPECT_THROW(evaluateEinsum(m, env, {}), FatalError);
+}
+
+TEST(EvaluateEinsum, ShapeMismatchPanics)
+{
+    DimEnv env{ { "m", 2 } };
+    Bindings b;
+    b["A"] = Tensor({ 3 });
+    Einsum m("M", { "m" });
+    m.input("A", { "m" });
+    EXPECT_THROW(evaluateEinsum(m, env, b), PanicError);
+}
+
+TEST(EvaluateEinsum, RecurrentOpRejected)
+{
+    DimEnv env{ { "m", 2 } };
+    Bindings b;
+    b["L"] = Tensor({ 2 });
+    Einsum r("R", { "m" });
+    r.input("R", { "m" }).input("L", { "m" })
+        .combine(CombineOp::Max).recurrentOver("m1");
+    EXPECT_THROW(evaluateEinsum(r, env, b), FatalError);
+}
+
+TEST(EvaluateCascade, ChainsResults)
+{
+    // Y = A + B; Z = relu(Y); executes in dependency order.
+    DimEnv env{ { "m", 2 } };
+    Cascade c("chain");
+    c.add(Einsum("Y", { "m" })
+              .input("A", { "m" }).input("B", { "m" })
+              .combine(CombineOp::Add));
+    c.add(Einsum("Z", { "m" })
+              .input("Y", { "m" }).unary(UnaryOp::Relu));
+
+    Bindings in;
+    Tensor a({ 2 });
+    a.at({ 0 }) = -5;
+    a.at({ 1 }) = 2;
+    Tensor bb({ 2 });
+    bb.at({ 0 }) = 1;
+    bb.at({ 1 }) = 3;
+    in["A"] = a;
+    in["B"] = bb;
+
+    const Bindings out = evaluateCascade(c, env, in);
+    EXPECT_DOUBLE_EQ(out.at("Y").at({ 0 }), -4.0);
+    EXPECT_DOUBLE_EQ(out.at("Z").at({ 0 }), 0.0);
+    EXPECT_DOUBLE_EQ(out.at("Z").at({ 1 }), 5.0);
+}
+
+} // namespace
+} // namespace transfusion::ref

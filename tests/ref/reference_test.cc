@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the unfused reference Transformer: LayerNorm
+ * statistics, FFN activations, projection shapes, and the full
+ * layer plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "ref/reference.hh"
+
+namespace transfusion::ref
+{
+namespace
+{
+
+TEST(ProjectQkv, MatchesHandComputation)
+{
+    // d=2, p=1, h=1, e=2.
+    Tensor input({ 2, 1 });
+    input.at({ 0, 0 }) = 2.0;
+    input.at({ 1, 0 }) = 3.0;
+    Tensor w({ 2, 1, 2 });
+    w.at({ 0, 0, 0 }) = 1.0;
+    w.at({ 0, 0, 1 }) = -1.0;
+    w.at({ 1, 0, 0 }) = 0.5;
+    w.at({ 1, 0, 1 }) = 2.0;
+    const Tensor q = projectQkv(input, w);
+    EXPECT_DOUBLE_EQ(q.at({ 0, 0, 0 }), 2.0 * 1.0 + 3.0 * 0.5);
+    EXPECT_DOUBLE_EQ(q.at({ 0, 1, 0 }), 2.0 * -1.0 + 3.0 * 2.0);
+}
+
+TEST(AddLayerNorm, OutputHasZeroMeanUnitVariance)
+{
+    Rng rng(21);
+    const std::int64_t h = 2, f = 4, p = 3;
+    const Tensor inp = Tensor::random({ h, f, p }, rng);
+    const Tensor av = Tensor::random({ h, f, p }, rng);
+    const Tensor nr = addLayerNorm(inp, av);
+
+    const double n = static_cast<double>(h * f);
+    for (std::int64_t pi = 0; pi < p; ++pi) {
+        double mean = 0, var = 0;
+        for (std::int64_t hi = 0; hi < h; ++hi) {
+            for (std::int64_t fi = 0; fi < f; ++fi)
+                mean += nr.at({ hi, fi, pi });
+        }
+        mean /= n;
+        for (std::int64_t hi = 0; hi < h; ++hi) {
+            for (std::int64_t fi = 0; fi < f; ++fi) {
+                const double d = nr.at({ hi, fi, pi }) - mean;
+                var += d * d;
+            }
+        }
+        var /= n;
+        EXPECT_NEAR(mean, 0.0, 1e-10);
+        EXPECT_NEAR(var, 1.0, 1e-10);
+    }
+}
+
+TEST(AddLayerNorm, ResidualActuallyAdded)
+{
+    // With av = -inp the sum is all zeros -- degenerate variance.
+    // Use av = inp instead: normalizing 2*inp equals normalizing
+    // inp (scale invariance of LayerNorm).
+    Rng rng(3);
+    const Tensor inp = Tensor::random({ 2, 3, 2 }, rng);
+    Tensor zero({ 2, 3, 2 });
+    const Tensor a = addLayerNorm(inp, inp);
+    const Tensor b = addLayerNorm(inp, zero);
+    EXPECT_LT(Tensor::maxAbsDiff(a, b), 1e-10);
+}
+
+TEST(FeedForward, ReluGatesNegativePreactivations)
+{
+    // h=1, f=1, p=1, s=2; one hidden unit pushed negative.
+    Tensor nr({ 1, 1, 1 });
+    nr.at({ 0, 0, 0 }) = 1.0;
+    Tensor wf1({ 1, 1, 2 });
+    wf1.at({ 0, 0, 0 }) = -5.0; // hidden 0 pre-act = -5 -> relu 0
+    wf1.at({ 0, 0, 1 }) = 2.0;  // hidden 1 pre-act = 2
+    Tensor bf1({ 2 });
+    Tensor wf2({ 1, 1, 2 });
+    wf2.at({ 0, 0, 0 }) = 100.0; // would dominate if not gated
+    wf2.at({ 0, 0, 1 }) = 3.0;
+    Tensor bf2({ 1, 1 });
+    bf2.at({ 0, 0 }) = 0.5;
+
+    const Tensor out = feedForward(nr, wf1, bf1, wf2, bf2,
+                                   einsum::UnaryOp::Relu);
+    EXPECT_DOUBLE_EQ(out.at({ 0, 0, 0 }), 2.0 * 3.0 + 0.5);
+}
+
+TEST(FeedForward, BiasesApplied)
+{
+    Tensor nr({ 1, 1, 1 }); // zero input
+    Tensor wf1({ 1, 1, 1 }, 1.0);
+    Tensor bf1({ 1 });
+    bf1.at({ 0 }) = 2.0;
+    Tensor wf2({ 1, 1, 1 }, 1.0);
+    Tensor bf2({ 1, 1 });
+    bf2.at({ 0, 0 }) = -1.0;
+    const Tensor out = feedForward(nr, wf1, bf1, wf2, bf2,
+                                   einsum::UnaryOp::Relu);
+    // relu(0 + 2) * 1 + (-1) = 1.
+    EXPECT_DOUBLE_EQ(out.at({ 0, 0, 0 }), 1.0);
+}
+
+TEST(NaiveAttention, UniformScoresAverageV)
+{
+    // With Q = 0 every score ties, so attention averages V rows.
+    const std::int64_t h = 1, e = 2, f = 2, p = 1, m = 4;
+    Tensor q({ h, e, p });
+    Rng rng(17);
+    const Tensor k = Tensor::random({ h, e, m }, rng);
+    Tensor v({ h, f, m });
+    for (std::int64_t mi = 0; mi < m; ++mi) {
+        v.at({ 0, 0, mi }) = static_cast<double>(mi);
+        v.at({ 0, 1, mi }) = 1.0;
+    }
+    const Tensor out = naiveAttention(q, k, v);
+    EXPECT_NEAR(out.at({ 0, 0, 0 }), (0 + 1 + 2 + 3) / 4.0, 1e-12);
+    EXPECT_NEAR(out.at({ 0, 1, 0 }), 1.0, 1e-12);
+}
+
+TEST(NaiveAttention, OneHotScoresSelectV)
+{
+    // A huge aligned key makes softmax a near-one-hot selector.
+    const std::int64_t h = 1, e = 2, f = 1, p = 1, m = 3;
+    Tensor q({ h, e, p });
+    q.at({ 0, 0, 0 }) = 50.0;
+    Tensor k({ h, e, m });
+    k.at({ 0, 0, 1 }) = 1.0; // key 1 aligns with q
+    Tensor v({ h, f, m });
+    v.at({ 0, 0, 0 }) = 7.0;
+    v.at({ 0, 0, 1 }) = -3.0;
+    v.at({ 0, 0, 2 }) = 9.0;
+    const Tensor out = naiveAttention(q, k, v);
+    EXPECT_NEAR(out.at({ 0, 0, 0 }), -3.0, 1e-9);
+}
+
+TEST(TransformerLayer, RunsAndIsFinite)
+{
+    Rng rng(31);
+    const std::int64_t h = 2, e = 4, d = h * e, p = 3, s = 8;
+    const Tensor input = Tensor::random({ d, p }, rng);
+    const Tensor wq = Tensor::random({ d, h, e }, rng, -0.5, 0.5);
+    const Tensor wk = Tensor::random({ d, h, e }, rng, -0.5, 0.5);
+    const Tensor wv = Tensor::random({ d, h, e }, rng, -0.5, 0.5);
+    const Tensor wf1 = Tensor::random({ h, e, s }, rng, -0.5, 0.5);
+    const Tensor bf1 = Tensor::random({ s }, rng);
+    const Tensor wf2 = Tensor::random({ h, e, s }, rng, -0.5, 0.5);
+    Tensor bf2_t = Tensor::random({ h, e }, rng);
+
+    const Tensor out = transformerLayer(input, wq, wk, wv, wf1, bf1,
+                                        wf2, bf2_t,
+                                        einsum::UnaryOp::Gelu);
+    EXPECT_EQ(out.shape(), (std::vector<std::int64_t>{ h, e, p }));
+    for (std::int64_t i = 0; i < out.size(); ++i)
+        EXPECT_TRUE(std::isfinite(out.flat(i)));
+}
+
+TEST(TransformerLayer, RejectsMismatchedModelDim)
+{
+    Rng rng(1);
+    const Tensor input = Tensor::random({ 9, 2 }, rng); // 9 != h*e
+    const Tensor w = Tensor::random({ 9, 2, 4 }, rng);
+    const Tensor wf = Tensor::random({ 2, 4, 4 }, rng);
+    const Tensor bf1 = Tensor::random({ 4 }, rng);
+    Tensor bf2({ 2, 4 });
+    EXPECT_THROW(transformerLayer(input, w, w, w, wf, bf1, wf, bf2,
+                                  einsum::UnaryOp::Relu),
+                 PanicError);
+}
+
+} // namespace
+} // namespace transfusion::ref

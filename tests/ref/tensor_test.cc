@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the dense reference tensor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "ref/tensor.hh"
+
+namespace transfusion::ref
+{
+namespace
+{
+
+TEST(Tensor, ScalarDefault)
+{
+    Tensor t;
+    EXPECT_EQ(t.rank(), 0);
+    EXPECT_EQ(t.size(), 1);
+    EXPECT_DOUBLE_EQ(t.at({}), 0.0);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({ 2, 3 });
+    EXPECT_EQ(t.size(), 6);
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        EXPECT_DOUBLE_EQ(t.flat(i), 0.0);
+}
+
+TEST(Tensor, FillConstructor)
+{
+    Tensor t({ 2, 2 }, 7.5);
+    EXPECT_DOUBLE_EQ(t.at({ 1, 1 }), 7.5);
+}
+
+TEST(Tensor, RowMajorLayout)
+{
+    Tensor t({ 2, 3 });
+    t.at({ 0, 0 }) = 1;
+    t.at({ 0, 2 }) = 2;
+    t.at({ 1, 0 }) = 3;
+    EXPECT_DOUBLE_EQ(t.flat(0), 1.0);
+    EXPECT_DOUBLE_EQ(t.flat(2), 2.0);
+    EXPECT_DOUBLE_EQ(t.flat(3), 3.0);
+    EXPECT_EQ(t.offsetOf({ 1, 2 }), 5);
+}
+
+TEST(Tensor, OutOfRangeIndexPanics)
+{
+    Tensor t({ 2, 2 });
+    EXPECT_THROW(t.at({ 2, 0 }), PanicError);
+    EXPECT_THROW(t.at({ 0 }), PanicError);
+    EXPECT_THROW(t.flat(4), PanicError);
+}
+
+TEST(Tensor, NonPositiveDimPanics)
+{
+    EXPECT_THROW(Tensor({ 2, 0 }), PanicError);
+}
+
+TEST(Tensor, RandomIsDeterministicPerSeed)
+{
+    Rng r1(9), r2(9);
+    const Tensor a = Tensor::random({ 3, 3 }, r1);
+    const Tensor b = Tensor::random({ 3, 3 }, r2);
+    EXPECT_DOUBLE_EQ(Tensor::maxAbsDiff(a, b), 0.0);
+}
+
+TEST(Tensor, RandomRespectsBounds)
+{
+    Rng r(5);
+    const Tensor a = Tensor::random({ 100 }, r, 2.0, 3.0);
+    for (std::int64_t i = 0; i < a.size(); ++i) {
+        EXPECT_GE(a.flat(i), 2.0);
+        EXPECT_LT(a.flat(i), 3.0);
+    }
+}
+
+TEST(Tensor, MaxAbsDiff)
+{
+    Tensor a({ 2 }), b({ 2 });
+    a.at({ 0 }) = 1.0;
+    b.at({ 0 }) = 1.5;
+    b.at({ 1 }) = -0.25;
+    EXPECT_DOUBLE_EQ(Tensor::maxAbsDiff(a, b), 0.5);
+}
+
+TEST(Tensor, MaxAbsDiffShapeMismatchPanics)
+{
+    Tensor a({ 2 }), b({ 3 });
+    EXPECT_THROW(Tensor::maxAbsDiff(a, b), PanicError);
+}
+
+TEST(Tensor, FillOverwrites)
+{
+    Tensor t({ 4 }, 1.0);
+    t.fill(-2.0);
+    for (std::int64_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(t.flat(i), -2.0);
+}
+
+} // namespace
+} // namespace transfusion::ref

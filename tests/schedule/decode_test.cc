@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the generation (prefill + decode) evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "schedule/decode.hh"
+
+namespace transfusion::schedule
+{
+namespace
+{
+
+EvaluatorOptions
+fastOptions()
+{
+    EvaluatorOptions o;
+    o.mcts.iterations = 128;
+    return o;
+}
+
+TEST(Decode, TotalsAreSectionSums)
+{
+    DecodeEvaluator eval(arch::cloudArch(), model::t5Small(),
+                         { 1024, 256 }, fastOptions());
+    const auto r = eval.evaluate(StrategyKind::TransFusion);
+    EXPECT_GT(r.prefill.latency_s, 0.0);
+    EXPECT_GT(r.decode.latency_s, 0.0);
+    EXPECT_NEAR(r.total.latency_s,
+                r.prefill.latency_s + r.decode.latency_s,
+                1e-9 * r.total.latency_s);
+    EXPECT_GT(r.tokens_per_second, 0.0);
+    EXPECT_NEAR(r.seconds_per_step * 256.0, r.decode.latency_s,
+                1e-9 * r.decode.latency_s);
+}
+
+TEST(Decode, ZeroTokensMeansPrefillOnly)
+{
+    DecodeEvaluator eval(arch::cloudArch(), model::t5Small(),
+                         { 1024, 0 }, fastOptions());
+    const auto r = eval.evaluate(StrategyKind::FuseMax);
+    EXPECT_DOUBLE_EQ(r.decode.latency_s, 0.0);
+    EXPECT_DOUBLE_EQ(r.tokens_per_second, 0.0);
+    EXPECT_NEAR(r.total.latency_s, r.prefill.latency_s,
+                1e-12 * r.prefill.latency_s);
+}
+
+TEST(Decode, MoreTokensCostMore)
+{
+    const auto opts = fastOptions();
+    DecodeEvaluator few(arch::cloudArch(), model::t5Small(),
+                        { 1024, 128 }, opts);
+    DecodeEvaluator many(arch::cloudArch(), model::t5Small(),
+                         { 1024, 1024 }, opts);
+    const auto a = few.evaluate(StrategyKind::FuseMax);
+    const auto b = many.evaluate(StrategyKind::FuseMax);
+    EXPECT_GT(b.decode.latency_s, a.decode.latency_s * 6.0);
+    // Per-step cost grows with the cache, so 8x tokens cost more
+    // than 8x the time.
+    EXPECT_GT(b.decode.latency_s / a.decode.latency_s, 8.0 * 0.9);
+}
+
+TEST(Decode, StepsAreMemoryBoundAtLowIntensity)
+{
+    // Single-query steps stream the full weight set per token, so
+    // decode is DRAM-limited whenever the arithmetic intensity
+    // (~batch MACs per weight word) sits under the machine's
+    // balance point: always on the cloud at batch 64, and on the
+    // edge at small batch.
+    {
+        DecodeEvaluator eval(arch::cloudArch(), model::bertBase(),
+                             { 2048, 64 }, fastOptions());
+        const auto r = eval.evaluate(StrategyKind::TransFusion);
+        EXPECT_GT(r.decode.dram_s, r.decode.compute_s);
+    }
+    {
+        model::TransformerConfig small_batch = model::bertBase();
+        small_batch.batch = 1;
+        DecodeEvaluator eval(arch::edgeArch(), small_batch,
+                             { 2048, 64 }, fastOptions());
+        const auto r = eval.evaluate(StrategyKind::TransFusion);
+        EXPECT_GT(r.decode.dram_s, r.decode.compute_s);
+    }
+    {
+        // Decode is always more bandwidth-bound than prefill: the
+        // per-batch KV cache gives DRAM traffic no reuse at all.
+        DecodeEvaluator eval(arch::edgeArch(), model::bertBase(),
+                             { 2048, 64 }, fastOptions());
+        const auto r = eval.evaluate(StrategyKind::TransFusion);
+        EXPECT_GT(r.decode.dram_s / r.decode.compute_s,
+                  r.prefill.dram_s / r.prefill.compute_s);
+    }
+}
+
+TEST(Decode, FusionGainsShrinkInDecode)
+{
+    // The headline insight: fusion's activation savings matter for
+    // prefill, but decode is weight-streaming bound, so the
+    // TransFusion/Unfused gap is smaller there.
+    DecodeEvaluator eval(arch::cloudArch(), model::bertBase(),
+                         { 4096, 512 }, fastOptions());
+    const auto base = eval.evaluate(StrategyKind::Unfused);
+    const auto tf = eval.evaluate(StrategyKind::TransFusion);
+    const double prefill_gain =
+        base.prefill.latency_s / tf.prefill.latency_s;
+    const double decode_gain =
+        base.decode.latency_s / tf.decode.latency_s;
+    EXPECT_GT(prefill_gain, decode_gain);
+    EXPECT_GE(decode_gain, 0.99); // never a slowdown
+}
+
+TEST(Decode, SamplingDensityBarelyMatters)
+{
+    // The per-step cost is ~affine in cache length, so 3 vs 9
+    // samples must agree closely.
+    DecodeEvaluator coarse(arch::edgeArch(), model::t5Small(),
+                           { 2048, 2048 }, fastOptions(), 3);
+    DecodeEvaluator fine(arch::edgeArch(), model::t5Small(),
+                         { 2048, 2048 }, fastOptions(), 9);
+    const auto a = coarse.evaluate(StrategyKind::FuseMax);
+    const auto b = fine.evaluate(StrategyKind::FuseMax);
+    EXPECT_NEAR(a.decode.latency_s, b.decode.latency_s,
+                0.05 * b.decode.latency_s);
+}
+
+TEST(Decode, RejectsBadWorkloads)
+{
+    EXPECT_THROW(DecodeEvaluator(arch::cloudArch(),
+                                 model::t5Small(), { 0, 10 }),
+                 FatalError);
+    EXPECT_THROW(DecodeEvaluator(arch::cloudArch(),
+                                 model::t5Small(), { 128, -1 }),
+                 FatalError);
+    EXPECT_THROW(DecodeEvaluator(arch::cloudArch(),
+                                 model::t5Small(), { 128, 10 },
+                                 {}, 1),
+                 FatalError);
+}
+
+} // namespace
+} // namespace transfusion::schedule

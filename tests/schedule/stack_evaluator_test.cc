@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for workload geometry (causal/cross attention) and the
+ * encoder-decoder stack evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "schedule/stack_evaluator.hh"
+#include "schedule/tiling.hh"
+
+namespace transfusion::schedule
+{
+namespace
+{
+
+EvaluatorOptions
+fastOptions()
+{
+    EvaluatorOptions o;
+    o.mcts.iterations = 128;
+    return o;
+}
+
+TEST(Workload, Factories)
+{
+    const auto s = Workload::selfAttention(1024);
+    EXPECT_EQ(s.query_len, 1024);
+    EXPECT_EQ(s.context_len, 1024);
+    EXPECT_FALSE(s.causal);
+
+    const auto c = Workload::causalSelfAttention(512);
+    EXPECT_TRUE(c.causal);
+
+    const auto x = Workload::crossAttention(256, 4096);
+    EXPECT_EQ(x.query_len, 256);
+    EXPECT_EQ(x.context_len, 4096);
+    EXPECT_FALSE(x.causal);
+}
+
+TEST(Workload, CausalHalvesMhaCost)
+{
+    const auto arch = arch::cloudArch();
+    const auto cfg = model::bertBase();
+    Evaluator plain(arch, cfg, Workload::selfAttention(8192),
+                    fastOptions());
+    Evaluator causal(arch, cfg,
+                     Workload::causalSelfAttention(8192),
+                     fastOptions());
+    const auto p = plain.evaluate(StrategyKind::FuseMax);
+    const auto c = causal.evaluate(StrategyKind::FuseMax);
+    EXPECT_NEAR(c.layer(model::LayerKind::Mha).compute_s,
+                0.5 * p.layer(model::LayerKind::Mha).compute_s,
+                1e-9 * p.layer(model::LayerKind::Mha).compute_s);
+    // Non-attention sub-layers are untouched.
+    EXPECT_DOUBLE_EQ(c.layer(model::LayerKind::Ffn).compute_s,
+                     p.layer(model::LayerKind::Ffn).compute_s);
+}
+
+TEST(Workload, CrossAttentionScalesWithContext)
+{
+    // MHA work is ~linear in the attended context length.
+    const auto arch = arch::cloudArch();
+    const auto cfg = model::bertBase();
+    Evaluator narrow(arch, cfg,
+                     Workload::crossAttention(1024, 4096),
+                     fastOptions());
+    Evaluator wide(arch, cfg,
+                   Workload::crossAttention(1024, 16384),
+                   fastOptions());
+    const auto n = narrow.evaluate(StrategyKind::FuseMax);
+    const auto w = wide.evaluate(StrategyKind::FuseMax);
+    const double growth =
+        w.layer(model::LayerKind::Mha).compute_s
+        / n.layer(model::LayerKind::Mha).compute_s;
+    EXPECT_GT(growth, 3.0);
+    EXPECT_LT(growth, 5.0);
+    // FFN depends only on the query length.
+    EXPECT_DOUBLE_EQ(w.layer(model::LayerKind::Ffn).compute_s,
+                     n.layer(model::LayerKind::Ffn).compute_s);
+}
+
+TEST(Workload, RejectsNonPositiveLengths)
+{
+    EXPECT_THROW(Evaluator(arch::cloudArch(), model::bertBase(),
+                           Workload{ 0, 128, false }),
+                 FatalError);
+    EXPECT_THROW(Evaluator(arch::cloudArch(), model::bertBase(),
+                           Workload{ 128, 0, false }),
+                 FatalError);
+}
+
+TEST(StackConfig, FactoriesAndValidation)
+{
+    const auto enc = model::encoderOnly(model::bertBase());
+    EXPECT_EQ(enc.encoder_layers, 12);
+    EXPECT_EQ(enc.decoder_layers, 0);
+    EXPECT_NO_THROW(enc.validate());
+
+    const auto dec = model::decoderOnly(model::llama3_8b());
+    EXPECT_EQ(dec.decoder_layers, 32);
+    EXPECT_FALSE(dec.decoder_cross_attention);
+
+    const auto seq2seq =
+        model::encoderDecoder(model::t5Small(), 6, 6);
+    EXPECT_TRUE(seq2seq.decoder_cross_attention);
+
+    model::StackConfig bad;
+    bad.name = "bad";
+    bad.block = model::t5Small();
+    bad.decoder_layers = 2;
+    bad.decoder_cross_attention = true; // no encoder to attend
+    EXPECT_THROW(bad.validate(), FatalError);
+}
+
+TEST(StackConfig, AttentionKindNames)
+{
+    EXPECT_EQ(toString(model::AttentionKind::BidirectionalSelf),
+              "self");
+    EXPECT_EQ(toString(model::AttentionKind::CausalSelf),
+              "causal-self");
+    EXPECT_EQ(toString(model::AttentionKind::Cross), "cross");
+}
+
+TEST(StackEvaluator, EncoderOnlyMatchesPlainEvaluator)
+{
+    // An encoder-only stack must reproduce the per-layer Evaluator
+    // exactly (same math path).
+    const auto arch = arch::edgeArch();
+    const auto cfg = model::t5Small();
+    StackEvaluator stack(arch, model::encoderOnly(cfg), 2048, 0,
+                         fastOptions());
+    Evaluator plain(arch, cfg, 2048, fastOptions());
+
+    const auto s = stack.evaluate(StrategyKind::FuseMax);
+    const auto p = plain.evaluate(StrategyKind::FuseMax);
+    EXPECT_NEAR(s.total.latency_s, p.total.latency_s,
+                1e-9 * p.total.latency_s);
+    EXPECT_NEAR(s.total.energy.total(), p.total.energy.total(),
+                1e-9 * p.total.energy.total());
+    EXPECT_DOUBLE_EQ(s.decoder_self.latency_s, 0.0);
+    EXPECT_DOUBLE_EQ(s.decoder_cross.latency_s, 0.0);
+}
+
+TEST(StackEvaluator, TotalsAreSectionSums)
+{
+    const auto stack = model::encoderDecoder(model::t5Small(), 6,
+                                             6);
+    StackEvaluator eval(arch::cloudArch(), stack, 4096, 1024,
+                        fastOptions());
+    const auto r = eval.evaluate(StrategyKind::TransFusion);
+    EXPECT_GT(r.encoder.latency_s, 0.0);
+    EXPECT_GT(r.decoder_self.latency_s, 0.0);
+    EXPECT_GT(r.decoder_cross.latency_s, 0.0);
+    EXPECT_NEAR(r.total.latency_s,
+                r.encoder.latency_s + r.decoder_self.latency_s
+                    + r.decoder_cross.latency_s,
+                1e-9 * r.total.latency_s);
+}
+
+TEST(StackEvaluator, CrossBlocksHaveNoFfn)
+{
+    // A cross block (QKV+MHA+LN) must cost less than a full block
+    // at the same geometry.
+    const auto arch = arch::cloudArch();
+    const auto cfg = model::t5Small();
+    const auto stack = model::encoderDecoder(cfg, 6, 6);
+    StackEvaluator eval(arch, stack, 2048, 2048, fastOptions());
+    const auto r = eval.evaluate(StrategyKind::FuseMax);
+    // Self blocks are causal (half MHA) but include the FFN; with
+    // src == tgt the cross block lacking FFN plus double MHA must
+    // still differ from self blocks.
+    EXPECT_NE(r.decoder_cross.latency_s, r.decoder_self.latency_s);
+}
+
+TEST(StackEvaluator, TransFusionWinsOnSeq2Seq)
+{
+    const auto stack = model::encoderDecoder(model::t5Small(), 6,
+                                             6);
+    StackEvaluator eval(arch::edgeArch(), stack, 8192, 2048,
+                        fastOptions());
+    const auto base = eval.evaluate(StrategyKind::Unfused);
+    const auto tf = eval.evaluate(StrategyKind::TransFusion);
+    EXPECT_LT(tf.total.latency_s, base.total.latency_s);
+    EXPECT_LT(tf.total.energy.total(), base.total.energy.total());
+}
+
+TEST(StackEvaluator, DecoderOnlyIsCheaperThanBidirectional)
+{
+    // Causal masking should make a decoder-only stack cheaper than
+    // the encoder-only stack of the same shape and length.
+    const auto cfg = model::bertBase();
+    const auto opts = fastOptions();
+    StackEvaluator enc(arch::cloudArch(), model::encoderOnly(cfg),
+                       8192, 0, opts);
+    StackEvaluator dec(arch::cloudArch(), model::decoderOnly(cfg),
+                       0, 8192, opts);
+    const auto e = enc.evaluate(StrategyKind::TransFusion);
+    const auto d = dec.evaluate(StrategyKind::TransFusion);
+    EXPECT_LT(d.total.latency_s, e.total.latency_s);
+}
+
+TEST(StackEvaluator, RejectsMissingLengths)
+{
+    EXPECT_THROW(
+        StackEvaluator(arch::cloudArch(),
+                       model::encoderOnly(model::t5Small()), 0, 0),
+        FatalError);
+    EXPECT_THROW(
+        StackEvaluator(arch::cloudArch(),
+                       model::decoderOnly(model::t5Small()), 128,
+                       0),
+        FatalError);
+}
+
+TEST(TileObjective, EnergyModeFindsFeasibleTile)
+{
+    const auto arch = arch::edgeArch();
+    const auto cfg = model::bertBase();
+    tileseek::MctsOptions opts;
+    opts.iterations = 512;
+    const auto tile = seekTile(arch, cfg, 16384, 1.0, opts, 0,
+                               TileObjective::Energy);
+    EXPECT_TRUE(tileFeasible(tile, arch, 16384));
+}
+
+} // namespace
+} // namespace transfusion::schedule

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the TileSeek workload bridge: search-space
+ * construction, feasibility (Table 2 + context bound), the naive
+ * LayerFuse tile, and MCTS tile selection quality.
+ */
+
+#include <gtest/gtest.h>
+
+#include "costmodel/traffic.hh"
+#include "schedule/tiling.hh"
+
+namespace transfusion::schedule
+{
+namespace
+{
+
+TEST(TilingSpace, LevelsAndCandidates)
+{
+    const auto arch = arch::cloudArch();
+    const auto cfg = model::bertBase();
+    const auto space = buildTilingSpace(arch, cfg, 4096);
+    ASSERT_EQ(space.depth(), 6u);
+    EXPECT_EQ(space.level_names,
+              (std::vector<std::string>{ "b", "d", "p", "m0", "m1",
+                                         "s" }));
+    // Every candidate divides its full extent (legal tilings only).
+    for (auto b : space.choices[0])
+        EXPECT_EQ(cfg.batch % b, 0);
+    for (auto d : space.choices[1])
+        EXPECT_EQ(cfg.d_model % d, 0);
+    for (auto p : space.choices[2]) {
+        EXPECT_EQ(4096 % p, 0);
+        EXPECT_LE(p, 4096);
+    }
+    for (auto s : space.choices[5])
+        EXPECT_EQ(cfg.ffn_hidden % s, 0);
+}
+
+TEST(TilingSpace, AssignmentRoundTrip)
+{
+    const auto arch = arch::edgeArch();
+    const auto cfg = model::t5Small();
+    const tileseek::Assignment a{ 2, 64, 128, 16, 4, 256 };
+    const auto t = assignmentToTile(a, arch, cfg);
+    EXPECT_EQ(t.b, 2);
+    EXPECT_EQ(t.d, 64);
+    EXPECT_EQ(t.p, 128);
+    EXPECT_EQ(t.m0, 16);
+    EXPECT_EQ(t.m1, 4);
+    EXPECT_EQ(t.s, 256);
+    EXPECT_EQ(t.h, cfg.heads);
+    EXPECT_EQ(t.e, cfg.head_dim);
+    // P' = min(p, rows) = min(128, 16).
+    EXPECT_EQ(t.p_prime, 16);
+}
+
+TEST(TileFeasible, ContextBound)
+{
+    const auto arch = arch::cloudArch();
+    const auto cfg = model::t5Small();
+    tileseek::TileShape t = assignmentToTile(
+        { 1, 64, 64, 64, 4, 128 }, arch, cfg);
+    // m1 * m0 = 256 exceeds a 128-long sequence.
+    EXPECT_FALSE(tileFeasible(t, arch, 128));
+    EXPECT_TRUE(tileFeasible(t, arch, 1024));
+}
+
+TEST(NaiveTile, FeasibleOnEveryArchModelPoint)
+{
+    for (const auto &arch_name :
+         { "cloud", "edge", "edge32", "edge64" }) {
+        const auto arch = arch::archByName(arch_name);
+        for (const auto &cfg : model::allModels()) {
+            for (std::int64_t seq : { std::int64_t{1} << 10,
+                                      std::int64_t{1} << 16 }) {
+                const auto t = naiveTile(arch, cfg, seq);
+                EXPECT_TRUE(tileFeasible(t, arch, seq))
+                    << arch_name << " " << cfg.name << " P=" << seq;
+                EXPECT_EQ(t.b, 1);
+            }
+        }
+    }
+}
+
+TEST(NaiveTile, PrefersLargeSequenceTiles)
+{
+    // On the roomy cloud buffer the naive tile should reach a
+    // respectable sequence tile for a small model.
+    const auto t =
+        naiveTile(arch::cloudArch(), model::t5Small(), 65536);
+    EXPECT_GE(t.p, 256);
+}
+
+TEST(SeekTile, FeasibleAndNoWorseThanNaive)
+{
+    const auto arch = arch::cloudArch();
+    const auto cfg = model::llama3_8b();
+    const std::int64_t seq = 65536;
+
+    const auto naive = naiveTile(arch, cfg, seq);
+    tileseek::MctsOptions opts;
+    opts.iterations = 1024;
+    const auto sought = seekTile(arch, cfg, seq, 1.0, opts);
+    EXPECT_TRUE(tileFeasible(sought, arch, seq));
+
+    // Compare the traffic both tiles imply.
+    costmodel::FusedStackShape shape;
+    shape.batch = static_cast<double>(cfg.batch);
+    shape.seq = static_cast<double>(seq);
+    shape.d_model = static_cast<double>(cfg.d_model);
+    shape.ffn_hidden = static_cast<double>(cfg.ffn_hidden);
+    const double w = static_cast<double>(arch.buffer_bytes)
+        / arch.element_bytes;
+    const double naive_traffic = costmodel::fusedStackTraffic(
+        shape, { naive.b, naive.p }, w).total();
+    const double sought_traffic = costmodel::fusedStackTraffic(
+        shape, { sought.b, sought.p }, w).total();
+    EXPECT_LE(sought_traffic, naive_traffic * 1.05);
+}
+
+TEST(SeekTile, DeterministicUnderSeed)
+{
+    const auto arch = arch::edgeArch();
+    const auto cfg = model::bertBase();
+    tileseek::MctsOptions opts;
+    opts.iterations = 256;
+    opts.seed = 5;
+    const auto a = seekTile(arch, cfg, 4096, 1.0, opts);
+    const auto b = seekTile(arch, cfg, 4096, 1.0, opts);
+    EXPECT_EQ(a.toString(), b.toString());
+}
+
+} // namespace
+} // namespace transfusion::schedule

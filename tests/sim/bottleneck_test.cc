@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the bottleneck analysis, including the paper's
+ * memory->compute crossover as sequences grow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "schedule/evaluator.hh"
+#include "sim/bottleneck.hh"
+
+namespace transfusion::sim
+{
+namespace
+{
+
+schedule::LayerMetrics
+metricsWith(double compute_s, double dram_s)
+{
+    schedule::LayerMetrics m;
+    m.compute_s = compute_s;
+    m.dram_s = dram_s;
+    m.latency_s = std::max(compute_s, dram_s);
+    return m;
+}
+
+TEST(Classify, ThreeRegimes)
+{
+    EXPECT_EQ(classify(metricsWith(1.0, 2.0)), Bound::Memory);
+    EXPECT_EQ(classify(metricsWith(2.0, 1.0)), Bound::Compute);
+    EXPECT_EQ(classify(metricsWith(1.0, 1.05)), Bound::Balanced);
+}
+
+TEST(Classify, ToleranceRespected)
+{
+    EXPECT_EQ(classify(metricsWith(1.0, 1.3), 0.5),
+              Bound::Balanced);
+    EXPECT_EQ(classify(metricsWith(1.0, 1.3), 0.1), Bound::Memory);
+}
+
+TEST(Classify, ZeroComputePanics)
+{
+    EXPECT_THROW(classify(metricsWith(0.0, 1.0)), PanicError);
+}
+
+TEST(BoundNames, Printable)
+{
+    EXPECT_EQ(toString(Bound::Compute), "compute-bound");
+    EXPECT_EQ(toString(Bound::Memory), "memory-bound");
+    EXPECT_EQ(toString(Bound::Balanced), "balanced");
+}
+
+TEST(Analyze, ReportCoversAllLayers)
+{
+    schedule::EvaluatorOptions opts;
+    opts.mcts.iterations = 128;
+    schedule::Evaluator eval(arch::cloudArch(), model::bertBase(),
+                             4096, opts);
+    const auto r = eval.evaluate(schedule::StrategyKind::Unfused);
+    const auto report = analyze(r);
+    for (double ratio : report.ratios)
+        EXPECT_GT(ratio, 0.0);
+    const std::string s = report.toString();
+    EXPECT_NE(s.find("MHA"), std::string::npos);
+    EXPECT_NE(s.find("overall"), std::string::npos);
+}
+
+TEST(Analyze, UnfusedLayerNormIsMemoryBound)
+{
+    // LayerNorm is the canonical low-intensity phase: streaming 3
+    // activations for ~6 ops each.
+    schedule::EvaluatorOptions opts;
+    opts.mcts.iterations = 128;
+    schedule::Evaluator eval(arch::cloudArch(),
+                             model::llama3_8b(), 4096, opts);
+    const auto r = eval.evaluate(schedule::StrategyKind::Unfused);
+    const auto report = analyze(r);
+    EXPECT_EQ(report.layers[schedule::layerIndex(
+                  model::LayerKind::LayerNorm)],
+              Bound::Memory);
+}
+
+TEST(Analyze, MhaCrossesToComputeBoundWithSequence)
+{
+    // The paper's crossover: attention becomes compute-bound as
+    // the quadratic term grows.
+    schedule::EvaluatorOptions opts;
+    opts.mcts.iterations = 128;
+    const auto arch = arch::cloudArch();
+    const auto cfg = model::llama3_8b();
+    const auto kind = schedule::layerIndex(model::LayerKind::Mha);
+
+    schedule::Evaluator small(arch, cfg, 1024, opts);
+    schedule::Evaluator large(arch, cfg, 1 << 18, opts);
+    const auto small_ratio =
+        analyze(small.evaluate(schedule::StrategyKind::FuseMax))
+            .ratios[kind];
+    const auto large_report =
+        analyze(large.evaluate(schedule::StrategyKind::FuseMax));
+    EXPECT_GT(small_ratio, large_report.ratios[kind]);
+    EXPECT_EQ(large_report.layers[kind], Bound::Compute);
+}
+
+} // namespace
+} // namespace transfusion::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the comparison utilities: speedup, energy ratio,
+ * the Eq. 47-48 contribution decomposition, and evaluateAll.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/compare.hh"
+
+namespace transfusion::sim
+{
+namespace
+{
+
+schedule::EvalResult
+synthetic(std::array<double, 4> latencies, double energy)
+{
+    schedule::EvalResult r;
+    for (std::size_t i = 0; i < 4; ++i) {
+        r.layers[i].latency_s = latencies[i];
+        r.total.latency_s += latencies[i];
+    }
+    r.total.energy.pe_j = energy;
+    return r;
+}
+
+TEST(Speedup, Ratio)
+{
+    const auto base = synthetic({ 1, 1, 1, 1 }, 8);
+    const auto fast = synthetic({ 0.5, 0.5, 0.5, 0.5 }, 4);
+    EXPECT_DOUBLE_EQ(speedup(base, fast), 2.0);
+    EXPECT_DOUBLE_EQ(energyRatio(base, fast), 0.5);
+}
+
+TEST(SpeedupContribution, MatchesEq47And48ByHand)
+{
+    // Layer speedups S = {2, 4, 1, 1} with baseline times
+    // {2, 4, 1, 1}: weighted = {4, 16, 1, 1}, sum 22.
+    const auto base = synthetic({ 2, 4, 1, 1 }, 1);
+    const auto opt = synthetic({ 1, 1, 1, 1 }, 1);
+    const auto c = speedupContribution(base, opt);
+    EXPECT_NEAR(c[0], 4.0 / 22.0, 1e-12);
+    EXPECT_NEAR(c[1], 16.0 / 22.0, 1e-12);
+    EXPECT_NEAR(c[2], 1.0 / 22.0, 1e-12);
+    EXPECT_NEAR(c[3], 1.0 / 22.0, 1e-12);
+}
+
+TEST(SpeedupContribution, SumsToOne)
+{
+    const auto base = synthetic({ 3, 7, 2, 9 }, 1);
+    const auto opt = synthetic({ 1, 2, 2, 3 }, 1);
+    const auto c = speedupContribution(base, opt);
+    EXPECT_NEAR(c[0] + c[1] + c[2] + c[3], 1.0, 1e-12);
+    for (double x : c) {
+        EXPECT_GT(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(SpeedupContribution, DominantLayerDominates)
+{
+    // A layer sped up hugely from a huge baseline share should
+    // hold nearly the whole contribution.
+    const auto base = synthetic({ 1, 100, 1, 1 }, 1);
+    const auto opt = synthetic({ 1, 1, 1, 1 }, 1);
+    const auto c = speedupContribution(base, opt);
+    EXPECT_GT(c[1], 0.95);
+}
+
+TEST(PaperSweep, SequencesAreThePapersAxis)
+{
+    const auto sweep = paperSequenceSweep();
+    ASSERT_EQ(sweep.size(), 6u);
+    EXPECT_EQ(sweep.front(), 1024);
+    EXPECT_EQ(sweep.back(), 1 << 20);
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_EQ(sweep[i], sweep[i - 1] * 4);
+}
+
+TEST(EvaluateAll, ProducesAllFiveStrategies)
+{
+    schedule::EvaluatorOptions opts;
+    opts.mcts.iterations = 128;
+    const auto all = evaluateAll(arch::edgeArch(),
+                                 model::t5Small(), 1024, opts);
+    EXPECT_EQ(all.size(), 5u);
+    for (auto kind : schedule::allStrategies()) {
+        ASSERT_TRUE(all.count(kind));
+        EXPECT_GT(all.at(kind).total.latency_s, 0.0);
+    }
+}
+
+TEST(Guards, DegenerateInputsPanic)
+{
+    const auto ok = synthetic({ 1, 1, 1, 1 }, 1);
+    auto zero = synthetic({ 0, 1, 1, 1 }, 1);
+    EXPECT_THROW(speedupContribution(ok, zero), PanicError);
+    schedule::EvalResult empty;
+    EXPECT_THROW(speedup(ok, empty), PanicError);
+    EXPECT_THROW(energyRatio(empty, ok), PanicError);
+}
+
+} // namespace
+} // namespace transfusion::sim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the Table 2 buffer-requirement formulas: exact
+ * hand-computed values plus the monotonicity properties TileSeek's
+ * pruning relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/arch.hh"
+#include "common/logging.hh"
+#include "tileseek/buffer_model.hh"
+
+namespace transfusion::tileseek
+{
+namespace
+{
+
+TileShape
+unitShape()
+{
+    TileShape t;
+    t.b = 2;
+    t.d = 8;
+    t.p = 4;
+    t.m1 = 2;
+    t.m0 = 3;
+    t.s = 16;
+    t.h = 2;
+    t.e = 4;
+    t.f = 4;
+    t.p_prime = 4;
+    return t;
+}
+
+TEST(BufferModel, QkvFormulaExact)
+{
+    const TileShape t = unitShape();
+    // BD(4P + 3 M1 M0) + 3DHE + 2BHP
+    const double expect = 2.0 * 8 * (4 * 4 + 3 * 2 * 3)
+        + 3.0 * 8 * 2 * 4 + 2.0 * 2 * 2 * 4;
+    EXPECT_DOUBLE_EQ(qkvBufferWords(t), expect);
+}
+
+TEST(BufferModel, MhaFormulaExact)
+{
+    const TileShape t = unitShape();
+    // BHE(P + 2 M1 M0) + BHP(2 + 2F) + 4 M0 P' + 18 P'
+    const double expect = 2.0 * 2 * 4 * (4 + 2 * 2 * 3)
+        + 2.0 * 2 * 4 * (2 + 2 * 4) + 4.0 * 3 * 4 + 18.0 * 4;
+    EXPECT_DOUBLE_EQ(mhaBufferWords(t), expect);
+}
+
+TEST(BufferModel, LayerNormFormulaExact)
+{
+    const TileShape t = unitShape();
+    // 3BHFP + 4HFP'
+    const double expect = 3.0 * 2 * 2 * 4 * 4 + 4.0 * 2 * 4 * 4;
+    EXPECT_DOUBLE_EQ(layerNormBufferWords(t), expect);
+}
+
+TEST(BufferModel, FfnFormulaExact)
+{
+    const TileShape t = unitShape();
+    // HF(2BP + S) + S(P + 2) + 2SP'
+    const double expect = 2.0 * 4 * (2 * 2 * 4 + 16)
+        + 16.0 * (4 + 2) + 2.0 * 16 * 4;
+    EXPECT_DOUBLE_EQ(ffnBufferWords(t), expect);
+}
+
+TEST(BufferModel, PeakIsTheMaximum)
+{
+    const TileShape t = unitShape();
+    const double peak = peakBufferWords(t);
+    EXPECT_GE(peak, qkvBufferWords(t));
+    EXPECT_GE(peak, mhaBufferWords(t));
+    EXPECT_GE(peak, layerNormBufferWords(t));
+    EXPECT_GE(peak, ffnBufferWords(t));
+    EXPECT_TRUE(peak == qkvBufferWords(t)
+                || peak == mhaBufferWords(t)
+                || peak == layerNormBufferWords(t)
+                || peak == ffnBufferWords(t));
+}
+
+TEST(BufferModel, MonotoneInEveryTileExtent)
+{
+    // Growing any tile extent can only grow each requirement.
+    const TileShape base = unitShape();
+    auto grow = [](TileShape t, std::int64_t TileShape::*field) {
+        t.*field += 1;
+        return t;
+    };
+    std::int64_t TileShape::*const fields[] = {
+        &TileShape::b, &TileShape::d, &TileShape::p,
+        &TileShape::m1, &TileShape::m0, &TileShape::s,
+        &TileShape::p_prime,
+    };
+    for (auto f : fields) {
+        const TileShape bigger = grow(base, f);
+        EXPECT_GE(qkvBufferWords(bigger), qkvBufferWords(base));
+        EXPECT_GE(mhaBufferWords(bigger), mhaBufferWords(base));
+        EXPECT_GE(layerNormBufferWords(bigger),
+                  layerNormBufferWords(base));
+        EXPECT_GE(ffnBufferWords(bigger), ffnBufferWords(base));
+    }
+}
+
+TEST(BufferModel, PPrimeDefinition)
+{
+    EXPECT_EQ(pPrime(100, 256), 100);
+    EXPECT_EQ(pPrime(1000, 256), 256);
+    EXPECT_EQ(pPrime(256, 256), 256);
+    EXPECT_THROW(pPrime(0, 256), PanicError);
+}
+
+TEST(BufferModel, FitsBufferUsesElementBytes)
+{
+    TileShape t = unitShape();
+    arch::ArchConfig a = arch::edgeArch();
+    EXPECT_TRUE(fitsBuffer(t, a));
+    // Shrink the buffer below the requirement: must fail.
+    a.buffer_bytes = static_cast<std::int64_t>(
+        peakBufferWords(t) * a.element_bytes) - 1;
+    EXPECT_FALSE(fitsBuffer(t, a));
+    a.buffer_bytes += 1;
+    EXPECT_TRUE(fitsBuffer(t, a));
+}
+
+TEST(BufferModel, NonPositiveExtentPanics)
+{
+    TileShape t = unitShape();
+    t.p = 0;
+    EXPECT_THROW(qkvBufferWords(t), PanicError);
+}
+
+TEST(BufferModel, ToStringListsFields)
+{
+    const std::string s = unitShape().toString();
+    EXPECT_NE(s.find("b=2"), std::string::npos);
+    EXPECT_NE(s.find("p'=4"), std::string::npos);
+}
+
+} // namespace
+} // namespace transfusion::tileseek
