@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_overlap"
+  "../bench/ablate_overlap.pdb"
+  "CMakeFiles/ablate_overlap.dir/ablate_overlap.cc.o"
+  "CMakeFiles/ablate_overlap.dir/ablate_overlap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

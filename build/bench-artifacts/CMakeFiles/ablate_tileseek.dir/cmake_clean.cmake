@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_tileseek"
+  "../bench/ablate_tileseek.pdb"
+  "CMakeFiles/ablate_tileseek.dir/ablate_tileseek.cc.o"
+  "CMakeFiles/ablate_tileseek.dir/ablate_tileseek.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tileseek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_arch_sensitivity"
+  "../bench/ext_arch_sensitivity.pdb"
+  "CMakeFiles/ext_arch_sensitivity.dir/ext_arch_sensitivity.cc.o"
+  "CMakeFiles/ext_arch_sensitivity.dir/ext_arch_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_arch_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

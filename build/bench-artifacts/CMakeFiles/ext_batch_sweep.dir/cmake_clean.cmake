@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_batch_sweep"
+  "../bench/ext_batch_sweep.pdb"
+  "CMakeFiles/ext_batch_sweep.dir/ext_batch_sweep.cc.o"
+  "CMakeFiles/ext_batch_sweep.dir/ext_batch_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_batch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

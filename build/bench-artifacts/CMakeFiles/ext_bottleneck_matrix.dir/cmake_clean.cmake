@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_bottleneck_matrix"
+  "../bench/ext_bottleneck_matrix.pdb"
+  "CMakeFiles/ext_bottleneck_matrix.dir/ext_bottleneck_matrix.cc.o"
+  "CMakeFiles/ext_bottleneck_matrix.dir/ext_bottleneck_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bottleneck_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

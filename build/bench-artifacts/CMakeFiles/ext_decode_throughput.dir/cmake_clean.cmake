@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_decode_throughput"
+  "../bench/ext_decode_throughput.pdb"
+  "CMakeFiles/ext_decode_throughput.dir/ext_decode_throughput.cc.o"
+  "CMakeFiles/ext_decode_throughput.dir/ext_decode_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_decode_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

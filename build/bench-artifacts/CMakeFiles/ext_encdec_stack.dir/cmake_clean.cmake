@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_encdec_stack"
+  "../bench/ext_encdec_stack.pdb"
+  "CMakeFiles/ext_encdec_stack.dir/ext_encdec_stack.cc.o"
+  "CMakeFiles/ext_encdec_stack.dir/ext_encdec_stack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_encdec_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_tile_objective"
+  "../bench/ext_tile_objective.pdb"
+  "CMakeFiles/ext_tile_objective.dir/ext_tile_objective.cc.o"
+  "CMakeFiles/ext_tile_objective.dir/ext_tile_objective.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tile_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08a_speedup_llama3.
+# This may be replaced when dependencies are built.

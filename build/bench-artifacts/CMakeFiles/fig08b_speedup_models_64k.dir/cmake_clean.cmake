@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08b_speedup_models_64k"
+  "../bench/fig08b_speedup_models_64k.pdb"
+  "CMakeFiles/fig08b_speedup_models_64k.dir/fig08b_speedup_models_64k.cc.o"
+  "CMakeFiles/fig08b_speedup_models_64k.dir/fig08b_speedup_models_64k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_speedup_models_64k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

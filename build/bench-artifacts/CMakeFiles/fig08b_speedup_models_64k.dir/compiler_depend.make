@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08b_speedup_models_64k.
+# This may be replaced when dependencies are built.

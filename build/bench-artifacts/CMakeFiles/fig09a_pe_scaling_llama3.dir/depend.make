@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09a_pe_scaling_llama3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09b_pe_scaling_models"
+  "../bench/fig09b_pe_scaling_models.pdb"
+  "CMakeFiles/fig09b_pe_scaling_models.dir/fig09b_pe_scaling_models.cc.o"
+  "CMakeFiles/fig09b_pe_scaling_models.dir/fig09b_pe_scaling_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_pe_scaling_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09b_pe_scaling_models.
+# This may be replaced when dependencies are built.

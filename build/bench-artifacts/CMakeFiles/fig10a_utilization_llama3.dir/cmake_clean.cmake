@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10a_utilization_llama3"
+  "../bench/fig10a_utilization_llama3.pdb"
+  "CMakeFiles/fig10a_utilization_llama3.dir/fig10a_utilization_llama3.cc.o"
+  "CMakeFiles/fig10a_utilization_llama3.dir/fig10a_utilization_llama3.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_utilization_llama3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10a_utilization_llama3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10b_utilization_models"
+  "../bench/fig10b_utilization_models.pdb"
+  "CMakeFiles/fig10b_utilization_models.dir/fig10b_utilization_models.cc.o"
+  "CMakeFiles/fig10b_utilization_models.dir/fig10b_utilization_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_utilization_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

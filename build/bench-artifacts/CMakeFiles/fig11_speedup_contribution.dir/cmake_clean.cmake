@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_speedup_contribution"
+  "../bench/fig11_speedup_contribution.pdb"
+  "CMakeFiles/fig11_speedup_contribution.dir/fig11_speedup_contribution.cc.o"
+  "CMakeFiles/fig11_speedup_contribution.dir/fig11_speedup_contribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_speedup_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

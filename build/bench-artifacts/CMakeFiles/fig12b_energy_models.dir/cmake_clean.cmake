@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12b_energy_models"
+  "../bench/fig12b_energy_models.pdb"
+  "CMakeFiles/fig12b_energy_models.dir/fig12b_energy_models.cc.o"
+  "CMakeFiles/fig12b_energy_models.dir/fig12b_energy_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_energy_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

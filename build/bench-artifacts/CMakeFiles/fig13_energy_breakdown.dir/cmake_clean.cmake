@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_energy_breakdown"
+  "../bench/fig13_energy_breakdown.pdb"
+  "CMakeFiles/fig13_energy_breakdown.dir/fig13_energy_breakdown.cc.o"
+  "CMakeFiles/fig13_energy_breakdown.dir/fig13_energy_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

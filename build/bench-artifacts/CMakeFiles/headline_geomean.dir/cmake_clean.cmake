@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/headline_geomean"
+  "../bench/headline_geomean.pdb"
+  "CMakeFiles/headline_geomean.dir/headline_geomean.cc.o"
+  "CMakeFiles/headline_geomean.dir/headline_geomean.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_geomean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_dpipe"
+  "../bench/perf_dpipe.pdb"
+  "CMakeFiles/perf_dpipe.dir/perf_dpipe.cc.o"
+  "CMakeFiles/perf_dpipe.dir/perf_dpipe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_dpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

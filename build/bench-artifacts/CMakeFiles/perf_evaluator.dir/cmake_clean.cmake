@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_evaluator"
+  "../bench/perf_evaluator.pdb"
+  "CMakeFiles/perf_evaluator.dir/perf_evaluator.cc.o"
+  "CMakeFiles/perf_evaluator.dir/perf_evaluator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_evaluator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

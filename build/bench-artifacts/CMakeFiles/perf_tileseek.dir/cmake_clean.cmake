@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_tileseek"
+  "../bench/perf_tileseek.pdb"
+  "CMakeFiles/perf_tileseek.dir/perf_tileseek.cc.o"
+  "CMakeFiles/perf_tileseek.dir/perf_tileseek.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tileseek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_buffer_requirements"
+  "../bench/table2_buffer_requirements.pdb"
+  "CMakeFiles/table2_buffer_requirements.dir/table2_buffer_requirements.cc.o"
+  "CMakeFiles/table2_buffer_requirements.dir/table2_buffer_requirements.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_buffer_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_architectures"
+  "../bench/table3_architectures.pdb"
+  "CMakeFiles/table3_architectures.dir/table3_architectures.cc.o"
+  "CMakeFiles/table3_architectures.dir/table3_architectures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

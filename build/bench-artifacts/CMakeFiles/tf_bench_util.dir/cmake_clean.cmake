@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/tf_bench_util.dir/bench_util.cc.o.d"
+  "libtf_bench_util.a"
+  "libtf_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

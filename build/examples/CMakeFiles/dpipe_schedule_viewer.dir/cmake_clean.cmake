@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpipe_schedule_viewer.dir/dpipe_schedule_viewer.cpp.o"
+  "CMakeFiles/dpipe_schedule_viewer.dir/dpipe_schedule_viewer.cpp.o.d"
+  "dpipe_schedule_viewer"
+  "dpipe_schedule_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpipe_schedule_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_check.dir/functional_check.cpp.o"
+  "CMakeFiles/functional_check.dir/functional_check.cpp.o.d"
+  "functional_check"
+  "functional_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

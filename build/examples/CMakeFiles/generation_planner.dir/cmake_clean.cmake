@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generation_planner.dir/generation_planner.cpp.o"
+  "CMakeFiles/generation_planner.dir/generation_planner.cpp.o.d"
+  "generation_planner"
+  "generation_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generation_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tileseek_explorer.dir/tileseek_explorer.cpp.o"
+  "CMakeFiles/tileseek_explorer.dir/tileseek_explorer.cpp.o.d"
+  "tileseek_explorer"
+  "tileseek_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tileseek_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

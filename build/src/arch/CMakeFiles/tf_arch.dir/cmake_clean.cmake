@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_arch.dir/arch.cc.o"
+  "CMakeFiles/tf_arch.dir/arch.cc.o.d"
+  "libtf_arch.a"
+  "libtf_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

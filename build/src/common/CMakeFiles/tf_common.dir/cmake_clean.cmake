@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_common.dir/logging.cc.o"
+  "CMakeFiles/tf_common.dir/logging.cc.o.d"
+  "CMakeFiles/tf_common.dir/math_utils.cc.o"
+  "CMakeFiles/tf_common.dir/math_utils.cc.o.d"
+  "CMakeFiles/tf_common.dir/table.cc.o"
+  "CMakeFiles/tf_common.dir/table.cc.o.d"
+  "libtf_common.a"
+  "libtf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/energy.cc" "src/costmodel/CMakeFiles/tf_costmodel.dir/energy.cc.o" "gcc" "src/costmodel/CMakeFiles/tf_costmodel.dir/energy.cc.o.d"
+  "/root/repo/src/costmodel/latency.cc" "src/costmodel/CMakeFiles/tf_costmodel.dir/latency.cc.o" "gcc" "src/costmodel/CMakeFiles/tf_costmodel.dir/latency.cc.o.d"
+  "/root/repo/src/costmodel/traffic.cc" "src/costmodel/CMakeFiles/tf_costmodel.dir/traffic.cc.o" "gcc" "src/costmodel/CMakeFiles/tf_costmodel.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/einsum/CMakeFiles/tf_einsum.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/tf_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_costmodel.dir/energy.cc.o"
+  "CMakeFiles/tf_costmodel.dir/energy.cc.o.d"
+  "CMakeFiles/tf_costmodel.dir/latency.cc.o"
+  "CMakeFiles/tf_costmodel.dir/latency.cc.o.d"
+  "CMakeFiles/tf_costmodel.dir/traffic.cc.o"
+  "CMakeFiles/tf_costmodel.dir/traffic.cc.o.d"
+  "libtf_costmodel.a"
+  "libtf_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpipe/dp_scheduler.cc" "src/dpipe/CMakeFiles/tf_dpipe.dir/dp_scheduler.cc.o" "gcc" "src/dpipe/CMakeFiles/tf_dpipe.dir/dp_scheduler.cc.o.d"
+  "/root/repo/src/dpipe/partition.cc" "src/dpipe/CMakeFiles/tf_dpipe.dir/partition.cc.o" "gcc" "src/dpipe/CMakeFiles/tf_dpipe.dir/partition.cc.o.d"
+  "/root/repo/src/dpipe/pipeline.cc" "src/dpipe/CMakeFiles/tf_dpipe.dir/pipeline.cc.o" "gcc" "src/dpipe/CMakeFiles/tf_dpipe.dir/pipeline.cc.o.d"
+  "/root/repo/src/dpipe/trace.cc" "src/dpipe/CMakeFiles/tf_dpipe.dir/trace.cc.o" "gcc" "src/dpipe/CMakeFiles/tf_dpipe.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/einsum/CMakeFiles/tf_einsum.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/tf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/tf_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tf_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

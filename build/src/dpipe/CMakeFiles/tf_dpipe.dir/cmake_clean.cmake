@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_dpipe.dir/dp_scheduler.cc.o"
+  "CMakeFiles/tf_dpipe.dir/dp_scheduler.cc.o.d"
+  "CMakeFiles/tf_dpipe.dir/partition.cc.o"
+  "CMakeFiles/tf_dpipe.dir/partition.cc.o.d"
+  "CMakeFiles/tf_dpipe.dir/pipeline.cc.o"
+  "CMakeFiles/tf_dpipe.dir/pipeline.cc.o.d"
+  "CMakeFiles/tf_dpipe.dir/trace.cc.o"
+  "CMakeFiles/tf_dpipe.dir/trace.cc.o.d"
+  "libtf_dpipe.a"
+  "libtf_dpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_dpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

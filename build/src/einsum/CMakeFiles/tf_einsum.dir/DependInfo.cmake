@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/einsum/cascade.cc" "src/einsum/CMakeFiles/tf_einsum.dir/cascade.cc.o" "gcc" "src/einsum/CMakeFiles/tf_einsum.dir/cascade.cc.o.d"
+  "/root/repo/src/einsum/dag.cc" "src/einsum/CMakeFiles/tf_einsum.dir/dag.cc.o" "gcc" "src/einsum/CMakeFiles/tf_einsum.dir/dag.cc.o.d"
+  "/root/repo/src/einsum/dims.cc" "src/einsum/CMakeFiles/tf_einsum.dir/dims.cc.o" "gcc" "src/einsum/CMakeFiles/tf_einsum.dir/dims.cc.o.d"
+  "/root/repo/src/einsum/einsum.cc" "src/einsum/CMakeFiles/tf_einsum.dir/einsum.cc.o" "gcc" "src/einsum/CMakeFiles/tf_einsum.dir/einsum.cc.o.d"
+  "/root/repo/src/einsum/ops.cc" "src/einsum/CMakeFiles/tf_einsum.dir/ops.cc.o" "gcc" "src/einsum/CMakeFiles/tf_einsum.dir/ops.cc.o.d"
+  "/root/repo/src/einsum/validate.cc" "src/einsum/CMakeFiles/tf_einsum.dir/validate.cc.o" "gcc" "src/einsum/CMakeFiles/tf_einsum.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_einsum.dir/cascade.cc.o"
+  "CMakeFiles/tf_einsum.dir/cascade.cc.o.d"
+  "CMakeFiles/tf_einsum.dir/dag.cc.o"
+  "CMakeFiles/tf_einsum.dir/dag.cc.o.d"
+  "CMakeFiles/tf_einsum.dir/dims.cc.o"
+  "CMakeFiles/tf_einsum.dir/dims.cc.o.d"
+  "CMakeFiles/tf_einsum.dir/einsum.cc.o"
+  "CMakeFiles/tf_einsum.dir/einsum.cc.o.d"
+  "CMakeFiles/tf_einsum.dir/ops.cc.o"
+  "CMakeFiles/tf_einsum.dir/ops.cc.o.d"
+  "CMakeFiles/tf_einsum.dir/validate.cc.o"
+  "CMakeFiles/tf_einsum.dir/validate.cc.o.d"
+  "libtf_einsum.a"
+  "libtf_einsum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_einsum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tf_einsum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cascades.cc" "src/model/CMakeFiles/tf_model.dir/cascades.cc.o" "gcc" "src/model/CMakeFiles/tf_model.dir/cascades.cc.o.d"
+  "/root/repo/src/model/pe_mapping.cc" "src/model/CMakeFiles/tf_model.dir/pe_mapping.cc.o" "gcc" "src/model/CMakeFiles/tf_model.dir/pe_mapping.cc.o.d"
+  "/root/repo/src/model/stack.cc" "src/model/CMakeFiles/tf_model.dir/stack.cc.o" "gcc" "src/model/CMakeFiles/tf_model.dir/stack.cc.o.d"
+  "/root/repo/src/model/transformer.cc" "src/model/CMakeFiles/tf_model.dir/transformer.cc.o" "gcc" "src/model/CMakeFiles/tf_model.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/einsum/CMakeFiles/tf_einsum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

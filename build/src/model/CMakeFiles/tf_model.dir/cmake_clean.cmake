@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_model.dir/cascades.cc.o"
+  "CMakeFiles/tf_model.dir/cascades.cc.o.d"
+  "CMakeFiles/tf_model.dir/pe_mapping.cc.o"
+  "CMakeFiles/tf_model.dir/pe_mapping.cc.o.d"
+  "CMakeFiles/tf_model.dir/stack.cc.o"
+  "CMakeFiles/tf_model.dir/stack.cc.o.d"
+  "CMakeFiles/tf_model.dir/transformer.cc.o"
+  "CMakeFiles/tf_model.dir/transformer.cc.o.d"
+  "libtf_model.a"
+  "libtf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

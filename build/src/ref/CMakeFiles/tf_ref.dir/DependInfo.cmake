@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ref/interpreter.cc" "src/ref/CMakeFiles/tf_ref.dir/interpreter.cc.o" "gcc" "src/ref/CMakeFiles/tf_ref.dir/interpreter.cc.o.d"
+  "/root/repo/src/ref/recurrent_interpreter.cc" "src/ref/CMakeFiles/tf_ref.dir/recurrent_interpreter.cc.o" "gcc" "src/ref/CMakeFiles/tf_ref.dir/recurrent_interpreter.cc.o.d"
+  "/root/repo/src/ref/reference.cc" "src/ref/CMakeFiles/tf_ref.dir/reference.cc.o" "gcc" "src/ref/CMakeFiles/tf_ref.dir/reference.cc.o.d"
+  "/root/repo/src/ref/streaming_attention.cc" "src/ref/CMakeFiles/tf_ref.dir/streaming_attention.cc.o" "gcc" "src/ref/CMakeFiles/tf_ref.dir/streaming_attention.cc.o.d"
+  "/root/repo/src/ref/tensor.cc" "src/ref/CMakeFiles/tf_ref.dir/tensor.cc.o" "gcc" "src/ref/CMakeFiles/tf_ref.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/einsum/CMakeFiles/tf_einsum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

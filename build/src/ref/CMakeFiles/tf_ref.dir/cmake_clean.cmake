@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_ref.dir/interpreter.cc.o"
+  "CMakeFiles/tf_ref.dir/interpreter.cc.o.d"
+  "CMakeFiles/tf_ref.dir/recurrent_interpreter.cc.o"
+  "CMakeFiles/tf_ref.dir/recurrent_interpreter.cc.o.d"
+  "CMakeFiles/tf_ref.dir/reference.cc.o"
+  "CMakeFiles/tf_ref.dir/reference.cc.o.d"
+  "CMakeFiles/tf_ref.dir/streaming_attention.cc.o"
+  "CMakeFiles/tf_ref.dir/streaming_attention.cc.o.d"
+  "CMakeFiles/tf_ref.dir/tensor.cc.o"
+  "CMakeFiles/tf_ref.dir/tensor.cc.o.d"
+  "libtf_ref.a"
+  "libtf_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_schedule.dir/decode.cc.o"
+  "CMakeFiles/tf_schedule.dir/decode.cc.o.d"
+  "CMakeFiles/tf_schedule.dir/evaluator.cc.o"
+  "CMakeFiles/tf_schedule.dir/evaluator.cc.o.d"
+  "CMakeFiles/tf_schedule.dir/metrics.cc.o"
+  "CMakeFiles/tf_schedule.dir/metrics.cc.o.d"
+  "CMakeFiles/tf_schedule.dir/stack_evaluator.cc.o"
+  "CMakeFiles/tf_schedule.dir/stack_evaluator.cc.o.d"
+  "CMakeFiles/tf_schedule.dir/strategy.cc.o"
+  "CMakeFiles/tf_schedule.dir/strategy.cc.o.d"
+  "CMakeFiles/tf_schedule.dir/tiling.cc.o"
+  "CMakeFiles/tf_schedule.dir/tiling.cc.o.d"
+  "libtf_schedule.a"
+  "libtf_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

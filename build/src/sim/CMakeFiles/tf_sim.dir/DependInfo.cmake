@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bottleneck.cc" "src/sim/CMakeFiles/tf_sim.dir/bottleneck.cc.o" "gcc" "src/sim/CMakeFiles/tf_sim.dir/bottleneck.cc.o.d"
+  "/root/repo/src/sim/compare.cc" "src/sim/CMakeFiles/tf_sim.dir/compare.cc.o" "gcc" "src/sim/CMakeFiles/tf_sim.dir/compare.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/tf_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpipe/CMakeFiles/tf_dpipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/tf_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/tf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/einsum/CMakeFiles/tf_einsum.dir/DependInfo.cmake"
+  "/root/repo/build/src/tileseek/CMakeFiles/tf_tileseek.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/tf_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

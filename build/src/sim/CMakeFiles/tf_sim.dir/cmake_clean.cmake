@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_sim.dir/bottleneck.cc.o"
+  "CMakeFiles/tf_sim.dir/bottleneck.cc.o.d"
+  "CMakeFiles/tf_sim.dir/compare.cc.o"
+  "CMakeFiles/tf_sim.dir/compare.cc.o.d"
+  "libtf_sim.a"
+  "libtf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtf_sim.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tileseek/buffer_model.cc" "src/tileseek/CMakeFiles/tf_tileseek.dir/buffer_model.cc.o" "gcc" "src/tileseek/CMakeFiles/tf_tileseek.dir/buffer_model.cc.o.d"
+  "/root/repo/src/tileseek/mcts.cc" "src/tileseek/CMakeFiles/tf_tileseek.dir/mcts.cc.o" "gcc" "src/tileseek/CMakeFiles/tf_tileseek.dir/mcts.cc.o.d"
+  "/root/repo/src/tileseek/search_space.cc" "src/tileseek/CMakeFiles/tf_tileseek.dir/search_space.cc.o" "gcc" "src/tileseek/CMakeFiles/tf_tileseek.dir/search_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/tf_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_tileseek.dir/buffer_model.cc.o"
+  "CMakeFiles/tf_tileseek.dir/buffer_model.cc.o.d"
+  "CMakeFiles/tf_tileseek.dir/mcts.cc.o"
+  "CMakeFiles/tf_tileseek.dir/mcts.cc.o.d"
+  "CMakeFiles/tf_tileseek.dir/search_space.cc.o"
+  "CMakeFiles/tf_tileseek.dir/search_space.cc.o.d"
+  "libtf_tileseek.a"
+  "libtf_tileseek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_tileseek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

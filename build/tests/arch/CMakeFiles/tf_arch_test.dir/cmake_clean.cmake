@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_arch_test.dir/arch_test.cc.o"
+  "CMakeFiles/tf_arch_test.dir/arch_test.cc.o.d"
+  "tf_arch_test"
+  "tf_arch_test.pdb"
+  "tf_arch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_arch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_common_test.dir/math_utils_test.cc.o"
+  "CMakeFiles/tf_common_test.dir/math_utils_test.cc.o.d"
+  "CMakeFiles/tf_common_test.dir/rng_test.cc.o"
+  "CMakeFiles/tf_common_test.dir/rng_test.cc.o.d"
+  "CMakeFiles/tf_common_test.dir/table_test.cc.o"
+  "CMakeFiles/tf_common_test.dir/table_test.cc.o.d"
+  "tf_common_test"
+  "tf_common_test.pdb"
+  "tf_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

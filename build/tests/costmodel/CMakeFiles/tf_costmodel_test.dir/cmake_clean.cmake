@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_costmodel_test.dir/energy_test.cc.o"
+  "CMakeFiles/tf_costmodel_test.dir/energy_test.cc.o.d"
+  "CMakeFiles/tf_costmodel_test.dir/latency_test.cc.o"
+  "CMakeFiles/tf_costmodel_test.dir/latency_test.cc.o.d"
+  "CMakeFiles/tf_costmodel_test.dir/traffic_fuzz_test.cc.o"
+  "CMakeFiles/tf_costmodel_test.dir/traffic_fuzz_test.cc.o.d"
+  "CMakeFiles/tf_costmodel_test.dir/traffic_test.cc.o"
+  "CMakeFiles/tf_costmodel_test.dir/traffic_test.cc.o.d"
+  "tf_costmodel_test"
+  "tf_costmodel_test.pdb"
+  "tf_costmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_costmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

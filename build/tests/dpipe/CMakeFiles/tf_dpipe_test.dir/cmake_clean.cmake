@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_dpipe_test.dir/dp_scheduler_test.cc.o"
+  "CMakeFiles/tf_dpipe_test.dir/dp_scheduler_test.cc.o.d"
+  "CMakeFiles/tf_dpipe_test.dir/partition_test.cc.o"
+  "CMakeFiles/tf_dpipe_test.dir/partition_test.cc.o.d"
+  "CMakeFiles/tf_dpipe_test.dir/pipeline_test.cc.o"
+  "CMakeFiles/tf_dpipe_test.dir/pipeline_test.cc.o.d"
+  "CMakeFiles/tf_dpipe_test.dir/scheduler_fuzz_test.cc.o"
+  "CMakeFiles/tf_dpipe_test.dir/scheduler_fuzz_test.cc.o.d"
+  "CMakeFiles/tf_dpipe_test.dir/trace_test.cc.o"
+  "CMakeFiles/tf_dpipe_test.dir/trace_test.cc.o.d"
+  "tf_dpipe_test"
+  "tf_dpipe_test.pdb"
+  "tf_dpipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_dpipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

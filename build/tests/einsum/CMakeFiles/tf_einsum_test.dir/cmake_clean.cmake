@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_einsum_test.dir/cascade_test.cc.o"
+  "CMakeFiles/tf_einsum_test.dir/cascade_test.cc.o.d"
+  "CMakeFiles/tf_einsum_test.dir/dag_test.cc.o"
+  "CMakeFiles/tf_einsum_test.dir/dag_test.cc.o.d"
+  "CMakeFiles/tf_einsum_test.dir/einsum_test.cc.o"
+  "CMakeFiles/tf_einsum_test.dir/einsum_test.cc.o.d"
+  "CMakeFiles/tf_einsum_test.dir/validate_test.cc.o"
+  "CMakeFiles/tf_einsum_test.dir/validate_test.cc.o.d"
+  "tf_einsum_test"
+  "tf_einsum_test.pdb"
+  "tf_einsum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_einsum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

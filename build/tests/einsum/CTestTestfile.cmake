@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/einsum
+# Build directory: /root/repo/build/tests/einsum
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/einsum/tf_einsum_test[1]_include.cmake")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_integration_test.dir/end_to_end_test.cc.o"
+  "CMakeFiles/tf_integration_test.dir/end_to_end_test.cc.o.d"
+  "CMakeFiles/tf_integration_test.dir/full_layer_functional_test.cc.o"
+  "CMakeFiles/tf_integration_test.dir/full_layer_functional_test.cc.o.d"
+  "CMakeFiles/tf_integration_test.dir/grid_sweep_test.cc.o"
+  "CMakeFiles/tf_integration_test.dir/grid_sweep_test.cc.o.d"
+  "CMakeFiles/tf_integration_test.dir/robustness_test.cc.o"
+  "CMakeFiles/tf_integration_test.dir/robustness_test.cc.o.d"
+  "tf_integration_test"
+  "tf_integration_test.pdb"
+  "tf_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

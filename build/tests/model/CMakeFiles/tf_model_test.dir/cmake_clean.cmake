@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_model_test.dir/cascades_test.cc.o"
+  "CMakeFiles/tf_model_test.dir/cascades_test.cc.o.d"
+  "CMakeFiles/tf_model_test.dir/transformer_test.cc.o"
+  "CMakeFiles/tf_model_test.dir/transformer_test.cc.o.d"
+  "tf_model_test"
+  "tf_model_test.pdb"
+  "tf_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_ref_test.dir/attention_equivalence_test.cc.o"
+  "CMakeFiles/tf_ref_test.dir/attention_equivalence_test.cc.o.d"
+  "CMakeFiles/tf_ref_test.dir/interpreter_test.cc.o"
+  "CMakeFiles/tf_ref_test.dir/interpreter_test.cc.o.d"
+  "CMakeFiles/tf_ref_test.dir/recurrent_interpreter_test.cc.o"
+  "CMakeFiles/tf_ref_test.dir/recurrent_interpreter_test.cc.o.d"
+  "CMakeFiles/tf_ref_test.dir/reference_test.cc.o"
+  "CMakeFiles/tf_ref_test.dir/reference_test.cc.o.d"
+  "CMakeFiles/tf_ref_test.dir/tensor_test.cc.o"
+  "CMakeFiles/tf_ref_test.dir/tensor_test.cc.o.d"
+  "tf_ref_test"
+  "tf_ref_test.pdb"
+  "tf_ref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_ref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_schedule_test.dir/decode_test.cc.o"
+  "CMakeFiles/tf_schedule_test.dir/decode_test.cc.o.d"
+  "CMakeFiles/tf_schedule_test.dir/evaluator_test.cc.o"
+  "CMakeFiles/tf_schedule_test.dir/evaluator_test.cc.o.d"
+  "CMakeFiles/tf_schedule_test.dir/stack_evaluator_test.cc.o"
+  "CMakeFiles/tf_schedule_test.dir/stack_evaluator_test.cc.o.d"
+  "CMakeFiles/tf_schedule_test.dir/tiling_test.cc.o"
+  "CMakeFiles/tf_schedule_test.dir/tiling_test.cc.o.d"
+  "tf_schedule_test"
+  "tf_schedule_test.pdb"
+  "tf_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

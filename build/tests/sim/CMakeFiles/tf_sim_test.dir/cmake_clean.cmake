@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_sim_test.dir/bottleneck_test.cc.o"
+  "CMakeFiles/tf_sim_test.dir/bottleneck_test.cc.o.d"
+  "CMakeFiles/tf_sim_test.dir/compare_test.cc.o"
+  "CMakeFiles/tf_sim_test.dir/compare_test.cc.o.d"
+  "tf_sim_test"
+  "tf_sim_test.pdb"
+  "tf_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_tileseek_test.dir/buffer_model_test.cc.o"
+  "CMakeFiles/tf_tileseek_test.dir/buffer_model_test.cc.o.d"
+  "CMakeFiles/tf_tileseek_test.dir/mcts_test.cc.o"
+  "CMakeFiles/tf_tileseek_test.dir/mcts_test.cc.o.d"
+  "tf_tileseek_test"
+  "tf_tileseek_test.pdb"
+  "tf_tileseek_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_tileseek_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
