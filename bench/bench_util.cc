@@ -16,9 +16,16 @@ PointResults
 evaluatePoint(const arch::ArchConfig &arch,
               const model::TransformerConfig &cfg, std::int64_t seq)
 {
-    schedule::EvaluatorOptions opts;
-    opts.mcts.iterations = 2048;
-    return sim::evaluateAll(arch, cfg, seq, opts);
+    return sim::evaluateAll(arch, cfg, seq,
+                            sweepOptions().evaluator);
+}
+
+schedule::SweepOptions
+sweepOptions()
+{
+    schedule::SweepOptions opts;
+    opts.evaluator.mcts.iterations = 2048;
+    return opts;
 }
 
 std::vector<schedule::StrategyKind>

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "schedule/sweep.hh"
 #include "sim/compare.hh"
 
 namespace transfusion::bench
@@ -25,6 +26,13 @@ using PointResults =
 PointResults evaluatePoint(const arch::ArchConfig &arch,
                            const model::TransformerConfig &cfg,
                            std::int64_t seq);
+
+/**
+ * Sweep configuration with the same evaluator defaults as
+ * evaluatePoint, so parallel figure sweeps reproduce the serial
+ * numbers bit-for-bit.
+ */
+schedule::SweepOptions sweepOptions();
 
 /** Strategy column order used by every figure. */
 std::vector<schedule::StrategyKind> figureStrategies();

@@ -5,6 +5,10 @@
  * the full model x sequence sweep, per architecture.  Paper
  * reports 1.3x / 1.6x / 7.0x on cloud and 1.8x / 2.2x / 3.2x on
  * edge.
+ *
+ * The grid is evaluated through schedule::Sweep, so the wall clock
+ * scales with cores while the numbers stay bit-identical to the
+ * serial loop this binary used to run.
  */
 
 #include <iostream>
@@ -12,6 +16,7 @@
 #include "bench_util.hh"
 #include "common/math_utils.hh"
 #include "common/table.hh"
+#include "schedule/sweep.hh"
 
 int
 main()
@@ -23,31 +28,32 @@ main()
         "Geomean speedup of TransFusion over each baseline across "
         "all models and sequence lengths");
 
+    const schedule::Sweep sweep(bench::sweepOptions());
+    const auto points = schedule::Sweep::grid(
+        { arch::cloudArch(), arch::edgeArch() }, model::allModels(),
+        sim::paperSequenceSweep());
+    const auto metrics = sweep.run(points);
+
     Table t({ "arch", "vs LayerFuse", "vs FuseMax", "vs FLAT",
               "vs Unfused" });
     for (const auto *arch_name : { "cloud", "edge" }) {
-        const auto arch = arch::archByName(arch_name);
         std::vector<double> vs_lf, vs_fm, vs_flat, vs_unfused;
-        for (const auto &cfg : model::allModels()) {
-            for (std::int64_t seq : sim::paperSequenceSweep()) {
-                const auto all =
-                    bench::evaluatePoint(arch, cfg, seq);
-                const double tf =
-                    all.at(StrategyKind::TransFusion)
-                        .total.latency_s;
-                vs_lf.push_back(
-                    all.at(StrategyKind::FuseMaxLayerFuse)
-                        .total.latency_s / tf);
-                vs_fm.push_back(all.at(StrategyKind::FuseMax)
-                                    .total.latency_s / tf);
-                vs_flat.push_back(all.at(StrategyKind::Flat)
-                                      .total.latency_s / tf);
-                vs_unfused.push_back(
-                    all.at(StrategyKind::Unfused)
-                        .total.latency_s / tf);
-            }
+        for (const auto &m : metrics) {
+            if (m.point.arch.name != arch_name)
+                continue;
+            const double tf =
+                m.at(StrategyKind::TransFusion).total.latency_s;
+            vs_lf.push_back(
+                m.at(StrategyKind::FuseMaxLayerFuse)
+                    .total.latency_s / tf);
+            vs_fm.push_back(
+                m.at(StrategyKind::FuseMax).total.latency_s / tf);
+            vs_flat.push_back(
+                m.at(StrategyKind::Flat).total.latency_s / tf);
+            vs_unfused.push_back(
+                m.at(StrategyKind::Unfused).total.latency_s / tf);
         }
-        t.addRow({ arch.name,
+        t.addRow({ arch_name,
                    Table::cell(geometricMean(vs_lf), 2) + "x",
                    Table::cell(geometricMean(vs_fm), 2) + "x",
                    Table::cell(geometricMean(vs_flat), 2) + "x",
@@ -55,7 +61,9 @@ main()
                        + "x" });
     }
     t.print(std::cout);
-    std::cout << "\nPaper reference: cloud 1.3x / 1.6x / 7.0x, "
+    std::cout << "\n(" << points.size() << " points swept on "
+              << sweep.threads() << " threads)\n"
+              << "Paper reference: cloud 1.3x / 1.6x / 7.0x, "
                  "edge 1.8x / 2.2x / 3.2x (vs LayerFuse / FuseMax "
                  "/ FLAT)\n";
     return 0;

@@ -11,6 +11,8 @@
 #include "schedule/decode.hh"
 #include "schedule/evaluator.hh"
 #include "schedule/stack_evaluator.hh"
+#include "schedule/sweep.hh"
+#include "sim/compare.hh"
 
 namespace
 {
@@ -67,6 +69,32 @@ BM_TileSeekBudgetScaling(benchmark::State &state)
 BENCHMARK(BM_TileSeekBudgetScaling)
     ->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepGrid(benchmark::State &state)
+{
+    // The figure-sweep workload: an all-models x four-seqlen grid
+    // on one architecture, fanned across the sweep driver.  The
+    // thread axis shows how every downstream experiment scales
+    // with cores; results are bit-identical at every count.
+    schedule::SweepOptions opts;
+    opts.threads = static_cast<int>(state.range(0));
+    opts.evaluator.mcts.iterations = 256;
+    const schedule::Sweep sweep(opts);
+    const auto points = schedule::Sweep::grid(
+        { arch::edgeArch() }, model::allModels(),
+        { 1 << 10, 4 << 10, 16 << 10, 64 << 10 });
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sweep.run(points));
+    state.SetItemsProcessed(
+        state.iterations()
+        * static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_SweepGrid)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void
 BM_StackEvaluation(benchmark::State &state)

@@ -83,6 +83,29 @@ BM_MctsRawIterations(benchmark::State &state)
 BENCHMARK(BM_MctsRawIterations)->Arg(1024)->Arg(8192);
 
 void
+BM_RootParallelTileSeek(benchmark::State &state)
+{
+    // Root-parallel search: K independent trees, each a full
+    // iteration budget, merged by best cost.  Deterministic in
+    // (seed, K); the thread axis shows the scaling headroom.
+    const auto arch = arch::cloudArch();
+    const auto cfg = model::llama3_8b();
+    tileseek::MctsOptions opts;
+    opts.iterations = 1024;
+    opts.threads = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            schedule::seekTile(arch, cfg, 65536, 1.0, opts));
+    }
+    state.SetItemsProcessed(state.iterations() * opts.iterations
+                            * opts.threads);
+}
+BENCHMARK(BM_RootParallelTileSeek)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
 BM_ExhaustiveReducedSpace(benchmark::State &state)
 {
     tileseek::SearchSpace space;

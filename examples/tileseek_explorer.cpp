@@ -6,7 +6,13 @@
  * -- the exhaustive optimum, and prints the Table 2 buffer budget
  * of the winning tile.
  *
+ * The MCTS runs root-parallel (`threads` independent trees merged
+ * by best cost -- deterministic for a fixed seed and thread
+ * count), and the closing per-sequence comparison fans across the
+ * schedule::Sweep driver.
+ *
  * Usage: tileseek_explorer [model=Llama3] [arch=edge] [seq=65536]
+ *                          [threads=hardware]
  */
 
 #include <cstdlib>
@@ -14,9 +20,12 @@
 
 #include "common/math_utils.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "costmodel/roofline.hh"
 #include "costmodel/traffic.hh"
+#include "schedule/sweep.hh"
 #include "schedule/tiling.hh"
+#include "sim/compare.hh"
 
 int
 main(int argc, char **argv)
@@ -28,9 +37,16 @@ main(int argc, char **argv)
     const arch::ArchConfig arch =
         arch::archByName(argc > 2 ? argv[2] : "edge");
     const std::int64_t seq = argc > 3 ? std::atoll(argv[3]) : 65536;
+    const int threads_arg =
+        argc > 4 ? std::atoi(argv[4]) : 0;
+    // 0 or unparseable means "use every core".
+    const int threads = threads_arg > 0
+        ? threads_arg
+        : ThreadPool::hardwareThreads();
 
     std::cout << "TileSeek exploration: " << cfg.name << " on "
-              << arch.toString() << ", P=" << seq << "\n\n";
+              << arch.toString() << ", P=" << seq << ", "
+              << threads << " search trees\n\n";
 
     const auto space = schedule::buildTilingSpace(arch, cfg, seq);
     std::cout << "search space: " << space.leafCount()
@@ -53,6 +69,7 @@ main(int argc, char **argv)
 
     tileseek::MctsOptions opts;
     opts.iterations = 4096;
+    opts.threads = threads;
     const auto sought =
         schedule::seekTile(arch, cfg, seq, 0.0, opts);
     const auto naive = schedule::naiveTile(arch, cfg, seq);
@@ -88,5 +105,34 @@ main(int argc, char **argv)
               << " bytes; fits: "
               << (tileseek::fitsBuffer(sought, arch) ? "yes" : "NO")
               << "\n";
+
+    // How the searched tile pays off end to end, across the
+    // paper's sequence axis -- evaluated in parallel by the sweep
+    // driver (results are input-ordered and thread-count
+    // independent).
+    schedule::SweepOptions sweep_opts;
+    sweep_opts.threads = threads;
+    sweep_opts.strategies = {
+        schedule::StrategyKind::FuseMaxLayerFuse,
+        schedule::StrategyKind::TransFusion,
+    };
+    const schedule::Sweep sweep(sweep_opts);
+    const auto metrics = sweep.run(schedule::Sweep::grid(
+        { arch }, { cfg }, sim::paperSequenceSweep()));
+
+    std::cout << "\nEnd-to-end latency across sequence lengths ("
+              << sweep.threads() << " sweep threads):\n";
+    Table s({ "P", "LayerFuse (naive tile)", "TransFusion",
+              "speedup" });
+    for (const auto &m : metrics) {
+        const auto &lf =
+            m.at(schedule::StrategyKind::FuseMaxLayerFuse);
+        const auto &tf = m.at(schedule::StrategyKind::TransFusion);
+        s.addRow({ formatQuantity(m.point.seq),
+                   formatSeconds(lf.total.latency_s),
+                   formatSeconds(tf.total.latency_s),
+                   Table::cell(sim::speedup(lf, tf), 2) + "x" });
+    }
+    s.print(std::cout);
     return 0;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the threaded
+# layers (ThreadPool, schedule::Sweep, root-parallel TileSeek).
+#
+# Usage: scripts/check.sh [--tsan-only | --tier1-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+mode="${1:-all}"
+
+run_tier1() {
+    echo "== tier-1: build + full test suite =="
+    cmake -B build -S .
+    cmake --build build -j "$jobs"
+    ctest --test-dir build --output-on-failure -j "$jobs"
+}
+
+run_tsan() {
+    echo "== TSan: threaded tests =="
+    cmake -B build-tsan -S . -DTRANSFUSION_SANITIZE=thread
+    cmake --build build-tsan -j "$jobs" \
+        --target tf_common_test tf_tileseek_test tf_schedule_test
+    # The threaded surfaces: pool unit tests, parallel sweeps, and
+    # the root-parallel MCTS determinism suite.
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+        -R 'ThreadPool|Sweep|Mcts'
+}
+
+case "$mode" in
+    --tier1-only) run_tier1 ;;
+    --tsan-only)  run_tsan ;;
+    all)          run_tier1; run_tsan ;;
+    *) echo "usage: $0 [--tsan-only | --tier1-only]" >&2; exit 2 ;;
+esac
+echo "check.sh: all requested checks passed"

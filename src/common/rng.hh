@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
+
 namespace transfusion
 {
 
@@ -46,6 +48,9 @@ class Rng
     std::uint64_t
     nextBelow(std::uint64_t bound)
     {
+        // A zero bound has no valid draw; returning 0 here would
+        // hand callers a silent out-of-bounds index.
+        tf_assert(bound > 0, "nextBelow needs a positive bound");
         // Multiply-shift rejection-free mapping (Lemire). The tiny
         // modulo bias is irrelevant for search heuristics and tests.
         return static_cast<std::uint64_t>(

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Implementation of the fixed-size thread pool.
+ */
+
+#include "thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion
+{
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int count = threads > 0 ? threads : hardwareThreads();
+    workers.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        tf_assert(!stopping, "submit() on a stopping ThreadPool");
+        queue.push_back(std::move(job));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock,
+                    [this]() { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+        job(); // packaged_task captures any exception in its future
+    }
+}
+
+} // namespace transfusion

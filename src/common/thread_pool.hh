@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fixed-size thread pool for deterministic fan-out parallelism.
+ *
+ * The pool deliberately has no work stealing and no priorities: the
+ * parallel layers of TransFusion (schedule::Sweep, root-parallel
+ * TileSeek) get their determinism by making every task independent
+ * and collecting results in submission order, so a plain FIFO queue
+ * is all the scheduling we want.  Exceptions thrown inside a task
+ * travel through the returned std::future and re-throw at get().
+ */
+
+#ifndef TRANSFUSION_COMMON_THREAD_POOL_HH
+#define TRANSFUSION_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace transfusion
+{
+
+/**
+ * Fixed worker count, futures-based submission.
+ *
+ * The destructor drains the queue: every task submitted before
+ * destruction runs to completion before the workers join.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; <= 0 means hardwareThreads(). */
+    explicit ThreadPool(int threads = 0);
+
+    /** Runs all queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (always >= 1). */
+    int threadCount() const { return static_cast<int>(workers.size()); }
+
+    /** Best guess at the machine's concurrency (always >= 1). */
+    static int hardwareThreads();
+
+    /**
+     * Queue `fn` for execution; the future carries its return value
+     * or the exception it threw.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return fut;
+    }
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+/**
+ * Map `fn` over `items` on `pool`, returning results in input
+ * order regardless of completion order.  The first task exception
+ * re-throws here after all tasks finish.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(ThreadPool &pool, const std::vector<T> &items, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn &, const T &>>
+{
+    using R = std::invoke_result_t<Fn &, const T &>;
+    std::vector<std::future<R>> futures;
+    futures.reserve(items.size());
+    for (const T &item : items)
+        futures.push_back(pool.submit([&fn, &item]() { return fn(item); }));
+    std::vector<R> out;
+    out.reserve(items.size());
+    // Wait for everything before propagating: queued tasks hold
+    // references into `fn`/`items`, so unwinding early would let
+    // them dangle.
+    std::exception_ptr first;
+    for (auto &f : futures) {
+        try {
+            out.push_back(f.get());
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+    return out;
+}
+
+} // namespace transfusion
+
+#endif // TRANSFUSION_COMMON_THREAD_POOL_HH

@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace transfusion::tileseek
 {
@@ -16,7 +17,7 @@ namespace transfusion::tileseek
 TileSeek::TileSeek(SearchSpace space_, FeasibleFn feasible_,
                    CostFn cost_, MctsOptions options_)
     : space(std::move(space_)), feasible(std::move(feasible_)),
-      cost(std::move(cost_)), options(options_), rng(options_.seed)
+      cost(std::move(cost_)), options(options_)
 {
     space.validate();
     tf_assert(feasible != nullptr, "feasibility predicate required");
@@ -24,10 +25,13 @@ TileSeek::TileSeek(SearchSpace space_, FeasibleFn feasible_,
     if (options.iterations <= 0)
         tf_fatal("MCTS needs a positive iteration budget, got ",
                  options.iterations);
+    if (options.threads <= 0)
+        tf_fatal("MCTS needs a positive tree count, got ",
+                 options.threads);
 }
 
 int
-TileSeek::newNode(int level)
+TileSeek::newNode(Tree &tree, int level) const
 {
     Node n;
     n.level = level;
@@ -36,15 +40,19 @@ TileSeek::newNode(int level)
             space.choices[static_cast<std::size_t>(level)].size(),
             -1);
     }
-    nodes.push_back(std::move(n));
-    ++nodes_expanded;
-    return static_cast<int>(nodes.size()) - 1;
+    tree.nodes.push_back(std::move(n));
+    ++tree.nodes_expanded;
+    return static_cast<int>(tree.nodes.size()) - 1;
 }
 
 double
 TileSeek::ucbScore(const Node &child, int parent_visits) const
 {
-    if (child.visits == 0)
+    // Unvisited children and children of an unvisited parent are
+    // maximally attractive.  The parent_visits guard is defensive:
+    // log(0) -> -inf would otherwise surface as a NaN score that
+    // silently loses every comparison and skews selection.
+    if (child.visits == 0 || parent_visits <= 0)
         return std::numeric_limits<double>::infinity();
     const double mean = child.total_reward
         / static_cast<double>(child.visits);
@@ -55,15 +63,19 @@ TileSeek::ucbScore(const Node &child, int parent_visits) const
 }
 
 double
-TileSeek::evaluate(const Assignment &a, SearchResult &result)
+TileSeek::evaluate(Tree &tree, const Assignment &a) const
 {
+    // Every completed leaf counts against the evaluation budget:
+    // infeasible points still paid for constraint validation, and
+    // reporting only the feasible subset under-counted search cost.
+    ++tree.result.evaluations;
     if (!feasible(a))
         return 0.0; // infeasible leaves earn zero reward
 
     const double c = cost(a);
-    ++result.evaluations;
-    if (reward_scale <= 0)
-        reward_scale = c > 0 ? c : 1.0;
+    if (tree.reward_scale <= 0)
+        tree.reward_scale = c > 0 ? c : 1.0;
+    SearchResult &result = tree.result;
     if (!result.found || c < result.best_cost) {
         result.found = true;
         result.best = a;
@@ -71,23 +83,23 @@ TileSeek::evaluate(const Assignment &a, SearchResult &result)
     }
     // Shaped reward in (0, 1]: the first feasible cost maps to 0.5,
     // cheaper tilings approach 1.
-    return reward_scale / (reward_scale + c);
+    return tree.reward_scale / (tree.reward_scale + c);
 }
 
 double
-TileSeek::rolloutAndScore(Assignment &partial, std::size_t level,
-                          SearchResult &result)
+TileSeek::rolloutAndScore(Tree &tree, Assignment &partial,
+                          std::size_t level) const
 {
     for (std::size_t l = level; l < space.depth(); ++l) {
         const auto &cands = space.choices[l];
         partial[l] = cands[static_cast<std::size_t>(
-            rng.nextBelow(cands.size()))];
+            tree.rng.nextBelow(cands.size()))];
     }
-    return evaluate(partial, result);
+    return evaluate(tree, partial);
 }
 
 void
-TileSeek::iterate(SearchResult &result)
+TileSeek::iterate(Tree &tree) const
 {
     Assignment partial(space.depth(), 0);
     std::vector<int> path;
@@ -96,7 +108,7 @@ TileSeek::iterate(SearchResult &result)
 
     // Selection: descend while fully expanded, maximizing UCB.
     while (true) {
-        Node &n = nodes[static_cast<std::size_t>(node)];
+        Node &n = tree.nodes[static_cast<std::size_t>(node)];
         if (n.level == static_cast<int>(space.depth()))
             break; // complete assignment reached
 
@@ -112,8 +124,9 @@ TileSeek::iterate(SearchResult &result)
             }
         }
         if (unexpanded >= 0) {
-            const int child = newNode(n.level + 1);
+            const int child = newNode(tree, n.level + 1);
             // `nodes` may have reallocated; re-reference.
+            auto &nodes = tree.nodes;
             nodes[static_cast<std::size_t>(node)]
                 .child_of_choice[static_cast<std::size_t>(
                     unexpanded)] = child;
@@ -131,7 +144,8 @@ TileSeek::iterate(SearchResult &result)
         for (std::size_t c = 0; c < cands.size(); ++c) {
             const int child = n.child_of_choice[c];
             const double score = ucbScore(
-                nodes[static_cast<std::size_t>(child)], n.visits);
+                tree.nodes[static_cast<std::size_t>(child)],
+                n.visits);
             if (score > best_score) {
                 best_score = score;
                 best_choice = static_cast<int>(c);
@@ -146,30 +160,71 @@ TileSeek::iterate(SearchResult &result)
 
     // Rollout from the frontier node's depth.
     const std::size_t frontier_level = static_cast<std::size_t>(
-        nodes[static_cast<std::size_t>(node)].level);
+        tree.nodes[static_cast<std::size_t>(node)].level);
     const double reward =
-        rolloutAndScore(partial, frontier_level, result);
+        rolloutAndScore(tree, partial, frontier_level);
 
     // Backpropagation.
     for (int v : path) {
-        Node &n = nodes[static_cast<std::size_t>(v)];
+        Node &n = tree.nodes[static_cast<std::size_t>(v)];
         n.visits += 1;
         n.total_reward += reward;
     }
 }
 
+void
+TileSeek::searchTree(Tree &tree) const
+{
+    newNode(tree, 0); // root
+    for (int i = 0; i < options.iterations; ++i)
+        iterate(tree);
+}
+
 SearchResult
 TileSeek::search()
 {
-    nodes.clear();
-    nodes_expanded = 0;
-    reward_scale = -1;
-    newNode(0); // root
+    const int k = options.threads;
+    std::vector<Tree> trees;
+    trees.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+        // Deterministic fork: tree i draws from seed + i, so tree 0
+        // is exactly the single-threaded stream.
+        trees.emplace_back(options.seed
+                           + static_cast<std::uint64_t>(i));
+    }
 
-    SearchResult result;
-    for (int i = 0; i < options.iterations; ++i)
-        iterate(result);
-    return result;
+    if (k == 1) {
+        searchTree(trees[0]);
+    } else {
+        ThreadPool pool(
+            std::min(k, ThreadPool::hardwareThreads()));
+        std::vector<std::future<void>> futures;
+        futures.reserve(static_cast<std::size_t>(k));
+        for (Tree &t : trees) {
+            futures.push_back(pool.submit(
+                [this, &t]() { searchTree(t); }));
+        }
+        for (auto &f : futures)
+            f.get();
+    }
+
+    // Merge in ascending tree order: strict improvement only, so
+    // ties resolve to the lowest tree index and the merge is
+    // independent of completion order.
+    SearchResult merged;
+    nodes_expanded = 0;
+    for (const Tree &t : trees) {
+        nodes_expanded += t.nodes_expanded;
+        merged.evaluations += t.result.evaluations;
+        if (t.result.found
+                && (!merged.found
+                    || t.result.best_cost < merged.best_cost)) {
+            merged.found = true;
+            merged.best = t.result.best;
+            merged.best_cost = t.result.best_cost;
+        }
+    }
+    return merged;
 }
 
 } // namespace transfusion::tileseek

@@ -6,6 +6,14 @@
  * constraints before the cost model scores them (the "Constraint
  * Validation" and "Simulation" components); rewards backpropagate
  * along the selected path.
+ *
+ * With `MctsOptions.threads > 1` the search is *root-parallel*: K
+ * fully independent trees run concurrently, tree i drawing from an
+ * Rng forked deterministically as seed + i, and the per-tree
+ * incumbents merge by best cost (lowest tree index wins ties).  A
+ * fixed (seed, threads) pair therefore yields a bit-identical
+ * SearchResult regardless of scheduling, and threads == 1
+ * reproduces the single-threaded search exactly.
  */
 
 #ifndef TRANSFUSION_TILESEEK_MCTS_HH
@@ -23,6 +31,13 @@ struct MctsOptions
     int iterations = 2048;    ///< selection/rollout/backprop rounds
     double ucb_c = 1.41421356237; ///< UCB exploration constant
     std::uint64_t seed = 0x7f4a7c15; ///< rollout RNG seed
+    /**
+     * Root-parallel tree count.  Each tree runs the full iteration
+     * budget; results merge by best cost.  Tree 0 reproduces the
+     * threads == 1 search, so raising the count can only improve
+     * (or tie) the incumbent for a given seed.
+     */
+    int threads = 1;
 };
 
 /** MCTS-based outer tiling search. */
@@ -37,10 +52,14 @@ class TileSeek
     TileSeek(SearchSpace space, FeasibleFn feasible, CostFn cost,
              MctsOptions options = {});
 
-    /** Run the configured number of iterations. */
+    /**
+     * Run the configured number of iterations (per tree).  Each
+     * call restarts from scratch: repeated calls on the same
+     * instance return bit-identical results.
+     */
     SearchResult search();
 
-    /** Tree nodes materialized during the last search. */
+    /** Tree nodes materialized during the last search (all trees). */
     std::int64_t nodesExpanded() const { return nodes_expanded; }
 
   private:
@@ -52,26 +71,38 @@ class TileSeek
         int visits = 0;
     };
 
+    /** One independent search tree (the root-parallel unit). */
+    struct Tree
+    {
+        explicit Tree(std::uint64_t seed) : rng(seed) {}
+
+        std::vector<Node> nodes;
+        Rng rng;
+        std::int64_t nodes_expanded = 0;
+        double reward_scale = -1; ///< first feasible cost, shaping
+        SearchResult result;
+    };
+
     SearchSpace space;
     FeasibleFn feasible;
     CostFn cost;
     MctsOptions options;
-    Rng rng;
 
-    std::vector<Node> nodes;
     std::int64_t nodes_expanded = 0;
-    double reward_scale = -1; ///< first feasible cost, for shaping
 
-    int newNode(int level);
+    /** Run one complete tree; deterministic in its forked seed. */
+    void searchTree(Tree &tree) const;
+
+    int newNode(Tree &tree, int level) const;
     /** UCB1 score of a child given parent visit count. */
     double ucbScore(const Node &child, int parent_visits) const;
-    /** One MCTS iteration; updates `result` with any new best. */
-    void iterate(SearchResult &result);
+    /** One MCTS iteration; updates the tree's incumbent. */
+    void iterate(Tree &tree) const;
     /** Complete `partial` randomly from `level`; returns reward. */
-    double rolloutAndScore(Assignment &partial, std::size_t level,
-                           SearchResult &result);
+    double rolloutAndScore(Tree &tree, Assignment &partial,
+                           std::size_t level) const;
     /** Evaluate a complete assignment, updating the incumbent. */
-    double evaluate(const Assignment &a, SearchResult &result);
+    double evaluate(Tree &tree, const Assignment &a) const;
 };
 
 } // namespace transfusion::tileseek

@@ -29,8 +29,10 @@ SearchSpace::validate() const
         tf_fatal("search space has no levels");
     for (std::size_t i = 0; i < choices.size(); ++i) {
         if (choices[i].empty())
-            tf_fatal("level '", level_names[i],
-                     "' has no candidates");
+            tf_fatal("search space level ", i, " ('",
+                     level_names[i],
+                     "') has an empty candidate list; every level "
+                     "needs at least one choice");
         for (auto v : choices[i]) {
             if (v <= 0)
                 tf_fatal("level '", level_names[i],

@@ -54,7 +54,13 @@ struct SearchResult
     bool found = false;
     Assignment best;
     double best_cost = 0;
-    std::int64_t evaluations = 0; ///< cost-model invocations
+    /**
+     * Leaves the search paid to examine.  MCTS counts every
+     * completed rollout (feasible or not -- constraint validation
+     * is part of the budget); exhaustiveSearch counts cost-model
+     * invocations on feasible points only.
+     */
+    std::int64_t evaluations = 0;
 };
 
 /**

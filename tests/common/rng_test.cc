@@ -7,6 +7,7 @@
 
 #include <set>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 
 namespace transfusion
@@ -58,6 +59,14 @@ TEST(Rng, NextBelowCoversRange)
     for (int i = 0; i < 2000; ++i)
         seen.insert(r.nextBelow(8));
     EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextBelowZeroBoundPanics)
+{
+    // A zero bound used to return 0 -- a silent out-of-bounds
+    // index for any caller selecting from an empty candidate list.
+    Rng r(9);
+    EXPECT_THROW(r.nextBelow(0), PanicError);
 }
 
 TEST(Rng, NextDoubleUnitInterval)

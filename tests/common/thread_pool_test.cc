@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the fixed-size thread pool: result ordering,
+ * exception propagation, queue draining with more tasks than
+ * workers, and the parallelMap helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace transfusion
+{
+namespace
+{
+
+TEST(ThreadPool, ReportsPositiveThreadCount)
+{
+    ThreadPool defaulted;
+    EXPECT_GE(defaulted.threadCount(), 1);
+    ThreadPool fixed(3);
+    EXPECT_EQ(fixed.threadCount(), 3);
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ThreadPool, FuturesArriveInSubmissionOrder)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, RunsMoreTasksThanWorkers)
+{
+    std::atomic<int> ran{ 0 };
+    {
+        ThreadPool pool(2);
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < 64; ++i) {
+            futures.push_back(
+                pool.submit([&ran]() { ++ran; }));
+        }
+        for (auto &f : futures)
+            f.get();
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> ran{ 0 };
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&ran]() { ++ran; });
+        // No explicit waiting: the destructor must finish the work.
+    }
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 7; });
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("task exploded");
+    });
+    EXPECT_EQ(ok.get(), 7);
+    try {
+        bad.get();
+        FAIL() << "expected the task's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task exploded");
+    }
+}
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(50);
+    std::iota(items.begin(), items.end(), 0);
+    const auto out = parallelMap(
+        pool, items, [](const int &v) { return v * 2; });
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+}
+
+TEST(ThreadPool, ParallelMapRethrowsFirstFailure)
+{
+    ThreadPool pool(2);
+    const std::vector<int> items{ 0, 1, 2, 3, 4, 5 };
+    EXPECT_THROW(parallelMap(pool, items,
+                             [](const int &v) {
+                                 if (v == 3)
+                                     throw std::runtime_error("v3");
+                                 return v;
+                             }),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace transfusion

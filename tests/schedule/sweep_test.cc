@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the parallel sweep driver: point-for-point agreement
+ * with the serial evaluator, determinism across thread counts and
+ * repeated runs, and grid construction order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "schedule/sweep.hh"
+
+namespace transfusion::schedule
+{
+namespace
+{
+
+SweepOptions
+fastOptions(int threads)
+{
+    SweepOptions opts;
+    opts.threads = threads;
+    opts.evaluator.mcts.iterations = 64; // keep the grid cheap
+    return opts;
+}
+
+std::vector<SweepPoint>
+smallGrid()
+{
+    return Sweep::grid(
+        { arch::edgeArch() },
+        { model::bertBase(), model::t5Small() },
+        { 1 << 10, 4 << 10 });
+}
+
+/** Bitwise comparison of the metrics both paths must agree on. */
+void
+expectSameResult(const EvalResult &a, const EvalResult &b)
+{
+    EXPECT_EQ(a.total.latency_s, b.total.latency_s);
+    EXPECT_EQ(a.total.dram_bytes, b.total.dram_bytes);
+    EXPECT_EQ(a.total.energy.total(), b.total.energy.total());
+    for (std::size_t i = 0; i < a.layers.size(); ++i) {
+        EXPECT_EQ(a.layers[i].latency_s, b.layers[i].latency_s);
+        EXPECT_EQ(a.layers[i].dram_bytes, b.layers[i].dram_bytes);
+    }
+}
+
+TEST(Sweep, GridIsArchModelSeqMajorOrder)
+{
+    const auto points = Sweep::grid(
+        { arch::cloudArch(), arch::edgeArch() },
+        { model::bertBase() }, { 1024, 2048 });
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].label(), "cloud/BERT/1024");
+    EXPECT_EQ(points[1].label(), "cloud/BERT/2048");
+    EXPECT_EQ(points[2].label(), "edge/BERT/1024");
+    EXPECT_EQ(points[3].label(), "edge/BERT/2048");
+}
+
+TEST(Sweep, MatchesSerialEvaluatorPointForPoint)
+{
+    const auto points = smallGrid();
+    const auto opts = fastOptions(4);
+    const auto swept = Sweep(opts).run(points);
+    ASSERT_EQ(swept.size(), points.size());
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        EXPECT_EQ(swept[i].point.label(), p.label());
+        const Evaluator serial(p.arch, p.cfg, p.seq,
+                               opts.evaluator);
+        for (const auto kind : allStrategies()) {
+            expectSameResult(swept[i].at(kind),
+                             serial.evaluate(kind));
+        }
+    }
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts)
+{
+    const auto points = smallGrid();
+    const auto serial = Sweep(fastOptions(1)).run(points);
+    for (const int threads : { 2, 8 }) {
+        const auto parallel =
+            Sweep(fastOptions(threads)).run(points);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            for (const auto kind : allStrategies()) {
+                expectSameResult(parallel[i].at(kind),
+                                 serial[i].at(kind));
+            }
+        }
+    }
+}
+
+TEST(Sweep, EmptyGridAndMissingStrategy)
+{
+    const Sweep sweep(fastOptions(2));
+    EXPECT_TRUE(sweep.run({}).empty());
+
+    SweepOptions only_tf = fastOptions(1);
+    only_tf.strategies = { StrategyKind::TransFusion };
+    const auto metrics = Sweep(only_tf).run(
+        Sweep::grid({ arch::edgeArch() }, { model::bertBase() },
+                    { 1024 }));
+    ASSERT_EQ(metrics.size(), 1u);
+    EXPECT_NO_THROW(metrics[0].at(StrategyKind::TransFusion));
+    EXPECT_THROW(metrics[0].at(StrategyKind::Unfused), FatalError);
+}
+
+TEST(Sweep, ThreadCountResolution)
+{
+    EXPECT_EQ(Sweep(fastOptions(5)).threads(), 5);
+    EXPECT_GE(Sweep(fastOptions(0)).threads(), 1);
+}
+
+} // namespace
+} // namespace transfusion::schedule

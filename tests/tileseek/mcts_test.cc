@@ -171,6 +171,115 @@ TEST(Mcts, InfeasibleSpaceReturnsNotFound)
         toySpace(), [](const Assignment &) { return false; },
         [](const Assignment &) { return 1.0; }, opts).search();
     EXPECT_FALSE(r.found);
+    // Infeasible rollouts still consumed the evaluation budget:
+    // one completed leaf per iteration.
+    EXPECT_EQ(r.evaluations, 64);
+}
+
+TEST(Mcts, EvaluationsCountEveryCompletedLeaf)
+{
+    // Feasible or not, each iteration completes exactly one leaf.
+    auto cost = [](const Assignment &x) {
+        return static_cast<double>(x[0] + x[1] + x[2]);
+    };
+    auto feasible = [](const Assignment &x) {
+        return (x[0] + x[1] + x[2]) % 2 == 1;
+    };
+    MctsOptions opts;
+    opts.iterations = 200;
+    const auto r =
+        TileSeek(toySpace(), feasible, cost, opts).search();
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.evaluations, 200);
+}
+
+TEST(Mcts, SearchIsIdempotentOnOneInstance)
+{
+    auto cost = [](const Assignment &x) {
+        return static_cast<double>(
+            (x[0] * 5 + x[1] * 3 + x[2]) % 13) + 1.0;
+    };
+    auto feasible = [](const Assignment &) { return true; };
+    MctsOptions opts;
+    opts.iterations = 150;
+    opts.seed = 31;
+    TileSeek seeker(toySpace(), feasible, cost, opts);
+    const auto a = seeker.search();
+    const auto b = seeker.search();
+    EXPECT_EQ(a.best, b.best);
+    EXPECT_EQ(a.best_cost, b.best_cost);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Mcts, RootParallelDeterministicPerThreadCount)
+{
+    auto cost = [](const Assignment &x) {
+        return static_cast<double>(
+            (x[0] * 7 + x[1] * 13 + x[2] * 29) % 17) + 1.0;
+    };
+    auto feasible = [](const Assignment &x) {
+        return (x[0] + x[2]) % 2 == 0;
+    };
+    for (const int threads : { 1, 2, 8 }) {
+        MctsOptions opts;
+        opts.iterations = 120;
+        opts.seed = 99;
+        opts.threads = threads;
+        const auto a =
+            TileSeek(toySpace(), feasible, cost, opts).search();
+        const auto b =
+            TileSeek(toySpace(), feasible, cost, opts).search();
+        ASSERT_TRUE(a.found) << "threads=" << threads;
+        EXPECT_EQ(a.best, b.best) << "threads=" << threads;
+        EXPECT_EQ(a.best_cost, b.best_cost)
+            << "threads=" << threads;
+        EXPECT_EQ(a.evaluations, b.evaluations)
+            << "threads=" << threads;
+        // Every tree runs the full budget and every leaf counts.
+        EXPECT_EQ(a.evaluations,
+                  static_cast<std::int64_t>(threads)
+                      * opts.iterations);
+    }
+}
+
+TEST(Mcts, RootParallelNeverWorseThanSerial)
+{
+    // Tree 0 forks from seed + 0, i.e. it *is* the serial search;
+    // merging more trees by best cost can only improve the
+    // incumbent or tie it.
+    auto cost = [](const Assignment &x) {
+        return static_cast<double>(
+            (x[0] * 11 + x[1] * 5 + x[2] * 3) % 23) + 1.0;
+    };
+    auto feasible = [](const Assignment &x) {
+        return x[0] != x[1];
+    };
+    MctsOptions serial_opts;
+    serial_opts.iterations = 80;
+    serial_opts.seed = 7;
+    const auto serial =
+        TileSeek(toySpace(), feasible, cost, serial_opts).search();
+    ASSERT_TRUE(serial.found);
+    for (const int threads : { 2, 4, 8 }) {
+        MctsOptions opts = serial_opts;
+        opts.threads = threads;
+        const auto merged =
+            TileSeek(toySpace(), feasible, cost, opts).search();
+        ASSERT_TRUE(merged.found);
+        EXPECT_LE(merged.best_cost, serial.best_cost)
+            << "threads=" << threads;
+    }
+}
+
+TEST(Mcts, RejectsNonPositiveThreads)
+{
+    MctsOptions opts;
+    opts.threads = 0;
+    EXPECT_THROW(TileSeek(toySpace(),
+                          [](const Assignment &) { return true; },
+                          [](const Assignment &) { return 1.0; },
+                          opts),
+                 FatalError);
 }
 
 TEST(Mcts, SingleLeafSpace)
