@@ -5,12 +5,88 @@
 
 #include "bench_util.hh"
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "common/math_utils.hh"
 
 namespace transfusion::bench
 {
+
+namespace
+{
+
+void
+printUsage(std::ostream &os, const char *prog)
+{
+    os << "usage: " << prog << " [--threads N] [--seed N] [--csv]\n"
+       << "  --threads N  worker threads (default: all cores)\n"
+       << "  --seed N     base RNG seed (default: 1)\n"
+       << "  --csv        emit tables as CSV\n";
+}
+
+/**
+ * Value of `--flag N` or `--flag=N`; advances `i` past a detached
+ * value.  Returns false when argv[i] is not `flag` at all.
+ */
+bool
+flagValue(int argc, char **argv, int &i, const std::string &flag,
+          std::string &value)
+{
+    const std::string arg = argv[i];
+    if (arg == flag) {
+        if (i + 1 >= argc) {
+            std::cerr << argv[0] << ": " << flag
+                      << " needs a value\n";
+            std::exit(2);
+        }
+        value = argv[++i];
+        return true;
+    }
+    if (arg.rfind(flag + "=", 0) == 0) {
+        value = arg.substr(flag.size() + 1);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout, argv[0]);
+            std::exit(0);
+        } else if (arg == "--csv") {
+            args.csv = true;
+        } else if (flagValue(argc, argv, i, "--threads", value)) {
+            args.threads = std::atoi(value.c_str());
+        } else if (flagValue(argc, argv, i, "--seed", value)) {
+            args.seed = std::strtoull(value.c_str(), nullptr, 10);
+        } else {
+            std::cerr << argv[0] << ": unknown argument '" << arg
+                      << "'\n";
+            printUsage(std::cerr, argv[0]);
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+void
+printTable(const Table &t, const BenchArgs &args, std::ostream &os)
+{
+    if (args.csv)
+        t.printCsv(os);
+    else
+        t.print(os);
+}
 
 PointResults
 evaluatePoint(const arch::ArchConfig &arch,

@@ -8,15 +8,45 @@
 #ifndef TRANSFUSION_BENCH_BENCH_UTIL_HH
 #define TRANSFUSION_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <map>
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/table.hh"
 #include "schedule/sweep.hh"
 #include "sim/compare.hh"
 
 namespace transfusion::bench
 {
+
+/**
+ * Flags shared by the bench binaries.  One parser instead of
+ * per-binary ad-hoc argv handling; binaries that need extra flags
+ * can extend it, but the common trio stays spelled the same way
+ * everywhere.
+ */
+struct BenchArgs
+{
+    /** Worker threads for parallel sweeps; <= 0 = all hardware. */
+    int threads = 0;
+    /** Base RNG seed for stochastic components / workloads. */
+    std::uint64_t seed = 1;
+    /** Emit tables as CSV instead of aligned text. */
+    bool csv = false;
+};
+
+/**
+ * Parse `--threads N`, `--seed N` and `--csv` (plus `--help`).
+ * Unknown flags print usage to stderr and exit(2); `--help` prints
+ * it to stdout and exit(0).
+ */
+BenchArgs parseBenchArgs(int argc, char **argv);
+
+/** Print `t` honoring the `--csv` flag. */
+void printTable(const Table &t, const BenchArgs &args,
+                std::ostream &os);
 
 /** All-strategy evaluation at one point. */
 using PointResults =

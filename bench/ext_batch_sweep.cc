@@ -14,9 +14,10 @@
 #include "sim/bottleneck.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace transfusion;
+    const auto args = bench::parseBenchArgs(argc, argv);
     bench::printBanner(
         "Extension: batch sweep",
         "Batch-size impact on speedup and TileSeek tiles "
@@ -55,7 +56,7 @@ main()
                 sim::toString(bound),
             });
         }
-        t.print(std::cout);
+        bench::printTable(t, args, std::cout);
         std::cout << "\n";
     }
     return 0;

@@ -15,9 +15,10 @@
 #include "schedule/decode.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace transfusion;
+    const auto args = bench::parseBenchArgs(argc, argv);
     bench::printBanner(
         "Extension: generation throughput",
         "Prefill + KV-cache decode for BERT and Llama3");
@@ -58,7 +59,7 @@ main()
                 }
             }
         }
-        t.print(std::cout);
+        bench::printTable(t, args, std::cout);
         std::cout << "\n";
     }
     return 0;

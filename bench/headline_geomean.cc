@@ -19,16 +19,19 @@
 #include "schedule/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace transfusion;
     using schedule::StrategyKind;
+    const auto args = bench::parseBenchArgs(argc, argv);
     bench::printBanner(
         "Headline",
         "Geomean speedup of TransFusion over each baseline across "
         "all models and sequence lengths");
 
-    const schedule::Sweep sweep(bench::sweepOptions());
+    auto sweep_opts = bench::sweepOptions();
+    sweep_opts.threads = args.threads;
+    const schedule::Sweep sweep(sweep_opts);
     const auto points = schedule::Sweep::grid(
         { arch::cloudArch(), arch::edgeArch() }, model::allModels(),
         sim::paperSequenceSweep());
@@ -60,7 +63,7 @@ main()
                    Table::cell(geometricMean(vs_unfused), 2)
                        + "x" });
     }
-    t.print(std::cout);
+    bench::printTable(t, args, std::cout);
     std::cout << "\n(" << points.size() << " points swept on "
               << sweep.threads() << " threads)\n"
               << "Paper reference: cloud 1.3x / 1.6x / 7.0x, "

@@ -20,11 +20,13 @@ run_tsan() {
     echo "== TSan: threaded tests =="
     cmake -B build-tsan -S . -DTRANSFUSION_SANITIZE=thread
     cmake --build build-tsan -j "$jobs" \
-        --target tf_common_test tf_tileseek_test tf_schedule_test
-    # The threaded surfaces: pool unit tests, parallel sweeps, and
-    # the root-parallel MCTS determinism suite.
+        --target tf_common_test tf_tileseek_test tf_schedule_test \
+        tf_serve_test
+    # The threaded surfaces: pool unit tests, parallel sweeps, the
+    # root-parallel MCTS determinism suite, and the serve-replay
+    # scenario fan-out.
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|Sweep|Mcts'
+        -R 'ThreadPool|Sweep|Mcts|Serve'
 }
 
 case "$mode" in

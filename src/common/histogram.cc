@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Implementation of the exact-percentile histogram.
+ */
+
+#include "histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace transfusion
+{
+
+void
+Histogram::add(double value)
+{
+    samples_.push_back(value);
+    sorted_ = samples_.size() <= 1;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.samples_.empty())
+        return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+}
+
+double
+Histogram::sum() const
+{
+    double s = 0;
+    for (double v : samples_)
+        s += v;
+    return s;
+}
+
+double
+Histogram::mean() const
+{
+    if (samples_.empty())
+        tf_fatal("mean of an empty histogram");
+    return sum() / static_cast<double>(samples_.size());
+}
+
+double
+Histogram::min() const
+{
+    if (samples_.empty())
+        tf_fatal("min of an empty histogram");
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+Histogram::max() const
+{
+    if (samples_.empty())
+        tf_fatal("max of an empty histogram");
+    ensureSorted();
+    return samples_.back();
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples_.empty())
+        tf_fatal("percentile of an empty histogram");
+    if (p < 0.0 || p > 100.0)
+        tf_fatal("percentile must be in [0, 100], got ", p);
+    ensureSorted();
+    const double rank = p / 100.0
+        * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    if (empty()) {
+        os << "n=0";
+    } else {
+        os << "n=" << count() << ", mean=" << mean()
+           << ", p50=" << percentile(50)
+           << ", p99=" << percentile(99);
+    }
+    return os.str();
+}
+
+void
+Histogram::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+} // namespace transfusion

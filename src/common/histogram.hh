@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Exact-percentile sample accumulator for reporting latency
+ * distributions (TTFT, TPOT, request latency) from the serving
+ * simulator and any future benchmark that needs p50/p95/p99.
+ *
+ * Samples are retained (the workloads we summarize are at most a
+ * few hundred thousand requests), so percentiles are exact rather
+ * than bucketed, and merging two histograms is lossless.  Sorting
+ * is lazy and cached; `add`/`merge` invalidate the cache.
+ */
+
+#ifndef TRANSFUSION_COMMON_HISTOGRAM_HH
+#define TRANSFUSION_COMMON_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace transfusion
+{
+
+/** Sample set with exact linear-interpolated percentiles. */
+class Histogram
+{
+  public:
+    /** Record one sample. */
+    void add(double value);
+
+    /** Absorb every sample of `other` (lossless). */
+    void merge(const Histogram &other);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** Sum of all samples (0 when empty). */
+    double sum() const;
+    /** Arithmetic mean; fatal on an empty histogram. */
+    double mean() const;
+    /** Smallest sample; fatal on an empty histogram. */
+    double min() const;
+    /** Largest sample; fatal on an empty histogram. */
+    double max() const;
+
+    /**
+     * Exact percentile with linear interpolation between order
+     * statistics: percentile(0) == min(), percentile(100) == max(),
+     * percentile(50) is the median.  `p` must be in [0, 100];
+     * fatal on an empty histogram.
+     */
+    double percentile(double p) const;
+
+    /** "n=..., p50=..., p99=..." one-liner for logs and tests. */
+    std::string summary() const;
+
+  private:
+    /** Sort samples_ if a mutation invalidated the cached order. */
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+} // namespace transfusion
+
+#endif // TRANSFUSION_COMMON_HISTOGRAM_HH

@@ -54,6 +54,9 @@ LayerMetrics
 DecodeEvaluator::stepMetrics(std::int64_t cache_len,
                              StrategyKind strategy) const
 {
+    if (cache_len <= 0)
+        tf_fatal("decode step needs a positive cache length, got ",
+                 cache_len);
     Evaluator eval(arch_, cfg_,
                    Workload::decodeStep(cache_len), opts_);
     return flatten(eval.evaluate(strategy));

@@ -59,16 +59,28 @@ class DecodeEvaluator
 
     DecodeResult evaluate(StrategyKind strategy) const;
 
+    /**
+     * Whole-model metrics of ONE decode step (a single-query pass
+     * per batch lane, all L layers) against a KV cache holding
+     * `cache_len` positions.  This is the per-step cost primitive
+     * the trapezoidal integration samples, exposed so request-level
+     * consumers (the `serve` simulator's calibrated step-cost
+     * tables) price steps from the same model instead of
+     * duplicating the affine decode-cost logic.  Cost is affine in
+     * `cache_len` between roofline crossovers; `cache_len` must be
+     * positive.  Decode steps always use the naive tile (per-step
+     * TileSeek would dwarf the step itself), so this is cheap and
+     * deterministic.
+     */
+    LayerMetrics stepMetrics(std::int64_t cache_len,
+                             StrategyKind strategy) const;
+
   private:
     arch::ArchConfig arch_;
     model::TransformerConfig cfg_;
     DecodeWorkload workload_;
     EvaluatorOptions opts_;
     int samples_;
-
-    /** Metrics of one decode step at a given cache length. */
-    LayerMetrics stepMetrics(std::int64_t cache_len,
-                             StrategyKind strategy) const;
 };
 
 } // namespace transfusion::schedule

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Implementation of the calibrated serve cost tables.
+ */
+
+#include "cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace transfusion::serve
+{
+
+namespace
+{
+
+/**
+ * Geometric integer grid from lo to hi (inclusive, deduplicated).
+ * Endpoints are exact so interpolation covers the full range.
+ */
+std::vector<std::int64_t>
+geometricGrid(std::int64_t lo, std::int64_t hi, int points)
+{
+    tf_assert(lo > 0 && hi >= lo, "grid needs 0 < lo <= hi");
+    tf_assert(points >= 2, "grid needs at least 2 points");
+    std::vector<std::int64_t> xs;
+    const double llo = std::log(static_cast<double>(lo));
+    const double lhi = std::log(static_cast<double>(hi));
+    for (int i = 0; i < points; ++i) {
+        const double frac = static_cast<double>(i)
+            / static_cast<double>(points - 1);
+        auto x = static_cast<std::int64_t>(
+            std::llround(std::exp(llo + frac * (lhi - llo))));
+        xs.push_back(std::clamp(x, lo, hi));
+    }
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+    return xs;
+}
+
+/**
+ * Piecewise-linear interpolation; x outside [xs.front, xs.back]
+ * extrapolates on the boundary segment, floored at zero.
+ */
+double
+interp(const std::vector<std::int64_t> &xs,
+       const std::vector<double> &ys, double x)
+{
+    if (xs.size() == 1)
+        return ys[0];
+    std::size_t hi = 1;
+    while (hi + 1 < xs.size() && x > static_cast<double>(xs[hi]))
+        ++hi;
+    const auto x0 = static_cast<double>(xs[hi - 1]);
+    const auto x1 = static_cast<double>(xs[hi]);
+    const double frac = (x - x0) / (x1 - x0);
+    const double v = ys[hi - 1] + frac * (ys[hi] - ys[hi - 1]);
+    return std::max(v, 0.0);
+}
+
+} // namespace
+
+ServeCostModel::ServeCostModel(arch::ArchConfig arch,
+                               model::TransformerConfig cfg,
+                               schedule::StrategyKind strategy,
+                               std::int64_t max_batch,
+                               std::int64_t max_context,
+                               std::int64_t max_prompt,
+                               ServeCostOptions options)
+    : strategy_(strategy)
+{
+    cfg.validate();
+    if (max_batch <= 0)
+        tf_fatal("max_batch must be positive, got ", max_batch);
+    if (max_context <= 0)
+        tf_fatal("max_context must be positive, got ", max_context);
+    if (max_prompt <= 0)
+        tf_fatal("max_prompt must be positive, got ", max_prompt);
+
+    batches_ = options.batches;
+    if (batches_.empty()) {
+        for (std::int64_t b = 1; b < max_batch; b *= 2)
+            batches_.push_back(b);
+        batches_.push_back(max_batch);
+    }
+    std::sort(batches_.begin(), batches_.end());
+    batches_.erase(std::unique(batches_.begin(), batches_.end()),
+                   batches_.end());
+    if (batches_.front() <= 0)
+        tf_fatal("batch sizes must be positive");
+
+    const std::int64_t cache_lo = std::min<std::int64_t>(
+        64, max_context);
+    cache_lens_ = geometricGrid(cache_lo, max_context,
+                                options.cache_samples);
+
+    // Decode tables: one DecodeEvaluator per calibrated batch size
+    // (it forces the naive tile, so each sample is a cheap pure
+    // evaluator call), sampled across the cache-length grid.
+    for (std::int64_t b : batches_) {
+        model::TransformerConfig bcfg = cfg;
+        bcfg.batch = b;
+        const schedule::DecodeEvaluator deval(
+            arch, bcfg, {/*prompt_len=*/1, /*generate_tokens=*/0},
+            options.evaluator);
+        std::vector<double> row;
+        row.reserve(cache_lens_.size());
+        for (std::int64_t len : cache_lens_)
+            row.push_back(
+                deval.stepMetrics(len, strategy_).latency_s);
+        step_s_.push_back(std::move(row));
+    }
+
+    // Prefill table: full causal self-attention evaluations of a
+    // single request at geometric prompt lengths.
+    const std::int64_t prompt_lo = std::min<std::int64_t>(
+        64, max_prompt);
+    prompt_lens_ = geometricGrid(prompt_lo, max_prompt,
+                                 options.prefill_samples);
+    model::TransformerConfig one = cfg;
+    one.batch = 1;
+    for (std::int64_t p : prompt_lens_) {
+        const schedule::Evaluator eval(
+            arch, one, schedule::Workload::causalSelfAttention(p),
+            options.evaluator);
+        prefill_s_.push_back(
+            eval.evaluate(strategy_).total.latency_s);
+    }
+}
+
+double
+ServeCostModel::decodeStepSeconds(std::int64_t batch,
+                                  double mean_cache_len) const
+{
+    if (batch <= 0)
+        tf_fatal("decode batch must be positive, got ", batch);
+    const double b = std::clamp(
+        static_cast<double>(batch),
+        static_cast<double>(batches_.front()),
+        static_cast<double>(batches_.back()));
+    // Interpolate along the cache axis per calibrated batch, then
+    // along the batch axis.
+    std::vector<double> at_len;
+    at_len.reserve(batches_.size());
+    for (const auto &row : step_s_)
+        at_len.push_back(interp(cache_lens_, row, mean_cache_len));
+    return interp(batches_, at_len, b);
+}
+
+double
+ServeCostModel::prefillSeconds(std::int64_t prompt_len) const
+{
+    if (prompt_len <= 0)
+        tf_fatal("prompt length must be positive, got ", prompt_len);
+    return interp(prompt_lens_, prefill_s_,
+                  static_cast<double>(prompt_len));
+}
+
+} // namespace transfusion::serve

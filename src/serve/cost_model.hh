@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Calibrated per-iteration cost tables for the serving simulator.
+ *
+ * Pricing every simulated batch step with a fresh
+ * schedule::Evaluator would make request-level simulation cost as
+ * much as the design-space sweeps it builds on.  Instead we exploit
+ * the same structure the trapezoidal decode integration uses: at
+ * query_len = 1 the step cost is affine in the cache length between
+ * roofline crossovers, and piecewise-smooth in the batch size.  The
+ * constructor samples schedule::DecodeEvaluator::stepMetrics on a
+ * small (batch x cache-length) grid and full prefill evaluations on
+ * a prompt-length grid, then the simulator interpolates — millions
+ * of simulated steps cost a few hundred evaluator calls up front.
+ *
+ * Everything is deterministic: the grids are fixed by the options,
+ * and the underlying evaluators are pure functions of their inputs
+ * (TileSeek's MCTS seed included), so two ServeCostModels built
+ * from equal arguments agree bit-for-bit.
+ */
+
+#ifndef TRANSFUSION_SERVE_COST_MODEL_HH
+#define TRANSFUSION_SERVE_COST_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "schedule/decode.hh"
+
+namespace transfusion::serve
+{
+
+/** Calibration knobs. */
+struct ServeCostOptions
+{
+    /**
+     * Batch sizes to calibrate decode steps at; empty means powers
+     * of two up to and including the simulator's max batch.
+     */
+    std::vector<std::int64_t> batches;
+    /** Geometric cache-length sample count (>= 2). */
+    int cache_samples = 4;
+    /** Geometric prompt-length sample count (>= 2). */
+    int prefill_samples = 6;
+    /** Underlying evaluator configuration (MCTS seed lives here). */
+    schedule::EvaluatorOptions evaluator;
+};
+
+/** Interpolating (batch, cache length) -> step seconds tables. */
+class ServeCostModel
+{
+  public:
+    /**
+     * Calibrate for one (arch, model, strategy) triple.
+     *
+     * @param max_batch   largest decode batch the simulator forms
+     * @param max_context largest cache length any request reaches
+     * @param max_prompt  largest prompt length of the workload
+     *
+     * `cfg.batch` is ignored: decode tables override it with the
+     * calibrated batch sizes and prefill prices single requests
+     * (batch 1), because in serving the batch dimension is the
+     * number of co-scheduled requests, not a model constant.
+     */
+    ServeCostModel(arch::ArchConfig arch,
+                   model::TransformerConfig cfg,
+                   schedule::StrategyKind strategy,
+                   std::int64_t max_batch,
+                   std::int64_t max_context,
+                   std::int64_t max_prompt,
+                   ServeCostOptions options = {});
+
+    /**
+     * Seconds of one decode iteration: `batch` co-scheduled
+     * requests each emit one token against a mean resident cache of
+     * `mean_cache_len` positions.  Bilinear interpolation on the
+     * calibrated grid; batch clamps to [1, max_batch], cache length
+     * extrapolates linearly on the boundary segments (the cost is
+     * affine there).
+     */
+    double decodeStepSeconds(std::int64_t batch,
+                             double mean_cache_len) const;
+
+    /**
+     * Seconds to prefill one request's prompt (causal
+     * self-attention, batch 1).  Piecewise-linear in the prompt
+     * length over the calibrated grid.
+     */
+    double prefillSeconds(std::int64_t prompt_len) const;
+
+    schedule::StrategyKind strategy() const { return strategy_; }
+
+  private:
+    schedule::StrategyKind strategy_;
+    std::vector<std::int64_t> batches_;
+    std::vector<std::int64_t> cache_lens_;
+    /** step_s_[batch index][cache index] in seconds. */
+    std::vector<std::vector<double>> step_s_;
+    std::vector<std::int64_t> prompt_lens_;
+    std::vector<double> prefill_s_;
+};
+
+} // namespace transfusion::serve
+
+#endif // TRANSFUSION_SERVE_COST_MODEL_HH

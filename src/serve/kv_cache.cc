@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Implementation of the KV-cache admission model.
+ */
+
+#include "kv_cache.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::serve
+{
+
+double
+kvWordsPerToken(const model::TransformerConfig &cfg)
+{
+    cfg.validate();
+    return 2.0 * static_cast<double>(cfg.layers)
+        * static_cast<double>(cfg.d_model);
+}
+
+double
+weightWords(const model::TransformerConfig &cfg)
+{
+    cfg.validate();
+    const double d = static_cast<double>(cfg.d_model);
+    const double s = static_cast<double>(cfg.ffn_hidden);
+    return static_cast<double>(cfg.layers)
+        * (4.0 * d * d + 2.0 * d * s);
+}
+
+double
+defaultDramCapacityBytes(const arch::ArchConfig &arch)
+{
+    if (arch.dram_bytes_per_sec <= 0)
+        tf_fatal("architecture needs DRAM bandwidth");
+    return arch.dram_bytes_per_sec * 0.08;
+}
+
+double
+kvCapacityWords(const arch::ArchConfig &arch,
+                const model::TransformerConfig &cfg,
+                double dram_capacity_bytes)
+{
+    if (dram_capacity_bytes <= 0)
+        dram_capacity_bytes = defaultDramCapacityBytes(arch);
+    const double weight_bytes =
+        weightWords(cfg) * static_cast<double>(arch.element_bytes);
+    if (weight_bytes >= dram_capacity_bytes)
+        tf_fatal("model '", cfg.name, "' weights (", weight_bytes,
+                 " bytes) exceed the DRAM capacity (",
+                 dram_capacity_bytes, " bytes) of arch '",
+                 arch.name, "'");
+    return (dram_capacity_bytes - weight_bytes)
+        / static_cast<double>(arch.element_bytes);
+}
+
+KvCacheTracker::KvCacheTracker(double capacity_words)
+    : capacity_(capacity_words)
+{
+    if (capacity_ <= 0)
+        tf_fatal("KV capacity must be positive, got ", capacity_);
+}
+
+bool
+KvCacheTracker::tryReserve(double words)
+{
+    if (words < 0)
+        tf_fatal("cannot reserve negative words");
+    if (reserved_ + words > capacity_)
+        return false;
+    reserved_ += words;
+    if (reserved_ > peak_)
+        peak_ = reserved_;
+    return true;
+}
+
+void
+KvCacheTracker::release(double words)
+{
+    if (words < 0 || words > reserved_ + 1e-6)
+        tf_fatal("releasing ", words, " words but only ",
+                 reserved_, " reserved");
+    reserved_ -= words;
+    if (reserved_ < 0)
+        reserved_ = 0;
+}
+
+} // namespace transfusion::serve

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * KV-cache capacity accounting for the serving simulator.
+ *
+ * Decode keeps one K and one V word per layer per position resident
+ * in DRAM for every in-flight request, and the cost-model weights
+ * live there too, so the admission budget is (DRAM capacity -
+ * resident weights) / element size.  Admission is
+ * reservation-based: a request reserves its *peak* context
+ * (prompt + output) up front, so no in-flight request ever has to
+ * be preempted or evicted mid-generation — requests that do not fit
+ * wait in the arrival queue, and requests that can never fit are
+ * rejected.  This mirrors the conservative admission mode of
+ * block-managed serving systems, collapsed to word granularity for
+ * the analytic model.
+ */
+
+#ifndef TRANSFUSION_SERVE_KV_CACHE_HH
+#define TRANSFUSION_SERVE_KV_CACHE_HH
+
+#include "arch/arch.hh"
+#include "model/transformer.hh"
+
+namespace transfusion::serve
+{
+
+/** KV words one cached position occupies: K + V across all layers. */
+double kvWordsPerToken(const model::TransformerConfig &cfg);
+
+/**
+ * Resident weight words of the full stack: QKV and output
+ * projections (4 D^2) plus the two FFN matrices (2 D S), per layer.
+ * Biases/norm scales are negligible and omitted.
+ */
+double weightWords(const model::TransformerConfig &cfg);
+
+/**
+ * Placeholder DRAM stack capacity for an architecture.  Table 3
+ * specifies bandwidth but not capacity, so we couple the two the
+ * way real memory systems do (HBM stacks and LPDDR packages both
+ * scale capacity with bandwidth): 0.08 s worth of peak bandwidth,
+ * i.e. 32 GiB-class for the 400 GB/s cloud part and ~2.4 GB for
+ * the 30 GB/s edge part.
+ */
+double defaultDramCapacityBytes(const arch::ArchConfig &arch);
+
+/**
+ * Words of DRAM available for KV caches once the weights are
+ * resident.  `dram_capacity_bytes <= 0` means
+ * defaultDramCapacityBytes(arch).  Fatal if the weights alone
+ * exceed the capacity (the model cannot be served at all).
+ */
+double kvCapacityWords(const arch::ArchConfig &arch,
+                       const model::TransformerConfig &cfg,
+                       double dram_capacity_bytes = 0);
+
+/**
+ * Reservation ledger against a fixed word capacity.  Purely
+ * arithmetic; the simulator converts requests to words via
+ * kvWordsPerToken.
+ */
+class KvCacheTracker
+{
+  public:
+    explicit KvCacheTracker(double capacity_words);
+
+    double capacityWords() const { return capacity_; }
+    double reservedWords() const { return reserved_; }
+    /** High-water mark of reservedWords() so far. */
+    double peakReservedWords() const { return peak_; }
+
+    /** Whether `words` could ever be reserved (even on empty). */
+    bool fitsAlone(double words) const
+    {
+        return words <= capacity_;
+    }
+
+    /** Reserve `words` if they fit beside current reservations. */
+    bool tryReserve(double words);
+
+    /** Return `words` previously reserved. */
+    void release(double words);
+
+  private:
+    double capacity_ = 0;
+    double reserved_ = 0;
+    double peak_ = 0;
+};
+
+} // namespace transfusion::serve
+
+#endif // TRANSFUSION_SERVE_KV_CACHE_HH

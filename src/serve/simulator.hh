@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic discrete-event serving simulator: continuous
+ * batching with KV-cache admission on top of the analytic cost
+ * model.
+ *
+ * The event loop advances a virtual clock by the calibrated cost
+ * of whole iterations, in the style of iteration-level schedulers
+ * (Orca/vLLM): each round either prefills the newly admitted
+ * requests or runs one decode step for every running request;
+ * requests join the running batch as soon as a lane and their KV
+ * reservation are available, and leave the moment their last token
+ * is generated.  See DESIGN.md section 10 for the full event-loop,
+ * admission, and determinism contract.
+ */
+
+#ifndef TRANSFUSION_SERVE_SIMULATOR_HH
+#define TRANSFUSION_SERVE_SIMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "serve/cost_model.hh"
+#include "serve/kv_cache.hh"
+#include "serve/workload.hh"
+
+namespace transfusion::serve
+{
+
+/** Serving-system configuration. */
+struct ServeOptions
+{
+    schedule::StrategyKind strategy =
+        schedule::StrategyKind::TransFusion;
+    /** Decode lanes: most requests co-scheduled per step. */
+    std::int64_t max_batch = 32;
+    /**
+     * Arrival-queue bound: requests arriving while this many are
+     * already waiting are rejected (load shedding).
+     */
+    std::int64_t max_queue = 256;
+    /** DRAM stack size; <= 0 means defaultDramCapacityBytes. */
+    double dram_capacity_bytes = 0;
+    /** Cost-table calibration knobs. */
+    ServeCostOptions cost;
+};
+
+/** Aggregate result of one simulated trace. */
+struct ServeMetrics
+{
+    std::int64_t offered = 0;   ///< requests in the trace
+    std::int64_t completed = 0; ///< served to the last token
+    std::int64_t rejected = 0;  ///< shed at admission
+    std::int64_t generated_tokens = 0;
+    std::int64_t prefill_rounds = 0;
+    std::int64_t decode_rounds = 0;
+    std::int64_t peak_running = 0; ///< most co-resident requests
+    std::int64_t peak_queue = 0;   ///< deepest arrival queue
+    double peak_reserved_words = 0; ///< KV high-water mark
+    double kv_capacity_words = 0;
+    double makespan_s = 0; ///< clock when the last request finishes
+    /** Generated tokens per virtual second over the makespan. */
+    double tokens_per_second = 0;
+
+    Histogram ttft_s;       ///< arrival -> first token
+    Histogram tpot_s;       ///< mean inter-token time per request
+    Histogram latency_s;    ///< arrival -> last token
+    Histogram queue_wait_s; ///< arrival -> admission
+};
+
+/**
+ * Prices one (arch, model, strategy) serving configuration.
+ *
+ * Construction calibrates the cost tables (the expensive part);
+ * run() replays request traces against them and is cheap, const,
+ * and safe to call concurrently from many threads.
+ *
+ * Determinism guarantee: run() is a pure function of the request
+ * trace and the construction arguments — identical across thread
+ * counts, machines, and repetitions.
+ */
+class ServeSimulator
+{
+  public:
+    /**
+     * @param workload sizes the calibration grids (max context,
+     *                 max prompt); traces replayed later typically
+     *                 vary only the arrival rate and seed.
+     */
+    ServeSimulator(arch::ArchConfig arch,
+                   model::TransformerConfig cfg,
+                   const WorkloadOptions &workload,
+                   ServeOptions options = {});
+
+    /** Replay one trace (requests sorted by arrival time). */
+    ServeMetrics run(const std::vector<Request> &requests) const;
+
+    const ServeCostModel &costModel() const { return cost_; }
+    const ServeOptions &options() const { return options_; }
+    double kvWordsPerTokenUsed() const { return words_per_token_; }
+    double kvCapacityWordsUsed() const { return capacity_words_; }
+
+  private:
+    ServeOptions options_;
+    ServeCostModel cost_;
+    double words_per_token_ = 0;
+    double capacity_words_ = 0;
+};
+
+/** One load point of an offered-load sweep. */
+struct ServeScenario
+{
+    WorkloadOptions workload;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate and replay every scenario against `sim`, fanning the
+ * independent replays across a thread pool.  Results come back in
+ * input order and are bit-identical for any `threads` (<= 0 means
+ * all hardware threads): each replay is serial and pure, and the
+ * shared cost tables are immutable after construction.
+ */
+std::vector<ServeMetrics>
+runScenarios(const ServeSimulator &sim,
+             const std::vector<ServeScenario> &scenarios,
+             int threads = 0);
+
+} // namespace transfusion::serve
+
+#endif // TRANSFUSION_SERVE_SIMULATOR_HH

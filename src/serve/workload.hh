@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Request-level workload generation for the serving simulator:
+ * Poisson arrivals with log-uniform prompt/output lengths, drawn
+ * from common/rng.hh so a (options, seed) pair reproduces the same
+ * request trace bit-for-bit on any machine and thread count.
+ *
+ * The shapes mirror the serving traces the generation-inference
+ * literature studies: arrival times from a memoryless process, and
+ * lengths spanning orders of magnitude (short chat turns to long
+ * documents), hence log-uniform rather than uniform.
+ */
+
+#ifndef TRANSFUSION_SERVE_WORKLOAD_HH
+#define TRANSFUSION_SERVE_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace transfusion::serve
+{
+
+/** One generation request offered to the serving system. */
+struct Request
+{
+    std::int64_t id = 0;         ///< dense index in arrival order
+    double arrival_s = 0;        ///< arrival time (virtual seconds)
+    std::int64_t prompt_len = 0; ///< prefill tokens
+    std::int64_t output_len = 0; ///< tokens to generate (>= 1)
+
+    /** Peak KV-cache positions this request ever holds. */
+    std::int64_t peakContext() const
+    {
+        return prompt_len + output_len;
+    }
+
+    std::string toString() const;
+};
+
+/** Inclusive log-uniform range for a token-length draw. */
+struct LengthRange
+{
+    std::int64_t lo = 1;
+    std::int64_t hi = 1;
+};
+
+/** Knobs of one generated request trace. */
+struct WorkloadOptions
+{
+    double arrival_per_s = 4.0;   ///< Poisson arrival rate
+    std::int64_t requests = 256;  ///< trace length
+    LengthRange prompt{256, 4096};
+    LengthRange output{32, 512};
+
+    /** Largest context any request of this trace can reach. */
+    std::int64_t maxContext() const
+    {
+        return prompt.hi + output.hi;
+    }
+
+    /** Fatal unless rates/counts/ranges are well-formed. */
+    void validate() const;
+};
+
+/**
+ * Generate `options.requests` requests sorted by arrival time.
+ *
+ * Determinism: exactly three Rng draws per request (arrival gap,
+ * prompt length, output length) in request order, so the trace is
+ * a pure function of (options, seed).  Scaling `arrival_per_s`
+ * while keeping the seed rescales every arrival gap and leaves all
+ * lengths unchanged — the property the load-monotonicity tests and
+ * offered-load sweeps rely on.
+ */
+std::vector<Request> generateWorkload(const WorkloadOptions &options,
+                                      std::uint64_t seed);
+
+} // namespace transfusion::serve
+
+#endif // TRANSFUSION_SERVE_WORKLOAD_HH

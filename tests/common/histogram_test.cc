@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the exact-percentile histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace transfusion
+{
+namespace
+{
+
+TEST(Histogram, EmptyIsFatalForStats)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_THROW(h.mean(), FatalError);
+    EXPECT_THROW(h.min(), FatalError);
+    EXPECT_THROW(h.percentile(50), FatalError);
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile)
+{
+    Histogram h;
+    h.add(3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 3.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(h.min(), 3.5);
+    EXPECT_DOUBLE_EQ(h.max(), 3.5);
+}
+
+TEST(Histogram, PercentilesInterpolateOrderStatistics)
+{
+    Histogram h;
+    // Insert out of order to exercise the lazy sort.
+    for (double v : { 40.0, 10.0, 30.0, 20.0 })
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 40.0);
+    // rank = 0.5 * 3 = 1.5 -> halfway between 20 and 30.
+    EXPECT_DOUBLE_EQ(h.percentile(50), 25.0);
+    // rank = 1/3 * 3 = 1 -> exactly the second sample.
+    EXPECT_NEAR(h.percentile(100.0 / 3.0), 20.0, 1e-12);
+}
+
+TEST(Histogram, PercentileIsMonotoneInP)
+{
+    Histogram h;
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        h.add(rng.nextDouble(0, 100));
+    double prev = h.percentile(0);
+    for (double p = 1; p <= 100; p += 1) {
+        const double cur = h.percentile(p);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+    EXPECT_THROW(h.percentile(-1), FatalError);
+    EXPECT_THROW(h.percentile(101), FatalError);
+}
+
+TEST(Histogram, MergeIsLossless)
+{
+    Histogram a, b, both;
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        const double v = rng.nextDouble();
+        if (i % 2 == 0)
+            a.add(v);
+        else
+            b.add(v);
+        both.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    for (double p : { 0.0, 25.0, 50.0, 95.0, 99.0, 100.0 })
+        EXPECT_DOUBLE_EQ(a.percentile(p), both.percentile(p));
+    // Addition order differs between the two, so allow rounding.
+    EXPECT_NEAR(a.sum(), both.sum(), 1e-12 * both.sum());
+}
+
+TEST(Histogram, SummaryMentionsCountAndTails)
+{
+    Histogram h;
+    EXPECT_EQ(h.summary(), "n=0");
+    h.add(1.0);
+    h.add(2.0);
+    const auto s = h.summary();
+    EXPECT_NE(s.find("n=2"), std::string::npos);
+    EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+} // namespace
+} // namespace transfusion

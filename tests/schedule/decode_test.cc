@@ -125,6 +125,53 @@ TEST(Decode, SamplingDensityBarelyMatters)
                 0.05 * b.decode.latency_s);
 }
 
+TEST(Decode, TrapezoidMatchesExactPerStepSum)
+{
+    // The integration samples a handful of cache lengths and
+    // trapezoids between them, justified by the step cost being
+    // affine in the cache length.  Validate against ground truth:
+    // for small T, sum stepMetrics over every cache length the
+    // decode phase actually visits (prompt+1 .. prompt+T) and
+    // compare.  This is the invariant the serve simulator's
+    // calibrated tables also lean on; if the affine assumption
+    // breaks, this catches it.
+    const auto opts = fastOptions();
+    const std::int64_t prompt = 512, tokens = 8;
+    for (auto strategy :
+         { StrategyKind::Unfused, StrategyKind::TransFusion }) {
+        DecodeEvaluator eval(arch::cloudArch(), model::t5Small(),
+                             { prompt, tokens }, opts);
+        LayerMetrics exact;
+        for (std::int64_t i = 1; i <= tokens; ++i)
+            exact += eval.stepMetrics(prompt + i, strategy);
+        const auto r = eval.evaluate(strategy);
+        EXPECT_NEAR(r.decode.latency_s, exact.latency_s,
+                    0.02 * exact.latency_s);
+        EXPECT_NEAR(r.decode.dram_bytes, exact.dram_bytes,
+                    0.02 * exact.dram_bytes);
+        EXPECT_NEAR(r.decode.energy.total(), exact.energy.total(),
+                    0.02 * exact.energy.total());
+    }
+}
+
+TEST(Decode, PublicStepMetricsIsAffineInCacheLength)
+{
+    // Spot-check the affinity assumption itself at decode scale:
+    // three collinear cache lengths must give collinear latencies
+    // (within roofline-crossover tolerance).
+    DecodeEvaluator eval(arch::cloudArch(), model::t5Small(),
+                         { 1024, 16 }, fastOptions());
+    const auto a =
+        eval.stepMetrics(2048, StrategyKind::FuseMax).latency_s;
+    const auto b =
+        eval.stepMetrics(3072, StrategyKind::FuseMax).latency_s;
+    const auto c =
+        eval.stepMetrics(4096, StrategyKind::FuseMax).latency_s;
+    EXPECT_NEAR(b, 0.5 * (a + c), 0.01 * b);
+    EXPECT_THROW(eval.stepMetrics(0, StrategyKind::FuseMax),
+                 FatalError);
+}
+
 TEST(Decode, RejectsBadWorkloads)
 {
     EXPECT_THROW(DecodeEvaluator(arch::cloudArch(),

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the calibrated serve cost tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/cost_model.hh"
+
+namespace transfusion::serve
+{
+namespace
+{
+
+ServeCostOptions
+fastCost()
+{
+    ServeCostOptions o;
+    o.cache_samples = 3;
+    o.prefill_samples = 3;
+    o.evaluator.mcts.iterations = 64;
+    return o;
+}
+
+TEST(ServeCostModel, MatchesDecodeEvaluatorAtCalibratedPoints)
+{
+    const auto arch = arch::edgeArch();
+    const auto cfg = model::t5Small();
+    const auto kind = schedule::StrategyKind::FuseMax;
+    const auto opts = fastCost();
+    const ServeCostModel cm(arch, cfg, kind, /*max_batch=*/4,
+                            /*max_context=*/2048,
+                            /*max_prompt=*/1024, opts);
+
+    // The (batch=2, cache=64) grid node must reproduce the public
+    // per-step API it was calibrated from.
+    model::TransformerConfig two = cfg;
+    two.batch = 2;
+    const schedule::DecodeEvaluator deval(arch, two, { 1, 0 },
+                                          opts.evaluator);
+    const double direct = deval.stepMetrics(64, kind).latency_s;
+    EXPECT_NEAR(cm.decodeStepSeconds(2, 64.0), direct,
+                1e-12 * direct);
+}
+
+TEST(ServeCostModel, MonotoneInCacheBatchAndPrompt)
+{
+    const ServeCostModel cm(
+        arch::edgeArch(), model::t5Small(),
+        schedule::StrategyKind::FuseMax, /*max_batch=*/8,
+        /*max_context=*/4096, /*max_prompt=*/2048, fastCost());
+
+    // Longer caches stream more KV words per step.
+    EXPECT_LT(cm.decodeStepSeconds(4, 256),
+              cm.decodeStepSeconds(4, 4096));
+    // More lanes move more data per step (weights amortize, KV
+    // does not).
+    EXPECT_LT(cm.decodeStepSeconds(1, 1024),
+              cm.decodeStepSeconds(8, 1024));
+    // Longer prompts cost more prefill.
+    EXPECT_LT(cm.prefillSeconds(128), cm.prefillSeconds(2048));
+    // Batch clamps instead of extrapolating.
+    EXPECT_DOUBLE_EQ(cm.decodeStepSeconds(64, 1024),
+                     cm.decodeStepSeconds(8, 1024));
+    EXPECT_GT(cm.decodeStepSeconds(1, 16.0), 0.0);
+    EXPECT_GT(cm.prefillSeconds(1), 0.0);
+}
+
+TEST(ServeCostModel, StrategiesPriceDifferently)
+{
+    const auto arch = arch::edgeArch();
+    const auto cfg = model::t5Small();
+    const ServeCostModel unfused(
+        arch, cfg, schedule::StrategyKind::Unfused, 4, 2048, 1024,
+        fastCost());
+    const ServeCostModel fused(
+        arch, cfg, schedule::StrategyKind::FuseMax, 4, 2048, 1024,
+        fastCost());
+    // Fusion never loses, and wins clearly on prefill.
+    EXPECT_GT(unfused.prefillSeconds(1024),
+              fused.prefillSeconds(1024));
+    EXPECT_GE(unfused.decodeStepSeconds(4, 1024) * 1.001,
+              fused.decodeStepSeconds(4, 1024));
+}
+
+} // namespace
+} // namespace transfusion::serve

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the KV-cache capacity accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "serve/kv_cache.hh"
+
+namespace transfusion::serve
+{
+namespace
+{
+
+TEST(ServeKvCache, WordsPerTokenIsKAndVAcrossLayers)
+{
+    const auto cfg = model::t5Small(); // 6 layers, D = 512
+    EXPECT_DOUBLE_EQ(kvWordsPerToken(cfg), 2.0 * 6 * 512);
+}
+
+TEST(ServeKvCache, WeightWordsMatchesClosedForm)
+{
+    const auto cfg = model::t5Small(); // D = 512, S = 2048
+    const double per_layer =
+        4.0 * 512 * 512 + 2.0 * 512 * 2048;
+    EXPECT_DOUBLE_EQ(weightWords(cfg), 6.0 * per_layer);
+}
+
+TEST(ServeKvCache, CapacitySubtractsWeights)
+{
+    const auto arch = arch::cloudArch();
+    const auto cfg = model::t5Small();
+    const double dram = 1e9; // 1 GB override
+    const double expect =
+        (dram - weightWords(cfg) * arch.element_bytes)
+        / arch.element_bytes;
+    EXPECT_DOUBLE_EQ(kvCapacityWords(arch, cfg, dram), expect);
+    EXPECT_GT(expect, 0);
+    // Default capacity scales with bandwidth: cloud >> edge.
+    EXPECT_GT(defaultDramCapacityBytes(arch::cloudArch()),
+              defaultDramCapacityBytes(arch::edgeArch()));
+}
+
+TEST(ServeKvCache, ModelLargerThanDramIsFatal)
+{
+    const auto arch = arch::cloudArch();
+    const auto cfg = model::llama3_8b();
+    EXPECT_THROW(kvCapacityWords(arch, cfg, /*dram=*/1e9),
+                 FatalError);
+}
+
+TEST(ServeKvCache, TrackerReservesReleasesAndPeaks)
+{
+    KvCacheTracker t(100.0);
+    EXPECT_DOUBLE_EQ(t.capacityWords(), 100.0);
+    EXPECT_TRUE(t.fitsAlone(100.0));
+    EXPECT_FALSE(t.fitsAlone(100.5));
+
+    EXPECT_TRUE(t.tryReserve(60.0));
+    EXPECT_TRUE(t.tryReserve(40.0));
+    EXPECT_FALSE(t.tryReserve(0.5)); // full
+    EXPECT_DOUBLE_EQ(t.reservedWords(), 100.0);
+
+    t.release(60.0);
+    EXPECT_DOUBLE_EQ(t.reservedWords(), 40.0);
+    EXPECT_TRUE(t.tryReserve(30.0));
+    // Peak tracks the high-water mark, not the current level.
+    EXPECT_DOUBLE_EQ(t.peakReservedWords(), 100.0);
+
+    EXPECT_THROW(t.release(1000.0), FatalError);
+    EXPECT_THROW(KvCacheTracker(0.0), FatalError);
+}
+
+} // namespace
+} // namespace transfusion::serve

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Integration tests of the full serve path: threaded scenario
+ * replay is bit-identical for any thread count, and tail latency
+ * responds monotonically to offered load.  These are the TSan'd
+ * "Serve" tests scripts/check.sh runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/simulator.hh"
+
+namespace transfusion::serve
+{
+namespace
+{
+
+WorkloadOptions
+baseWorkload()
+{
+    WorkloadOptions wl;
+    wl.arrival_per_s = 1.0;
+    wl.requests = 64;
+    wl.prompt = { 128, 1024 };
+    wl.output = { 8, 64 };
+    return wl;
+}
+
+ServeSimulator
+makeSim()
+{
+    ServeOptions o;
+    o.strategy = schedule::StrategyKind::FuseMax;
+    o.max_batch = 4;
+    o.cost.cache_samples = 3;
+    o.cost.prefill_samples = 3;
+    o.cost.evaluator.mcts.iterations = 64;
+    return ServeSimulator(arch::edgeArch(), model::t5Small(),
+                          baseWorkload(), o);
+}
+
+/** Field-for-field bit equality of two replay results. */
+void
+expectIdentical(const ServeMetrics &a, const ServeMetrics &b)
+{
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.generated_tokens, b.generated_tokens);
+    EXPECT_EQ(a.prefill_rounds, b.prefill_rounds);
+    EXPECT_EQ(a.decode_rounds, b.decode_rounds);
+    EXPECT_EQ(a.peak_running, b.peak_running);
+    EXPECT_EQ(a.peak_queue, b.peak_queue);
+    EXPECT_EQ(a.peak_reserved_words, b.peak_reserved_words);
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.tokens_per_second, b.tokens_per_second);
+    ASSERT_EQ(a.latency_s.count(), b.latency_s.count());
+    for (double p : { 0.0, 50.0, 95.0, 99.0, 100.0 }) {
+        EXPECT_EQ(a.ttft_s.percentile(p), b.ttft_s.percentile(p));
+        EXPECT_EQ(a.latency_s.percentile(p),
+                  b.latency_s.percentile(p));
+    }
+    EXPECT_EQ(a.ttft_s.sum(), b.ttft_s.sum());
+    EXPECT_EQ(a.queue_wait_s.sum(), b.queue_wait_s.sum());
+}
+
+TEST(ServeReplay, BitIdenticalAcrossThreadCounts)
+{
+    const auto sim = makeSim();
+    std::vector<ServeScenario> scenarios;
+    for (double rate : { 0.5, 4.0, 32.0 }) {
+        for (std::uint64_t seed : { 1ULL, 99ULL }) {
+            ServeScenario s;
+            s.workload = baseWorkload();
+            s.workload.arrival_per_s = rate;
+            s.seed = seed;
+            scenarios.push_back(s);
+        }
+    }
+    const auto serial = runScenarios(sim, scenarios, 1);
+    const auto parallel = runScenarios(sim, scenarios, 4);
+    ASSERT_EQ(serial.size(), scenarios.size());
+    ASSERT_EQ(parallel.size(), scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+}
+
+TEST(ServeReplay, ThreadedReplayMatchesDirectRun)
+{
+    const auto sim = makeSim();
+    std::vector<ServeScenario> scenarios(3);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        scenarios[i].workload = baseWorkload();
+        scenarios[i].seed = 100 + i;
+    }
+    const auto fanned = runScenarios(sim, scenarios, 4);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const auto direct = sim.run(generateWorkload(
+            scenarios[i].workload, scenarios[i].seed));
+        expectIdentical(fanned[i], direct);
+    }
+}
+
+TEST(ServeReplay, TailLatencyMonotoneInOfferedLoad)
+{
+    const auto sim = makeSim();
+    // Same seed: lengths are identical, arrival gaps scale with
+    // the rate, so rising load only compresses arrivals.
+    std::vector<ServeScenario> scenarios;
+    for (double rate : { 0.02, 2.0, 200.0 }) {
+        ServeScenario s;
+        s.workload = baseWorkload();
+        s.workload.arrival_per_s = rate;
+        s.seed = 7;
+        scenarios.push_back(s);
+    }
+    const auto r = runScenarios(sim, scenarios, 2);
+    for (std::size_t i = 1; i < r.size(); ++i) {
+        EXPECT_GE(r[i].latency_s.percentile(99),
+                  r[i - 1].latency_s.percentile(99));
+        EXPECT_GE(r[i].peak_queue, r[i - 1].peak_queue);
+    }
+    // Saturation is visible: the hottest load point queues hard.
+    EXPECT_GT(r.back().queue_wait_s.percentile(99), 0.0);
+    EXPECT_GT(r.back().peak_queue, 0);
+}
+
+} // namespace
+} // namespace transfusion::serve

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the Poisson request-trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "serve/workload.hh"
+
+namespace transfusion::serve
+{
+namespace
+{
+
+WorkloadOptions
+smallOptions()
+{
+    WorkloadOptions wl;
+    wl.arrival_per_s = 4.0;
+    wl.requests = 200;
+    wl.prompt = { 128, 2048 };
+    wl.output = { 16, 256 };
+    return wl;
+}
+
+TEST(ServeWorkload, DeterministicPerSeed)
+{
+    const auto wl = smallOptions();
+    const auto a = generateWorkload(wl, 7);
+    const auto b = generateWorkload(wl, 7);
+    const auto c = generateWorkload(wl, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+        EXPECT_EQ(a[i].output_len, b[i].output_len);
+    }
+    // A different seed must actually change the trace.
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].arrival_s != c[i].arrival_s;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(ServeWorkload, ArrivalsSortedLengthsInRange)
+{
+    const auto wl = smallOptions();
+    const auto trace = generateWorkload(wl, 3);
+    ASSERT_EQ(trace.size(),
+              static_cast<std::size_t>(wl.requests));
+    double prev = 0;
+    for (const auto &r : trace) {
+        EXPECT_GE(r.arrival_s, prev);
+        prev = r.arrival_s;
+        EXPECT_GE(r.prompt_len, wl.prompt.lo);
+        EXPECT_LE(r.prompt_len, wl.prompt.hi);
+        EXPECT_GE(r.output_len, wl.output.lo);
+        EXPECT_LE(r.output_len, wl.output.hi);
+        EXPECT_EQ(r.peakContext(), r.prompt_len + r.output_len);
+    }
+}
+
+TEST(ServeWorkload, MeanArrivalRateIsRoughlyRequested)
+{
+    auto wl = smallOptions();
+    wl.requests = 4000;
+    const auto trace = generateWorkload(wl, 5);
+    const double rate = static_cast<double>(wl.requests)
+        / trace.back().arrival_s;
+    EXPECT_NEAR(rate, wl.arrival_per_s, 0.15 * wl.arrival_per_s);
+}
+
+TEST(ServeWorkload, RateScalingRescalesGapsOnly)
+{
+    // The monotone-load sweeps rely on this: same seed, higher
+    // rate => identical lengths, arrival times scaled down.
+    auto slow = smallOptions();
+    auto fast = smallOptions();
+    fast.arrival_per_s = 4.0 * slow.arrival_per_s;
+    const auto a = generateWorkload(slow, 9);
+    const auto b = generateWorkload(fast, 9);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+        EXPECT_EQ(a[i].output_len, b[i].output_len);
+        EXPECT_NEAR(b[i].arrival_s, a[i].arrival_s / 4.0,
+                    1e-9 * a[i].arrival_s);
+    }
+}
+
+TEST(ServeWorkload, DegenerateRangeIsConstant)
+{
+    auto wl = smallOptions();
+    wl.prompt = { 777, 777 };
+    for (const auto &r : generateWorkload(wl, 1))
+        EXPECT_EQ(r.prompt_len, 777);
+}
+
+TEST(ServeWorkload, RejectsBadOptions)
+{
+    auto wl = smallOptions();
+    wl.arrival_per_s = 0;
+    EXPECT_THROW(generateWorkload(wl, 1), FatalError);
+    wl = smallOptions();
+    wl.requests = 0;
+    EXPECT_THROW(generateWorkload(wl, 1), FatalError);
+    wl = smallOptions();
+    wl.prompt = { 0, 10 };
+    EXPECT_THROW(generateWorkload(wl, 1), FatalError);
+    wl = smallOptions();
+    wl.output = { 64, 32 };
+    EXPECT_THROW(generateWorkload(wl, 1), FatalError);
+}
+
+} // namespace
+} // namespace transfusion::serve
