@@ -6,10 +6,13 @@
 #include "bench_util.hh"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/math_utils.hh"
+#include "obs/report.hh"
+#include "obs/trace.hh"
 
 namespace transfusion::bench
 {
@@ -20,10 +23,52 @@ namespace
 void
 printUsage(std::ostream &os, const char *prog)
 {
-    os << "usage: " << prog << " [--threads N] [--seed N] [--csv]\n"
+    os << "usage: " << prog
+       << " [--threads N] [--seed N] [--csv]"
+          " [--trace FILE] [--report FILE]\n"
        << "  --threads N  worker threads (default: all cores)\n"
        << "  --seed N     base RNG seed (default: 1)\n"
-       << "  --csv        emit tables as CSV\n";
+       << "  --csv        emit tables as CSV\n"
+       << "  --trace FILE write a Chrome trace_event JSON at exit"
+          " (open in chrome://tracing)\n"
+       << "  --report FILE write the obs metrics report at exit"
+          " (.csv extension selects CSV)\n";
+}
+
+/** Exit-time artifact destinations; set once by parseBenchArgs. */
+std::string g_trace_path;  // NOLINT(cert-err58-cpp)
+std::string g_report_path; // NOLINT(cert-err58-cpp)
+
+void
+writeObsArtifacts()
+{
+    if (!g_trace_path.empty()) {
+        obs::TraceSession &session = obs::TraceSession::global();
+        session.stop();
+        std::ofstream out(g_trace_path);
+        if (!out) {
+            std::cerr << "bench: cannot open trace file '"
+                      << g_trace_path << "'\n";
+        } else {
+            session.writeChromeTrace(out);
+        }
+    }
+    if (!g_report_path.empty()) {
+        const obs::RunReport report =
+            obs::RunReport::capture(obs::Registry::global());
+        std::ofstream out(g_report_path);
+        if (!out) {
+            std::cerr << "bench: cannot open report file '"
+                      << g_report_path << "'\n";
+        } else if (g_report_path.size() >= 4
+                   && g_report_path.compare(
+                          g_report_path.size() - 4, 4, ".csv")
+                       == 0) {
+            report.writeCsv(out);
+        } else {
+            report.writeTo(out);
+        }
+    }
 }
 
 /**
@@ -69,12 +114,30 @@ parseBenchArgs(int argc, char **argv)
             args.threads = std::atoi(value.c_str());
         } else if (flagValue(argc, argv, i, "--seed", value)) {
             args.seed = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (flagValue(argc, argv, i, "--trace", value)) {
+            args.trace_path = value;
+        } else if (flagValue(argc, argv, i, "--report", value)) {
+            args.report_path = value;
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "'\n";
             printUsage(std::cerr, argv[0]);
             std::exit(2);
         }
+    }
+    if (!args.trace_path.empty() || !args.report_path.empty()) {
+        g_trace_path = args.trace_path;
+        g_report_path = args.report_path;
+        // Force both singletons into existence *before* registering
+        // the hook: function-local statics register their destructor
+        // on first use, and exit handlers run in reverse order, so a
+        // registry first touched mid-run would be torn down before a
+        // hook registered here could read it.
+        obs::Registry::global();
+        obs::TraceSession::global();
+        if (!g_trace_path.empty())
+            obs::TraceSession::global().start();
+        std::atexit(&writeObsArtifacts);
     }
     return args;
 }

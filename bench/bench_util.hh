@@ -35,12 +35,22 @@ struct BenchArgs
     std::uint64_t seed = 1;
     /** Emit tables as CSV instead of aligned text. */
     bool csv = false;
+    /** Chrome trace_event JSON written at exit (empty = off). */
+    std::string trace_path;
+    /** obs::RunReport written at exit (empty = off).  A path
+     *  ending in .csv selects the flat CSV exporter; anything else
+     *  gets the sorted golden-style key/value text. */
+    std::string report_path;
 };
 
 /**
- * Parse `--threads N`, `--seed N` and `--csv` (plus `--help`).
- * Unknown flags print usage to stderr and exit(2); `--help` prints
- * it to stdout and exit(0).
+ * Parse `--threads N`, `--seed N`, `--csv`, `--trace FILE` and
+ * `--report FILE` (plus `--help`).  Unknown flags print usage to
+ * stderr and exit(2); `--help` prints it to stdout and exit(0).
+ *
+ * `--trace` starts the global obs::TraceSession immediately;
+ * `--trace`/`--report` artifacts are written by an atexit hook, so
+ * every bench binary emits them without extra plumbing.
  */
 BenchArgs parseBenchArgs(int argc, char **argv);
 

@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the threaded
-# layers (ThreadPool, schedule::Sweep, root-parallel TileSeek).
+# Tier-1 verification, a ThreadSanitizer pass over the threaded
+# layers, and an observability-off build proving the TF_* macros are
+# true no-ops under -Werror.
 #
-# Usage: scripts/check.sh [--tsan-only | --tier1-only]
+# Test selection is label-based (see tests/CMakeLists.txt):
+#   unit / integration / fuzz / golden  suite tiers
+#   threaded                            TSan surface
+#
+# Usage: scripts/check.sh [--tier1-only | --tsan-only | --obs-off-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +18,12 @@ run_tier1() {
     echo "== tier-1: build + full test suite =="
     cmake -B build -S .
     cmake --build build -j "$jobs"
-    ctest --test-dir build --output-on-failure -j "$jobs"
+    # Every label tier, fastest first so cheap breakage fails early.
+    ctest --test-dir build --output-on-failure -j "$jobs" -L unit
+    ctest --test-dir build --output-on-failure -j "$jobs" -L fuzz
+    ctest --test-dir build --output-on-failure -j "$jobs" -L golden
+    ctest --test-dir build --output-on-failure -j "$jobs" \
+        -L integration
 }
 
 run_tsan() {
@@ -21,18 +31,35 @@ run_tsan() {
     cmake -B build-tsan -S . -DTRANSFUSION_SANITIZE=thread
     cmake --build build-tsan -j "$jobs" \
         --target tf_common_test tf_tileseek_test tf_schedule_test \
-        tf_serve_test
+        tf_serve_test tf_obs_test
     # The threaded surfaces: pool unit tests, parallel sweeps, the
-    # root-parallel MCTS determinism suite, and the serve-replay
-    # scenario fan-out.
+    # root-parallel MCTS determinism suite, the serve-replay
+    # scenario fan-out, and the obs registry/trace concurrency
+    # tests.
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|Sweep|Mcts|Serve'
+        -L threaded
+}
+
+run_obs_off() {
+    echo "== obs-off: -DTRANSFUSION_OBS=OFF with -Werror =="
+    # Proves the TF_* macros compile to true no-ops: the whole tree
+    # (instrumented hot paths included) must build warning-free and
+    # the full suite must still pass with observability compiled
+    # out.  Golden/report tests skip themselves in this config.
+    cmake -B build-obs-off -S . -DTRANSFUSION_OBS=OFF \
+        -DTRANSFUSION_WERROR=ON
+    cmake --build build-obs-off -j "$jobs"
+    ctest --test-dir build-obs-off --output-on-failure -j "$jobs"
 }
 
 case "$mode" in
-    --tier1-only) run_tier1 ;;
-    --tsan-only)  run_tsan ;;
-    all)          run_tier1; run_tsan ;;
-    *) echo "usage: $0 [--tsan-only | --tier1-only]" >&2; exit 2 ;;
+    --tier1-only)   run_tier1 ;;
+    --tsan-only)    run_tsan ;;
+    --obs-off-only) run_obs_off ;;
+    all)            run_tier1; run_tsan; run_obs_off ;;
+    *)
+        echo "usage: $0 [--tier1-only | --tsan-only | --obs-off-only]" >&2
+        exit 2
+        ;;
 esac
 echo "check.sh: all requested checks passed"

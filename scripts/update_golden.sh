@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate the golden observability reports in tests/golden/data/
+# after an intentional cost-model change, then re-run the golden
+# tier to confirm the refreshed files pass.  Review the resulting
+# git diff like code: every changed line is a cost-model behaviour
+# change.
+#
+# Usage: scripts/update_golden.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake -B build -S .
+cmake --build build -j "$jobs" --target tf_golden_test
+
+mkdir -p tests/golden/data
+echo "== regenerating golden reports =="
+TRANSFUSION_UPDATE_GOLDEN=1 ./build/tests/golden/tf_golden_test
+
+echo "== verifying regenerated goldens =="
+ctest --test-dir build --output-on-failure -j "$jobs" -L golden
+
+echo "update_golden.sh: goldens regenerated and verified"
+git status --short tests/golden/data || true

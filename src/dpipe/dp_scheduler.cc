@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "common/math_utils.hh"
+#include "obs/obs.hh"
 
 namespace transfusion::dpipe
 {
@@ -156,14 +157,28 @@ bestDpSchedule(const einsum::Dag &dag,
                const std::vector<OpLatencyPair> &latency,
                std::size_t max_orders)
 {
+    // Search statistics: every DP run explores one state per
+    // (op, order) pair; orders that fail to beat the incumbent
+    // makespan are the pruned share of the search.
+    std::int64_t orders_tried = 1;
+    std::int64_t orders_pruned = 0;
     Schedule best = dpSchedule(dag, dag.topoSort(), latency);
-    if (max_orders <= 1)
-        return best;
-    for (const auto &order : dag.enumerateTopoOrders(max_orders)) {
-        Schedule s = dpSchedule(dag, order, latency);
-        if (s.makespan < best.makespan)
-            best = std::move(s);
+    if (max_orders > 1) {
+        for (const auto &order :
+             dag.enumerateTopoOrders(max_orders)) {
+            Schedule s = dpSchedule(dag, order, latency);
+            ++orders_tried;
+            if (s.makespan < best.makespan)
+                best = std::move(s);
+            else
+                ++orders_pruned;
+        }
     }
+    TF_COUNT("dpipe/dp/orders_tried", orders_tried);
+    TF_COUNT("dpipe/dp/orders_pruned", orders_pruned);
+    TF_COUNT("dpipe/dp/states_explored",
+             orders_tried * static_cast<std::int64_t>(
+                                dag.nodeCount()));
     return best;
 }
 

@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace transfusion::dpipe
 {
@@ -262,10 +263,15 @@ schedulePipeline(const einsum::Cascade &cascade,
         * static_cast<double>(epochs);
     addWork(best.work, epoch_sched, full_load, 1);
 
-    if (epochs < 2)
+    std::int64_t bipartitions_tried = 0;
+    std::int64_t bipartitions_kept = 0;
+    if (epochs < 2) {
+        TF_COUNT("dpipe/pipeline/plans", 1);
         return best;
+    }
 
     for (const auto &part : enumerateBipartitions(dag)) {
+        ++bipartitions_tried;
         const auto combined = steadyStateDag(dag, part.in_first);
         auto lat_combined = lat_epoch;
         lat_combined.push_back({0.0, 0.0}); // virtual ROOT
@@ -288,6 +294,7 @@ schedulePipeline(const einsum::Cascade &cascade,
             + static_cast<double>(epochs - 1) * steady.makespan
             + drain.makespan;
         if (total < best.total_seconds) {
+            ++bipartitions_kept;
             PipelineResult r;
             r.epochs = epochs;
             r.pipelined = true;
@@ -305,6 +312,17 @@ schedulePipeline(const einsum::Cascade &cascade,
             best = std::move(r);
         }
     }
+    TF_COUNT("dpipe/pipeline/plans", 1);
+    TF_COUNT("dpipe/pipeline/bipartitions_tried",
+             bipartitions_tried);
+    TF_COUNT("dpipe/pipeline/bipartitions_improved",
+             bipartitions_kept);
+    TF_COUNT("dpipe/pipeline/pipelined_chosen",
+             best.pipelined ? 1 : 0);
+    TF_GAUGE_ADD("dpipe/pipeline/fill_s", best.fill_seconds);
+    TF_GAUGE_ADD("dpipe/pipeline/drain_s", best.drain_seconds);
+    TF_GAUGE_ADD("dpipe/pipeline/steady_epoch_s",
+                 best.steady_epoch_seconds);
     return best;
 }
 

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Implementation of the metrics registry.
+ */
+
+#include "registry.hh"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace transfusion::obs
+{
+
+struct Registry::Impl
+{
+    mutable std::mutex mutex;
+    RegistrySnapshot data;
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+Registry::Registry(Registry &&) noexcept = default;
+Registry &Registry::operator=(Registry &&) noexcept = default;
+
+void
+Registry::counterAdd(const std::string &name, std::int64_t delta)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->data.counters[name] += delta;
+}
+
+void
+Registry::gaugeAdd(const std::string &name, double delta)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->data.gauges[name] += delta;
+}
+
+void
+Registry::gaugeMax(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto [it, inserted] = impl_->data.peaks.emplace(name, value);
+    if (!inserted)
+        it->second = std::max(it->second, value);
+}
+
+void
+Registry::timerRecord(const std::string &name, double seconds)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->data.timers[name].add(seconds);
+}
+
+void
+Registry::merge(const Registry &other)
+{
+    tf_assert(&other != this, "a registry cannot merge into itself");
+    merge(other.snapshot());
+}
+
+void
+Registry::merge(const RegistrySnapshot &other)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto &[name, v] : other.counters)
+        impl_->data.counters[name] += v;
+    for (const auto &[name, v] : other.gauges)
+        impl_->data.gauges[name] += v;
+    for (const auto &[name, v] : other.peaks) {
+        auto [it, inserted] = impl_->data.peaks.emplace(name, v);
+        if (!inserted)
+            it->second = std::max(it->second, v);
+    }
+    for (const auto &[name, h] : other.timers)
+        impl_->data.timers[name].merge(h);
+}
+
+RegistrySnapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->data;
+}
+
+void
+Registry::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->data = RegistrySnapshot{};
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+namespace
+{
+
+thread_local Registry *t_current = nullptr;
+
+} // namespace
+
+Registry &
+currentRegistry()
+{
+    return t_current != nullptr ? *t_current : Registry::global();
+}
+
+ScopedRegistry::ScopedRegistry(Registry &target)
+    : previous_(t_current)
+{
+    t_current = &target;
+}
+
+ScopedRegistry::~ScopedRegistry()
+{
+    t_current = previous_;
+}
+
+} // namespace transfusion::obs

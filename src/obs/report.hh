@@ -1,0 +1,68 @@
+/**
+ * @file
+ * RunReport: deterministic, golden-file-friendly rendering of a
+ * Registry snapshot.  Keys are sorted; counter values print as
+ * integers and gauge values with %.12g (enough digits that any
+ * cost-model drift shows, few enough that last-ulp noise does
+ * not); wall-clock timer durations are excluded -- only their
+ * deterministic sample counts appear.  Two runs that performed the
+ * same instrumented work therefore produce bit-identical reports.
+ */
+
+#ifndef TRANSFUSION_OBS_REPORT_HH
+#define TRANSFUSION_OBS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hh"
+
+namespace transfusion::obs
+{
+
+/** Sorted key/value rendering of one registry snapshot. */
+class RunReport
+{
+  public:
+    /** Snapshot `reg` and render it. */
+    static RunReport capture(const Registry &reg);
+    /** Render an already-taken snapshot. */
+    static RunReport fromSnapshot(const RegistrySnapshot &snap);
+
+    /** Sorted (key, value) pairs. */
+    const std::vector<std::pair<std::string, std::string>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+    bool empty() const { return entries_.empty(); }
+
+    /** "key = value\n" per entry, sorted -- the golden format. */
+    std::string toString() const;
+
+    /** Same content as toString(), streamed. */
+    void writeTo(std::ostream &os) const;
+
+    /** Flat "kind,name,value" CSV (header row included). */
+    void writeCsv(std::ostream &os) const;
+
+    /**
+     * Unified first-difference summary against `expected` (empty
+     * string when equal) -- the readable diff golden tests print.
+     */
+    static std::string diff(const std::string &expected,
+                            const std::string &actual);
+
+  private:
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/** %.12g rendering used for every double in a report. */
+std::string formatMetricValue(double value);
+
+} // namespace transfusion::obs
+
+#endif // TRANSFUSION_OBS_REPORT_HH

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/math_utils.hh"
 #include "costmodel/roofline.hh"
+#include "obs/obs.hh"
 #include "costmodel/traffic.hh"
 #include "model/cascades.hh"
 #include "model/pe_mapping.hh"
@@ -19,6 +20,48 @@ namespace transfusion::schedule
 {
 
 using model::LayerKind;
+
+namespace
+{
+
+/**
+ * Per-sub-layer latency/traffic/energy attribution (the FuseMax
+ * style per-Einsum breakdown): one gauge per (strategy, sub-layer,
+ * metric), accumulated across evaluations into the thread's
+ * current registry.  Runs on the thread that called evaluate(), so
+ * sweep workers attribute into their per-task registries and the
+ * input-order merge keeps reports bit-identical per thread count.
+ */
+void
+recordEvalAttribution(StrategyKind strategy, const EvalResult &result)
+{
+#if TRANSFUSION_OBS_ENABLED
+    obs::Registry &reg = obs::currentRegistry();
+    const std::string prefix = "eval/" + toString(strategy) + "/";
+    for (const LayerKind kind : model::allLayerKinds()) {
+        const LayerMetrics &m = result.layer(kind);
+        const std::string layer = prefix + model::toString(kind) + "/";
+        reg.gaugeAdd(layer + "latency_s", m.latency_s);
+        reg.gaugeAdd(layer + "dram_bytes", m.dram_bytes);
+        reg.gaugeAdd(layer + "energy_j", m.energy.total());
+    }
+    reg.gaugeAdd(prefix + "total/latency_s", result.total.latency_s);
+    reg.gaugeAdd(prefix + "total/compute_s", result.total.compute_s);
+    reg.gaugeAdd(prefix + "total/dram_s", result.total.dram_s);
+    reg.gaugeAdd(prefix + "total/dram_bytes",
+                 result.total.dram_bytes);
+    reg.gaugeAdd(prefix + "total/energy_j",
+                 result.total.energy.total());
+    reg.gaugeAdd(prefix + "total/dram_energy_j",
+                 result.total.energy.dram_j);
+    reg.counterAdd("eval/evaluations", 1);
+#else
+    (void)strategy;
+    (void)result;
+#endif
+}
+
+} // namespace
 
 Workload
 Workload::selfAttention(std::int64_t seq)
@@ -314,6 +357,8 @@ Evaluator::onChipEnergy(LayerKind kind, StrategyKind strategy) const
 EvalResult
 Evaluator::evaluate(StrategyKind strategy) const
 {
+    TF_SPAN("evaluator.evaluate/" + toString(strategy));
+    TF_TIMER("eval/evaluate");
     EvalResult result;
     const double batch = static_cast<double>(cfg_.batch);
     const double eb = static_cast<double>(arch_.element_bytes);
@@ -398,6 +443,7 @@ Evaluator::evaluate(StrategyKind strategy) const
 
         result.total += m;
     }
+    recordEvalAttribution(strategy, result);
     return result;
 }
 

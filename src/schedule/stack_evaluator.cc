@@ -6,6 +6,7 @@
 #include "stack_evaluator.hh"
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace transfusion::schedule
 {
@@ -60,6 +61,7 @@ StackEvaluator::blockMetrics(const Workload &workload,
 StackResult
 StackEvaluator::evaluate(StrategyKind strategy) const
 {
+    TF_SPAN("stack_evaluator.evaluate/" + toString(strategy));
     StackResult r;
     if (stack_.encoder_layers > 0) {
         r.encoder = blockMetrics(
@@ -80,6 +82,21 @@ StackEvaluator::evaluate(StrategyKind strategy) const
             r.total += r.decoder_cross;
         }
     }
+    TF_OBS_ONLY({
+        obs::Registry &reg = obs::currentRegistry();
+        const std::string prefix =
+            "stack/" + toString(strategy) + "/";
+        reg.gaugeAdd(prefix + "encoder/latency_s",
+                     r.encoder.latency_s);
+        reg.gaugeAdd(prefix + "decoder_self/latency_s",
+                     r.decoder_self.latency_s);
+        reg.gaugeAdd(prefix + "decoder_cross/latency_s",
+                     r.decoder_cross.latency_s);
+        reg.gaugeAdd(prefix + "total/latency_s", r.total.latency_s);
+        reg.gaugeAdd(prefix + "total/dram_bytes",
+                     r.total.dram_bytes);
+        reg.counterAdd("eval/stack_evaluations", 1);
+    })
     return r;
 }
 

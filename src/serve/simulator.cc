@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/obs.hh"
 
 namespace transfusion::serve
 {
@@ -46,6 +47,8 @@ ServeSimulator::run(const std::vector<Request> &requests) const
         std::int64_t generated = 0;
     };
 
+    TF_SPAN("serve.run");
+    TF_TIMER("serve/run");
     ServeMetrics m;
     m.offered = static_cast<std::int64_t>(requests.size());
     m.kv_capacity_words = capacity_words_;
@@ -197,6 +200,28 @@ ServeSimulator::run(const std::vector<Request> &requests) const
         m.tokens_per_second =
             static_cast<double>(m.generated_tokens)
             / m.makespan_s;
+
+    // Replay attribution, recorded once per run on the replaying
+    // thread so runScenarios' per-task registries capture it.  At
+    // loop exit every offered request was completed or rejected, so
+    // admissions == completed; each admitted request produced its
+    // first token in a prefill round, so the decode rounds emitted
+    // the remaining tokens (their summed batch occupancy).
+    TF_COUNT("serve/replays", 1);
+    TF_COUNT("serve/offered", m.offered);
+    TF_COUNT("serve/admissions", m.completed);
+    TF_COUNT("serve/sheds", m.rejected);
+    TF_COUNT("serve/generated_tokens", m.generated_tokens);
+    TF_COUNT("serve/prefill_rounds", m.prefill_rounds);
+    TF_COUNT("serve/decode_rounds", m.decode_rounds);
+    TF_COUNT("serve/decode_batch_sum",
+             m.generated_tokens - m.completed);
+    TF_GAUGE_MAX("serve/batch_occupancy",
+                 static_cast<double>(m.peak_running));
+    TF_GAUGE_MAX("serve/queue_depth",
+                 static_cast<double>(m.peak_queue));
+    TF_GAUGE_MAX("serve/kv_reserved_words", m.peak_reserved_words);
+    TF_GAUGE_ADD("serve/makespan_s", m.makespan_s);
     return m;
 }
 
@@ -206,10 +231,28 @@ runScenarios(const ServeSimulator &sim,
              int threads)
 {
     ThreadPool pool(threads);
-    return parallelMap(
+    // Each replay records its metrics into a task-local registry;
+    // merging those registries in scenario (input) order afterwards
+    // keeps the caller's observed metrics bit-identical for any
+    // thread count -- the same contract the metrics vector has.
+    auto tagged = parallelMap(
         pool, scenarios, [&sim](const ServeScenario &s) {
-            return sim.run(generateWorkload(s.workload, s.seed));
+            obs::Registry local;
+            ServeMetrics m;
+            {
+                obs::ScopedRegistry scope(local);
+                m = sim.run(generateWorkload(s.workload, s.seed));
+            }
+            return std::make_pair(std::move(m), std::move(local));
         });
+    obs::Registry &sink = obs::currentRegistry();
+    std::vector<ServeMetrics> out;
+    out.reserve(tagged.size());
+    for (auto &[metrics, registry] : tagged) {
+        sink.merge(registry);
+        out.push_back(std::move(metrics));
+    }
+    return out;
 }
 
 } // namespace transfusion::serve

@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/obs.hh"
 
 namespace transfusion::tileseek
 {
@@ -69,8 +70,10 @@ TileSeek::evaluate(Tree &tree, const Assignment &a) const
     // infeasible points still paid for constraint validation, and
     // reporting only the feasible subset under-counted search cost.
     ++tree.result.evaluations;
-    if (!feasible(a))
+    if (!feasible(a)) {
+        ++tree.result.infeasible;
         return 0.0; // infeasible leaves earn zero reward
+    }
 
     const double c = cost(a);
     if (tree.reward_scale <= 0)
@@ -80,6 +83,7 @@ TileSeek::evaluate(Tree &tree, const Assignment &a) const
         result.found = true;
         result.best = a;
         result.best_cost = c;
+        ++result.best_updates;
     }
     // Shaped reward in (0, 1]: the first feasible cost maps to 0.5,
     // cheaper tilings approach 1.
@@ -183,6 +187,7 @@ TileSeek::searchTree(Tree &tree) const
 SearchResult
 TileSeek::search()
 {
+    TF_SPAN("tileseek.search");
     const int k = options.threads;
     std::vector<Tree> trees;
     trees.reserve(static_cast<std::size_t>(k));
@@ -216,6 +221,8 @@ TileSeek::search()
     for (const Tree &t : trees) {
         nodes_expanded += t.nodes_expanded;
         merged.evaluations += t.result.evaluations;
+        merged.infeasible += t.result.infeasible;
+        merged.best_updates += t.result.best_updates;
         if (t.result.found
                 && (!merged.found
                     || t.result.best_cost < merged.best_cost)) {
@@ -224,6 +231,20 @@ TileSeek::search()
             merged.best_cost = t.result.best_cost;
         }
     }
+    // Instrumented at merge time on the calling thread: the worker
+    // threads above must not touch the thread-local current
+    // registry, or per-task registries installed by outer drivers
+    // (Sweep, runScenarios) would miss these counts.
+    TF_COUNT("tileseek/searches", 1);
+    TF_COUNT("tileseek/trees", k);
+    TF_COUNT("tileseek/iterations",
+             static_cast<std::int64_t>(k) * options.iterations);
+    TF_COUNT("tileseek/evaluations", merged.evaluations);
+    TF_COUNT("tileseek/infeasible_leaves", merged.infeasible);
+    TF_COUNT("tileseek/best_cost_updates", merged.best_updates);
+    TF_COUNT("tileseek/nodes_expanded", nodes_expanded);
+    if (merged.found)
+        TF_GAUGE_ADD("tileseek/best_cost_sum", merged.best_cost);
     return merged;
 }
 

@@ -64,7 +64,10 @@ exhaustiveSearch(const SearchSpace &space, const FeasibleFn &feasible,
                 result.found = true;
                 result.best = a;
                 result.best_cost = c;
+                ++result.best_updates;
             }
+        } else {
+            ++result.infeasible;
         }
         // Odometer.
         bool rolled = true;

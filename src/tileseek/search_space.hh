@@ -61,6 +61,11 @@ struct SearchResult
      * invocations on feasible points only.
      */
     std::int64_t evaluations = 0;
+    /** Leaves that failed the Table 2 constraint validation. */
+    std::int64_t infeasible = 0;
+    /** Times the incumbent best cost improved during the search
+     *  (summed over all root-parallel trees). */
+    std::int64_t best_updates = 0;
 };
 
 /**

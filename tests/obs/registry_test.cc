@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Property tests for the metrics registry: exact concurrent counter
+ * sums, idempotent snapshots, merge semantics, and thread-local
+ * redirection via ScopedRegistry.
+ */
+
+#include "obs/registry.hh"
+
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
+
+namespace transfusion::obs
+{
+namespace
+{
+
+TEST(Registry, CountersStartAtZeroAndAccumulate)
+{
+    Registry reg;
+    reg.counterAdd("a", 3);
+    reg.counterAdd("a", 4);
+    reg.counterAdd("b", -2);
+    const RegistrySnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counters.at("a"), 7);
+    EXPECT_EQ(snap.counters.at("b"), -2);
+}
+
+TEST(Registry, ConcurrentCounterIncrementsSumExactly)
+{
+    // Integer adds commute, so any interleaving of pool workers must
+    // land on the same total -- the property that makes counters
+    // safe to record from worker threads directly.
+    constexpr int kTasks = 64;
+    constexpr int kIncrements = 1000;
+    Registry reg;
+    ThreadPool pool(8);
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    for (int t = 0; t < kTasks; ++t) {
+        futures.push_back(pool.submit([&reg]() {
+            for (int i = 0; i < kIncrements; ++i)
+                reg.counterAdd("hits", 1);
+        }));
+    }
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(reg.snapshot().counters.at("hits"),
+              static_cast<std::int64_t>(kTasks) * kIncrements);
+}
+
+TEST(Registry, SnapshotIsIdempotent)
+{
+    Registry reg;
+    reg.counterAdd("c", 5);
+    reg.gaugeAdd("g", 1.5);
+    reg.gaugeMax("p", 9.0);
+    reg.timerRecord("t", 0.25);
+    const std::string first =
+        RunReport::capture(reg).toString();
+    const std::string second =
+        RunReport::capture(reg).toString();
+    EXPECT_EQ(first, second);
+    EXPECT_FALSE(first.empty());
+}
+
+TEST(Registry, GaugeAddAccumulatesAndGaugeMaxKeepsPeak)
+{
+    Registry reg;
+    reg.gaugeAdd("sum", 1.0);
+    reg.gaugeAdd("sum", 2.5);
+    reg.gaugeMax("peak", 3.0);
+    reg.gaugeMax("peak", 1.0); // lower value must not regress
+    reg.gaugeMax("peak", 7.0);
+    const RegistrySnapshot snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.gauges.at("sum"), 3.5);
+    EXPECT_DOUBLE_EQ(snap.peaks.at("peak"), 7.0);
+}
+
+TEST(Registry, MergeAddsCountersAndGaugesMaxesPeaksMergesTimers)
+{
+    Registry a;
+    a.counterAdd("c", 1);
+    a.gaugeAdd("g", 0.5);
+    a.gaugeMax("p", 2.0);
+    a.timerRecord("t", 0.1);
+    a.timerRecord("t", 0.2);
+
+    Registry b;
+    b.counterAdd("c", 10);
+    b.counterAdd("only_b", 4);
+    b.gaugeAdd("g", 0.25);
+    b.gaugeMax("p", 1.0);
+    b.timerRecord("t", 0.3);
+
+    a.merge(b);
+    const RegistrySnapshot snap = a.snapshot();
+    EXPECT_EQ(snap.counters.at("c"), 11);
+    EXPECT_EQ(snap.counters.at("only_b"), 4);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 0.75);
+    EXPECT_DOUBLE_EQ(snap.peaks.at("p"), 2.0);
+    EXPECT_EQ(snap.timers.at("t").count(), 3);
+    // The merge source is untouched.
+    EXPECT_EQ(b.snapshot().counters.at("c"), 10);
+}
+
+TEST(Registry, ClearDropsEverything)
+{
+    Registry reg;
+    reg.counterAdd("c", 1);
+    reg.gaugeAdd("g", 1.0);
+    reg.timerRecord("t", 0.5);
+    EXPECT_FALSE(reg.snapshot().empty());
+    reg.clear();
+    EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(Registry, ScopedRegistryRedirectsAndRestores)
+{
+    Registry outer;
+    Registry inner;
+    {
+        ScopedRegistry outer_scope(outer);
+        currentRegistry().counterAdd("where", 1);
+        {
+            ScopedRegistry inner_scope(inner);
+            currentRegistry().counterAdd("where", 10);
+        }
+        // Restored to the enclosing scope, not to global.
+        currentRegistry().counterAdd("where", 100);
+    }
+    EXPECT_EQ(outer.snapshot().counters.at("where"), 101);
+    EXPECT_EQ(inner.snapshot().counters.at("where"), 10);
+}
+
+TEST(Registry, ScopedRegistryIsPerThread)
+{
+    // Installing a registry on this thread must not redirect pool
+    // workers: their writes go to their own current registry (the
+    // global one here).  This is exactly why TileSeek instruments at
+    // merge time instead of inside worker bodies.
+    Registry local;
+    Registry::global().clear();
+    ScopedRegistry scope(local);
+    ThreadPool pool(2);
+    pool.submit([]() {
+          currentRegistry().counterAdd("thread_test/worker", 1);
+      }).get();
+    currentRegistry().counterAdd("thread_test/caller", 1);
+    EXPECT_EQ(local.snapshot().counters.count("thread_test/worker"),
+              0u);
+    EXPECT_EQ(local.snapshot().counters.at("thread_test/caller"), 1);
+    EXPECT_EQ(Registry::global().snapshot().counters.at(
+                  "thread_test/worker"),
+              1);
+    Registry::global().clear();
+}
+
+TEST(Registry, InputOrderMergeIsBitIdentical)
+{
+    // The determinism-merge rule: merging the same per-task
+    // registries in the same (input) order yields bit-identical
+    // reports no matter which threads produced them.
+    const auto make = [](double seed) {
+        Registry r;
+        r.gaugeAdd("fp", seed);
+        r.gaugeAdd("fp", seed * 1e-16);
+        r.counterAdd("n", 1);
+        return r;
+    };
+    const auto merged = [&make]() {
+        Registry sink;
+        for (const double s : { 1.0, 3.0, 7.0 })
+            sink.merge(make(s));
+        return RunReport::capture(sink).toString();
+    };
+    EXPECT_EQ(merged(), merged());
+}
+
+#if TRANSFUSION_OBS_ENABLED
+TEST(ObsMacros, WriteToCurrentRegistry)
+{
+    Registry local;
+    ScopedRegistry scope(local);
+    TF_COUNT("macro/count", 2);
+    TF_GAUGE_ADD("macro/gauge", 1.5);
+    TF_GAUGE_MAX("macro/peak", 4.0);
+    {
+        TF_TIMER("macro/timer");
+    }
+    const RegistrySnapshot snap = local.snapshot();
+    EXPECT_EQ(snap.counters.at("macro/count"), 2);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("macro/gauge"), 1.5);
+    EXPECT_DOUBLE_EQ(snap.peaks.at("macro/peak"), 4.0);
+    EXPECT_EQ(snap.timers.at("macro/timer").count(), 1);
+}
+#else
+TEST(ObsMacros, CompileToNothingWhenDisabled)
+{
+    // The macros must still parse their arguments without evaluating
+    // them: `evaluations` stays untouched.
+    int evaluations = 0;
+    TF_COUNT("macro/count", ++evaluations);
+    TF_GAUGE_ADD("macro/gauge", ++evaluations);
+    TF_GAUGE_MAX("macro/peak", ++evaluations);
+    TF_SPAN("macro/span");
+    TF_TIMER("macro/timer");
+    EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+} // namespace
+} // namespace transfusion::obs

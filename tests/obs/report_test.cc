@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the RunReport renderer: sorted deterministic output,
+ * count-only timer export, CSV shape, and the diff helper.
+ */
+
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace transfusion::obs
+{
+namespace
+{
+
+Registry
+sampleRegistry()
+{
+    Registry reg;
+    reg.counterAdd("zeta", 2);
+    reg.counterAdd("alpha", 1);
+    reg.gaugeAdd("latency", 0.125);
+    reg.gaugeMax("occupancy", 8.0);
+    reg.timerRecord("phase", 0.5);
+    reg.timerRecord("phase", 0.75);
+    return reg;
+}
+
+TEST(RunReport, EntriesAreSorted)
+{
+    const RunReport report = RunReport::capture(sampleRegistry());
+    ASSERT_FALSE(report.empty());
+    const auto &entries = report.entries();
+    EXPECT_TRUE(std::is_sorted(
+        entries.begin(), entries.end(),
+        [](const auto &a, const auto &b) {
+            return a.first < b.first;
+        }));
+}
+
+TEST(RunReport, GoldenFormatAndKindPrefixes)
+{
+    const RunReport report = RunReport::capture(sampleRegistry());
+    EXPECT_EQ(report.toString(),
+              "counter/alpha = 1\n"
+              "counter/zeta = 2\n"
+              "gauge/latency = 0.125\n"
+              "peak/occupancy = 8\n"
+              "timer/phase/count = 2\n");
+}
+
+TEST(RunReport, TimerDurationsAreExcluded)
+{
+    // Two registries doing the same work with different wall-clock
+    // samples must render identically: only the deterministic
+    // sample count is exported.
+    Registry fast;
+    fast.timerRecord("t", 0.001);
+    Registry slow;
+    slow.timerRecord("t", 12.0);
+    EXPECT_EQ(RunReport::capture(fast).toString(),
+              RunReport::capture(slow).toString());
+}
+
+TEST(RunReport, WriteToMatchesToString)
+{
+    const RunReport report = RunReport::capture(sampleRegistry());
+    std::ostringstream os;
+    report.writeTo(os);
+    EXPECT_EQ(os.str(), report.toString());
+}
+
+TEST(RunReport, CsvShape)
+{
+    const RunReport report = RunReport::capture(sampleRegistry());
+    std::ostringstream os;
+    report.writeCsv(os);
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "kind,name,value");
+    std::vector<std::string> rows;
+    while (std::getline(in, line))
+        rows.push_back(line);
+    ASSERT_EQ(rows.size(), report.entries().size());
+    EXPECT_EQ(rows[0], "counter,alpha,1");
+    EXPECT_EQ(rows[2], "gauge,latency,0.125");
+    EXPECT_EQ(rows[4], "timer,phase/count,2");
+}
+
+TEST(RunReport, FormatMetricValueUsesTwelveSignificantDigits)
+{
+    EXPECT_EQ(formatMetricValue(0.125), "0.125");
+    EXPECT_EQ(formatMetricValue(8.0), "8");
+    EXPECT_EQ(formatMetricValue(1.0 / 3.0), "0.333333333333");
+    // Drift in the 12th significant digit must be visible.
+    EXPECT_NE(formatMetricValue(1.00000000001),
+              formatMetricValue(1.0));
+}
+
+TEST(RunReport, EmptyRegistryRendersEmpty)
+{
+    Registry reg;
+    const RunReport report = RunReport::capture(reg);
+    EXPECT_TRUE(report.empty());
+    EXPECT_EQ(report.toString(), "");
+}
+
+TEST(RunReport, DiffEmptyOnEqualAndLocatesFirstMismatch)
+{
+    const std::string a = "counter/x = 1\ncounter/y = 2\n";
+    const std::string b = "counter/x = 1\ncounter/y = 3\n";
+    EXPECT_EQ(RunReport::diff(a, a), "");
+    const std::string d = RunReport::diff(a, b);
+    EXPECT_NE(d.find("line 2"), std::string::npos);
+    EXPECT_NE(d.find("counter/y = 2"), std::string::npos);
+    EXPECT_NE(d.find("counter/y = 3"), std::string::npos);
+}
+
+TEST(RunReport, DiffReportsMissingTrailingLines)
+{
+    const std::string longer = "a = 1\nb = 2\n";
+    const std::string shorter = "a = 1\n";
+    const std::string d = RunReport::diff(longer, shorter);
+    EXPECT_NE(d.find("<eof>"), std::string::npos);
+}
+
+} // namespace
+} // namespace transfusion::obs

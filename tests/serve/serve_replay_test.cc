@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.hh"
+#include "obs/report.hh"
 #include "serve/simulator.hh"
 
 namespace transfusion::serve
@@ -99,6 +101,43 @@ TEST(ServeReplay, ThreadedReplayMatchesDirectRun)
             scenarios[i].workload, scenarios[i].seed));
         expectIdentical(fanned[i], direct);
     }
+}
+
+TEST(ServeReplay, ObsReportBitIdenticalAcrossThreadCounts)
+{
+    // The determinism-merge rule end to end: runScenarios records
+    // each replay into a task-local registry and merges in scenario
+    // order, so the aggregated observability report is bit-for-bit
+    // the same no matter how the pool interleaved the replays.
+    const auto sim = makeSim();
+    std::vector<ServeScenario> scenarios;
+    for (double rate : { 0.5, 8.0, 64.0 }) {
+        for (std::uint64_t seed : { 3ULL, 41ULL }) {
+            ServeScenario s;
+            s.workload = baseWorkload();
+            s.workload.arrival_per_s = rate;
+            s.seed = seed;
+            scenarios.push_back(s);
+        }
+    }
+    const auto report = [&](int threads) {
+        obs::Registry local;
+        {
+            obs::ScopedRegistry scope(local);
+            (void)runScenarios(sim, scenarios, threads);
+        }
+        return obs::RunReport::capture(local).toString();
+    };
+    const std::string serial = report(1);
+    const std::string fanned = report(4);
+    EXPECT_EQ(serial, fanned);
+#if TRANSFUSION_OBS_ENABLED
+    EXPECT_FALSE(serial.empty());
+    EXPECT_NE(serial.find("counter/serve/replays = 6"),
+              std::string::npos);
+#else
+    EXPECT_TRUE(serial.empty());
+#endif
 }
 
 TEST(ServeReplay, TailLatencyMonotoneInOfferedLoad)
