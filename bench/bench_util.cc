@@ -25,14 +25,19 @@ printUsage(std::ostream &os, const char *prog)
 {
     os << "usage: " << prog
        << " [--threads N] [--seed N] [--csv]"
-          " [--trace FILE] [--report FILE]\n"
+          " [--trace FILE] [--report FILE]"
+          " [--chips N] [--tp N] [--pp N]\n"
        << "  --threads N  worker threads (default: all cores)\n"
        << "  --seed N     base RNG seed (default: 1)\n"
        << "  --csv        emit tables as CSV\n"
        << "  --trace FILE write a Chrome trace_event JSON at exit"
           " (open in chrome://tracing)\n"
        << "  --report FILE write the obs metrics report at exit"
-          " (.csv extension selects CSV)\n";
+          " (.csv extension selects CSV)\n"
+       << "  --chips N    cluster size for multi-chip benches"
+          " (default: 1)\n"
+       << "  --tp N       tensor-parallel width (default: 1)\n"
+       << "  --pp N       pipeline stages (default: 1)\n";
 }
 
 /** Exit-time artifact destinations; set once by parseBenchArgs. */
@@ -96,6 +101,27 @@ flagValue(int argc, char **argv, int &i, const std::string &flag,
     return false;
 }
 
+/**
+ * Strictly parse a positive integer count: the whole string must
+ * be digits and the result >= 1, else usage + exit(2).
+ */
+int
+parseCount(const char *prog, const std::string &flag,
+           const std::string &value)
+{
+    char *end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || end == nullptr || *end != '\0'
+        || parsed < 1 || parsed > 1 << 20) {
+        std::cerr << prog << ": " << flag
+                  << " needs a positive integer, got '" << value
+                  << "'\n";
+        printUsage(std::cerr, prog);
+        std::exit(2);
+    }
+    return static_cast<int>(parsed);
+}
+
 } // namespace
 
 BenchArgs
@@ -118,6 +144,12 @@ parseBenchArgs(int argc, char **argv)
             args.trace_path = value;
         } else if (flagValue(argc, argv, i, "--report", value)) {
             args.report_path = value;
+        } else if (flagValue(argc, argv, i, "--chips", value)) {
+            args.chips = parseCount(argv[0], "--chips", value);
+        } else if (flagValue(argc, argv, i, "--tp", value)) {
+            args.tp = parseCount(argv[0], "--tp", value);
+        } else if (flagValue(argc, argv, i, "--pp", value)) {
+            args.pp = parseCount(argv[0], "--pp", value);
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "'\n";

@@ -41,12 +41,21 @@ struct BenchArgs
      *  ending in .csv selects the flat CSV exporter; anything else
      *  gets the sorted golden-style key/value text. */
     std::string report_path;
+    /** Cluster size for multi-chip benches (default: 1 chip). */
+    int chips = 1;
+    /** Tensor-parallel width (default: 1 = unsharded). */
+    int tp = 1;
+    /** Pipeline stages (default: 1 = no pipelining). */
+    int pp = 1;
 };
 
 /**
- * Parse `--threads N`, `--seed N`, `--csv`, `--trace FILE` and
- * `--report FILE` (plus `--help`).  Unknown flags print usage to
- * stderr and exit(2); `--help` prints it to stdout and exit(0).
+ * Parse `--threads N`, `--seed N`, `--csv`, `--trace FILE`,
+ * `--report FILE`, `--chips N`, `--tp N` and `--pp N` (plus
+ * `--help`).  Unknown flags print usage to stderr and exit(2);
+ * `--help` prints it to stdout and exit(0).  `--chips`/`--tp`/
+ * `--pp` are parsed strictly: a non-numeric value, trailing
+ * garbage (`--chips 4x`) or a non-positive count exits(2).
  *
  * `--trace` starts the global obs::TraceSession immediately;
  * `--trace`/`--report` artifacts are written by an atexit hook, so

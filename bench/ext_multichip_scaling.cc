@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Extension experiment: multi-chip scaling.  Prices Llama3-8B on
+ * cloud and edge clusters of 1..8 chips under every feasible
+ * (tp, pp) carving and both the Unfused baseline and TransFusion,
+ * reporting single-batch latency, steady-state throughput time,
+ * link traffic and whole-cluster energy.  The 1-chip tp1/pp1 row
+ * is checked bit-for-bit against the single-chip StackEvaluator
+ * baseline in-process, so the table is anchored to the headline
+ * numbers rather than merely near them.
+ *
+ * The (tp, pp) candidates of each cluster fan across the thread
+ * pool; results collect in grid order, so the output is
+ * bit-identical for any --threads value.
+ *
+ * Flags: the default run sweeps chips in {1, 2, 4, 8}; --chips N
+ * restricts it to one cluster size, and --tp/--pp (with
+ * tp * pp == chips) to one specific carving.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/math_utils.hh"
+#include "model/stack.hh"
+#include "multichip/shard_plan.hh"
+#include "schedule/stack_evaluator.hh"
+
+namespace
+{
+
+constexpr std::int64_t kSeq = 4096;
+
+/** Bitwise equality of the fields the table prints. */
+bool
+matchesBaseline(const transfusion::schedule::LayerMetrics &a,
+                const transfusion::schedule::LayerMetrics &b)
+{
+    return a.latency_s == b.latency_s
+        && a.dram_bytes == b.dram_bytes
+        && a.energy.total() == b.energy.total();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace transfusion;
+    const auto args = bench::parseBenchArgs(argc, argv);
+    bench::printBanner(
+        "Extension: multi-chip scaling",
+        "Llama3-8B sharded tensor/pipeline-parallel over cloud and "
+        "edge clusters; ring collectives and inter-stage hops "
+        "priced by the link model");
+
+    if ((args.tp > 1 || args.pp > 1)
+        && args.tp * args.pp != args.chips) {
+        std::cerr << argv[0] << ": --tp " << args.tp << " x --pp "
+                  << args.pp << " != --chips " << args.chips
+                  << "\n";
+        return 2;
+    }
+
+    const bool full_sweep =
+        args.chips == 1 && args.tp == 1 && args.pp == 1;
+    const std::vector<int> chip_counts =
+        full_sweep ? std::vector<int>{ 1, 2, 4, 8 }
+                   : std::vector<int>{ args.chips };
+
+    const auto stack = model::decoderOnly(model::llama3_8b());
+    multichip::ShardPlanOptions plan_opts;
+    plan_opts.evaluator = bench::sweepOptions().evaluator;
+    plan_opts.evaluator.mcts.iterations = 1024;
+    plan_opts.threads = args.threads;
+    const auto strategies = { schedule::StrategyKind::Unfused,
+                              schedule::StrategyKind::TransFusion };
+
+    for (const auto *preset : { "cloud", "edge" }) {
+        // Single-chip baseline: the numbers every speedup and the
+        // tp1/pp1 exactness check anchor to.
+        const auto one_chip = multichip::clusterByName(preset, 1);
+        schedule::StackEvaluator baseline_eval(
+            one_chip.chips.front(), stack, kSeq, kSeq,
+            plan_opts.evaluator);
+
+        std::cout << "[" << multichip::clusterByName(
+                             preset,
+                             chip_counts.back()).toString()
+                  << ", P = " << bench::seqLabel(kSeq) << "]\n";
+        Table t({ "chips", "system", "tp", "pp", "latency",
+                  "steady-state", "speedup", "link GB",
+                  "energy" });
+        bool exact = true;
+        std::map<schedule::StrategyKind, schedule::LayerMetrics>
+            baselines;
+        for (const auto kind : strategies)
+            baselines.emplace(kind,
+                              baseline_eval.evaluate(kind).total);
+        for (const int chips : chip_counts) {
+            const auto cluster =
+                multichip::clusterByName(preset, chips);
+            for (const auto kind : strategies) {
+                const auto &base = baselines.at(kind);
+                const auto plan = multichip::planShards(
+                    cluster, stack, kSeq, kSeq, kind, plan_opts);
+                for (const auto &entry : plan.entries) {
+                    if ((args.tp > 1 || args.pp > 1)
+                        && (entry.spec.tp != args.tp
+                            || entry.spec.pp != args.pp))
+                        continue;
+                    const auto &r = entry.result;
+                    if (entry.spec.tp == 1 && entry.spec.pp == 1
+                        && !matchesBaseline(r.per_chip.total,
+                                            base))
+                        exact = false;
+                    const bool best =
+                        &entry == &plan.bestEntry();
+                    t.addRow({
+                        std::to_string(chips),
+                        schedule::toString(kind),
+                        std::to_string(entry.spec.tp),
+                        std::to_string(entry.spec.pp)
+                            + (best ? "*" : ""),
+                        formatSeconds(r.latency_s),
+                        formatSeconds(r.steady_state_s),
+                        Table::cell(base.latency_s
+                                        / r.steady_state_s,
+                                    2)
+                            + "x",
+                        Table::cell(
+                            (r.tp_collectives.total_link_bytes
+                             + r.pipeline.transfers
+                                   .total_link_bytes)
+                                / 1e9,
+                            2),
+                        formatJoules(r.cluster_energy_j),
+                    });
+                }
+            }
+        }
+        bench::printTable(t, args, std::cout);
+        std::cout << "(* = best carving per cluster size; "
+                     "speedup = 1-chip latency / steady-state)\n"
+                  << "single-chip tp1/pp1 rows match the "
+                     "StackEvaluator baseline bit-for-bit: "
+                  << (exact ? "yes" : "NO -- REGRESSION")
+                  << "\n\n";
+        if (!exact)
+            return 1;
+    }
+    return 0;
+}

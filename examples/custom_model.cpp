@@ -39,6 +39,7 @@ main()
     npu.clock_hz = 800e6;
     npu.energy.buffer_pj = 4.0;
     npu.energy.dram_pj_per_byte = 60.0;
+    npu.validate();
 
     std::cout << "Custom evaluation: " << gpt2xl.name << " on "
               << npu.toString() << "\n\n";

@@ -31,13 +31,20 @@ run_tsan() {
     cmake -B build-tsan -S . -DTRANSFUSION_SANITIZE=thread
     cmake --build build-tsan -j "$jobs" \
         --target tf_common_test tf_tileseek_test tf_schedule_test \
-        tf_serve_test tf_obs_test
+        tf_serve_test tf_obs_test tf_multichip_test \
+        ext_multichip_scaling
     # The threaded surfaces: pool unit tests, parallel sweeps, the
     # root-parallel MCTS determinism suite, the serve-replay
-    # scenario fan-out, and the obs registry/trace concurrency
-    # tests.
+    # scenario fan-out, the obs registry/trace concurrency tests,
+    # and the multichip shard-plan search.
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
         -L threaded
+    # The multichip sweep fans (tp, pp) candidates across the pool
+    # with per-task registries; drive the real bench (small config)
+    # under TSan to catch races the unit tests miss.
+    echo "== TSan: multichip sweep bench =="
+    ./build-tsan/bench/ext_multichip_scaling --chips 4 \
+        --threads "$jobs" > /dev/null
 }
 
 run_obs_off() {

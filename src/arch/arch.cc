@@ -24,6 +24,47 @@ ArchConfig::toString() const
     return os.str();
 }
 
+void
+ArchConfig::validate() const
+{
+    const auto positive = [this](double v, const char *field) {
+        if (!(v > 0))
+            tf_fatal("arch '", name, "': ", field,
+                     " must be positive, got ", v);
+    };
+    positive(static_cast<double>(pe2d.rows), "pe2d.rows");
+    positive(static_cast<double>(pe2d.cols), "pe2d.cols");
+    positive(static_cast<double>(pe1d), "pe1d");
+    positive(static_cast<double>(buffer_bytes), "buffer_bytes");
+    positive(dram_bytes_per_sec, "dram_bytes_per_sec");
+    positive(clock_hz, "clock_hz");
+    positive(static_cast<double>(element_bytes), "element_bytes");
+    positive(energy.mac_pj, "energy.mac_pj");
+    positive(energy.reg_pj, "energy.reg_pj");
+    positive(energy.buffer_pj, "energy.buffer_pj");
+    positive(energy.dram_pj_per_byte, "energy.dram_pj_per_byte");
+}
+
+bool
+operator==(const EnergyTable &a, const EnergyTable &b)
+{
+    return a.mac_pj == b.mac_pj && a.reg_pj == b.reg_pj
+        && a.buffer_pj == b.buffer_pj
+        && a.dram_pj_per_byte == b.dram_pj_per_byte;
+}
+
+bool
+operator==(const ArchConfig &a, const ArchConfig &b)
+{
+    return a.name == b.name && a.pe2d.rows == b.pe2d.rows
+        && a.pe2d.cols == b.pe2d.cols && a.pe1d == b.pe1d
+        && a.buffer_bytes == b.buffer_bytes
+        && a.dram_bytes_per_sec == b.dram_bytes_per_sec
+        && a.clock_hz == b.clock_hz
+        && a.element_bytes == b.element_bytes
+        && a.energy == b.energy;
+}
+
 ArchConfig
 cloudArch()
 {
@@ -96,15 +137,19 @@ edgeArch64()
 ArchConfig
 archByName(const std::string &name)
 {
+    ArchConfig a;
     if (name == "cloud")
-        return cloudArch();
-    if (name == "edge")
-        return edgeArch();
-    if (name == "edge32")
-        return edgeArch32();
-    if (name == "edge64")
-        return edgeArch64();
-    tf_fatal("unknown architecture preset '", name, "'");
+        a = cloudArch();
+    else if (name == "edge")
+        a = edgeArch();
+    else if (name == "edge32")
+        a = edgeArch32();
+    else if (name == "edge64")
+        a = edgeArch64();
+    else
+        tf_fatal("unknown architecture preset '", name, "'");
+    a.validate();
+    return a;
 }
 
 } // namespace transfusion::arch

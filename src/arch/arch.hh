@@ -69,7 +69,21 @@ struct ArchConfig
 
     /** One-line summary for reports. */
     std::string toString() const;
+
+    /**
+     * Reject configurations the cost model divides by: fatal (with
+     * the offending field named) on non-positive PE dims, buffer,
+     * DRAM bandwidth, clock or element size.  Every evaluator and
+     * bench/example entry point calls this, so a zeroed config
+     * fails with a message instead of a silent division by zero in
+     * the roofline.
+     */
+    void validate() const;
 };
+
+/** Field-wise equality (used to check TP groups are homogeneous). */
+bool operator==(const EnergyTable &a, const EnergyTable &b);
+bool operator==(const ArchConfig &a, const ArchConfig &b);
 
 /** Cloud preset: TPU v2/v3-like (Table 3 row 1). */
 ArchConfig cloudArch();

@@ -19,6 +19,7 @@ EnergyBreakdown::operator+=(const EnergyBreakdown &o)
     buffer_j += o.buffer_j;
     rf_j += o.rf_j;
     pe_j += o.pe_j;
+    link_j += o.link_j;
     return *this;
 }
 
@@ -26,7 +27,7 @@ EnergyBreakdown
 EnergyBreakdown::scaled(double factor) const
 {
     return { dram_j * factor, buffer_j * factor, rf_j * factor,
-             pe_j * factor };
+             pe_j * factor, link_j * factor };
 }
 
 double

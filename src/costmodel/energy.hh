@@ -29,10 +29,12 @@ struct EnergyBreakdown
     double buffer_j = 0; ///< global on-chip buffer
     double rf_j = 0;     ///< register files
     double pe_j = 0;     ///< PE arrays (compute)
+    /** Inter-chip link traffic (multichip only; 0 on one chip). */
+    double link_j = 0;
 
     double total() const
     {
-        return dram_j + buffer_j + rf_j + pe_j;
+        return dram_j + buffer_j + rf_j + pe_j + link_j;
     }
 
     EnergyBreakdown &operator+=(const EnergyBreakdown &o);

@@ -66,18 +66,24 @@ fusedStackTraffic(const FusedStackShape &shape, const OuterTile &tile,
 
     const double b = shape.batch, p = shape.seq, d = shape.d_model,
                  s = shape.ffn_hidden;
+    const double d_in = shape.dIn();
     const double m = shape.contextLen();
     const double bt = static_cast<double>(tile.batch_tile);
     const double pt = static_cast<double>(tile.seq_tile);
-    const double act_words = b * p * d;       // query-side
-    const double ctx_words = b * m * d;       // context-side
+    const double act_words = b * p * d;       // produced (d wide)
+    // Incoming activations carry the full input width d_in (== d
+    // except for tensor-parallel shards); the projected K/V tensors
+    // are d = H*E wide.
+    const double in_words = b * p * d_in;     // query-side reads
+    const double ctx_in_words = b * m * d_in; // context-side reads
+    const double ctx_words = b * m * d;       // projected K/V side
 
     FusedStackTraffic t;
     // INPUT is read for the Q path (tiled along p) and the context
     // stream is read for the K/V projections (Sec. 3.2) -- unless
     // a KV cache already holds the projected context.
-    t.input_words = act_words
-        + (shape.kv_precomputed ? 0.0 : ctx_words);
+    t.input_words = in_words
+        + (shape.kv_precomputed ? 0.0 : ctx_in_words);
     // BK/BV spill to DRAM for reuse across Q tiles (Fig. 3).
     t.kv_spill_words =
         shape.kv_precomputed ? 0.0 : 2.0 * ctx_words;
@@ -97,8 +103,9 @@ fusedStackTraffic(const FusedStackShape &shape, const OuterTile &tile,
 
     t.output_words = act_words;
 
-    // Weights: WQ/WK/WV (3*D*D), WF1/WF2 (2*D*S), biases (S + D).
-    const double weight_words = 3.0 * d * d + 2.0 * d * s + s + d;
+    // Weights: WQ/WK/WV (3*Din*D), WF1/WF2 (2*D*S), biases (S + D).
+    const double weight_words = 3.0 * d_in * d + 2.0 * d * s + s
+        + d;
     const double n_outer = (b / bt) * q_tiles_per_group;
     // Weights stay pinned only if they fit alongside the working
     // set; grant them half the buffer.

@@ -52,6 +52,12 @@ struct FusedStackShape
     double seq = 0;      ///< P (query positions)
     double d_model = 0;  ///< D
     double ffn_hidden = 0; ///< S
+    /**
+     * Width of the incoming activations / QKV contraction; 0 means
+     * d_model.  Tensor-parallel shards keep a full-width input
+     * while producing a D/tp-wide slice.
+     */
+    double d_input = 0;
     /** Attended context length M; 0 means self-attention (M = P). */
     double context = 0;
     /**
@@ -62,6 +68,7 @@ struct FusedStackShape
     bool kv_precomputed = false;
 
     double contextLen() const { return context > 0 ? context : seq; }
+    double dIn() const { return d_input > 0 ? d_input : d_model; }
 };
 
 /** Outer-tiling factors chosen by TileSeek. */

@@ -44,7 +44,9 @@ makeDims(const TransformerConfig &cfg, std::int64_t seq_p,
     tf_assert(seq_p > 0 && m0 > 0 && m1 > 0,
               "sequence/tile extents must be positive");
     DimEnv env;
-    env.set("d", cfg.d_model);
+    // `d` is the QKV contraction width; it equals d_model except
+    // for tensor-parallel shards, whose input stays full-width.
+    env.set("d", cfg.dInput());
     env.set("h", cfg.heads);
     env.set("e", cfg.head_dim);
     env.set("f", cfg.head_dim); // paper assumes E == F

@@ -21,6 +21,9 @@ TransformerConfig::validate() const
     if (d_model != heads * head_dim)
         tf_fatal("model '", name, "': D (", d_model,
                  ") != H*E (", heads * head_dim, ")");
+    if (d_input < 0)
+        tf_fatal("model '", name, "': d_input (", d_input,
+                 ") must be 0 (= d_model) or positive");
 }
 
 TransformerConfig

@@ -29,6 +29,22 @@ struct TransformerConfig
     einsum::UnaryOp activation = einsum::UnaryOp::Gelu;
     std::int64_t batch = 64;      ///< B (paper fixes B = 64)
 
+    /**
+     * Contraction width of the QKV projections (the `d` index the
+     * input activations carry); 0 means d_model.  Single-chip
+     * models leave this alone.  Tensor-parallel sharding sets it:
+     * a chip holding H/tp heads projects the FULL d_model-wide
+     * input into its D/tp-wide slice (Megatron column-parallel
+     * QKV), so its config has d_model = D/tp but d_input = D.
+     */
+    std::int64_t d_input = 0;
+
+    /** The bound value of the `d` contraction index. */
+    std::int64_t dInput() const
+    {
+        return d_input > 0 ? d_input : d_model;
+    }
+
     /** Validate D == H*E and positivity; fatal otherwise. */
     void validate() const;
 };

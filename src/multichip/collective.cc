@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ring / fully-connected collective pricing.
+ */
+
+#include "collective.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "obs/obs.hh"
+
+namespace transfusion::multichip
+{
+
+std::string
+toString(CollectiveKind k)
+{
+    switch (k) {
+    case CollectiveKind::AllReduce:
+        return "all-reduce";
+    case CollectiveKind::AllGather:
+        return "all-gather";
+    case CollectiveKind::ReduceScatter:
+        return "reduce-scatter";
+    case CollectiveKind::PointToPoint:
+        return "point-to-point";
+    }
+    tf_panic("unhandled CollectiveKind");
+}
+
+CollectiveCost &
+CollectiveCost::operator+=(const CollectiveCost &o)
+{
+    seconds += o.seconds;
+    bytes_per_chip += o.bytes_per_chip;
+    total_link_bytes += o.total_link_bytes;
+    energy_j += o.energy_j;
+    steps += o.steps;
+    return *this;
+}
+
+CollectiveCost
+CollectiveCost::scaled(double factor) const
+{
+    return { seconds * factor, bytes_per_chip * factor,
+             total_link_bytes * factor, energy_j * factor,
+             static_cast<int>(steps * factor) };
+}
+
+CollectiveCost
+collectiveCost(CollectiveKind kind, double payload_bytes, int n,
+               const LinkConfig &link)
+{
+    tf_assert(n >= 1, "collective needs >= 1 participant");
+    tf_assert(payload_bytes >= 0, "negative collective payload");
+
+    CollectiveCost c;
+    if (n == 1 || payload_bytes == 0)
+        return c; // nothing leaves the chip
+
+    link.validate();
+
+    // Ring step counts; the latency term shrinks to ceil(log2 N)
+    // hops on a fully-connected fabric, byte counts are identical
+    // (per-chip injection bandwidth is the bottleneck either way).
+    int ring_steps = 0;
+    double participants = 0;
+    switch (kind) {
+    case CollectiveKind::AllReduce:
+        ring_steps = 2 * (n - 1);
+        c.bytes_per_chip = 2.0 * (n - 1) / n * payload_bytes;
+        participants = n;
+        break;
+    case CollectiveKind::AllGather:
+    case CollectiveKind::ReduceScatter:
+        ring_steps = n - 1;
+        c.bytes_per_chip = 1.0 * (n - 1) / n * payload_bytes;
+        participants = n;
+        break;
+    case CollectiveKind::PointToPoint:
+        ring_steps = 1;
+        c.bytes_per_chip = payload_bytes;
+        participants = 1; // only the sender injects
+        break;
+    }
+
+    c.steps = ring_steps;
+    if (link.topology == Topology::FullyConnected
+        && kind != CollectiveKind::PointToPoint) {
+        c.steps = static_cast<int>(
+            std::ceil(std::log2(static_cast<double>(n))));
+        if (kind == CollectiveKind::AllReduce)
+            c.steps *= 2; // reduce-scatter + all-gather halves
+    }
+
+    c.total_link_bytes = c.bytes_per_chip * participants;
+    c.seconds = c.steps * link.latency_s
+                + c.bytes_per_chip / link.bandwidth_bytes_per_sec;
+    c.energy_j = c.total_link_bytes * link.pj_per_byte * 1e-12;
+
+    TF_COUNT("multichip.collectives", 1);
+    TF_GAUGE_ADD("multichip.link_bytes", c.total_link_bytes);
+    return c;
+}
+
+} // namespace transfusion::multichip

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytic cost model for the inter-chip collectives the sharders
+ * emit.  Uses the classic ring-algorithm byte counts:
+ *
+ *   all-reduce      per-chip bytes = 2 (N-1)/N * V   (2(N-1) steps)
+ *   all-gather      per-chip bytes =   (N-1)/N * V   ( (N-1) steps)
+ *   reduce-scatter  per-chip bytes =   (N-1)/N * V   ( (N-1) steps)
+ *   point-to-point  bytes = V                        (   1 step )
+ *
+ * where V is the full payload in bytes and N the participant count.
+ * Time follows the alpha-beta model: steps * latency + per-chip
+ * bytes / per-chip link bandwidth.  A fully-connected topology moves
+ * the same bytes (the per-chip injection bandwidth is the
+ * bottleneck either way) but needs only ceil(log2 N) latency steps.
+ * N = 1 is free by definition.
+ */
+
+#ifndef TRANSFUSION_MULTICHIP_COLLECTIVE_HH
+#define TRANSFUSION_MULTICHIP_COLLECTIVE_HH
+
+#include <string>
+
+#include "multichip/cluster.hh"
+
+namespace transfusion::multichip
+{
+
+enum class CollectiveKind
+{
+    AllReduce,
+    AllGather,
+    ReduceScatter,
+    PointToPoint,
+};
+
+/** Printable name ("all-reduce", ...). */
+std::string toString(CollectiveKind k);
+
+/** Cost of one collective over `n` chips. */
+struct CollectiveCost
+{
+    double seconds = 0;         ///< alpha-beta time on the slow path
+    double bytes_per_chip = 0;  ///< bytes through one chip's link
+    double total_link_bytes = 0; ///< summed over all chips
+    double energy_j = 0;        ///< total_link_bytes * pj_per_byte
+    int steps = 0;              ///< latency-term step count
+
+    CollectiveCost &operator+=(const CollectiveCost &o);
+
+    /** This cost repeated `factor` times (e.g. once per layer). */
+    CollectiveCost scaled(double factor) const;
+};
+
+/**
+ * Price one collective moving `payload_bytes` (the full tensor, not
+ * the per-chip slice) across `n` participants on `link`.
+ */
+CollectiveCost collectiveCost(CollectiveKind kind, double payload_bytes,
+                              int n, const LinkConfig &link);
+
+} // namespace transfusion::multichip
+
+#endif // TRANSFUSION_MULTICHIP_COLLECTIVE_HH

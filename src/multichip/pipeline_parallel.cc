@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Bottleneck-minimizing pipeline partition DP.
+ */
+
+#include "pipeline_parallel.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "obs/obs.hh"
+
+namespace transfusion::multichip
+{
+
+PipelinePartition
+partitionLayers(const std::vector<PipelineLayer> &layers, int pp,
+                const LinkConfig &link)
+{
+    const int n = static_cast<int>(layers.size());
+    if (pp < 1)
+        tf_fatal("pipeline stages must be >= 1, got ", pp);
+    if (pp > n)
+        tf_fatal("cannot split ", n, " layers into ", pp,
+                 " non-empty pipeline stages");
+    for (const auto &l : layers) {
+        if (l.latency_per_stage.size() != 1
+            && static_cast<int>(l.latency_per_stage.size()) != pp)
+            tf_fatal("PipelineLayer.latency_per_stage must have "
+                     "size 1 or pp (",
+                     pp, "), got ", l.latency_per_stage.size());
+    }
+    TF_SPAN("multichip.partition_layers");
+    TF_COUNT("multichip.pp_partitions", 1);
+
+    const auto at = [&](int i) -> const PipelineLayer & {
+        return layers[static_cast<std::size_t>(i)];
+    };
+
+    // Incoming transfer cost of a stage starting at layer j: a
+    // point-to-point hop carrying layer j-1's output activation.
+    const auto transferIn = [&](int j) {
+        if (j == 0 || pp == 1)
+            return CollectiveCost{};
+        return collectiveCost(CollectiveKind::PointToPoint,
+                              at(j - 1).activation_bytes, 2, link);
+    };
+
+    // Per-stage prefix sums: pre[s][i] = seconds of layers [0, i)
+    // on stage s's chip.
+    std::vector<std::vector<double>> pre(
+        static_cast<std::size_t>(pp),
+        std::vector<double>(static_cast<std::size_t>(n) + 1, 0.0));
+    for (int s = 0; s < pp; ++s)
+        for (int i = 0; i < n; ++i)
+            pre[s][static_cast<std::size_t>(i) + 1] =
+                pre[s][static_cast<std::size_t>(i)]
+                + at(i).latencyOn(s);
+    const auto span = [&](int s, int j, int i) {
+        return pre[static_cast<std::size_t>(s)]
+                  [static_cast<std::size_t>(i)]
+               - pre[static_cast<std::size_t>(s)]
+                    [static_cast<std::size_t>(j)];
+    };
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    // f[k][i]: best bottleneck placing layers [0, i) on stages
+    // [0, k]; choice[k][i]: the first layer of stage k in that
+    // optimum.  Ties take the smallest split so the result is
+    // deterministic.
+    std::vector<std::vector<double>> f(
+        static_cast<std::size_t>(pp),
+        std::vector<double>(static_cast<std::size_t>(n) + 1, kInf));
+    std::vector<std::vector<int>> choice(
+        static_cast<std::size_t>(pp),
+        std::vector<int>(static_cast<std::size_t>(n) + 1, -1));
+
+    for (int i = 1; i <= n; ++i) {
+        f[0][static_cast<std::size_t>(i)] = span(0, 0, i);
+        choice[0][static_cast<std::size_t>(i)] = 0;
+    }
+    for (int k = 1; k < pp; ++k) {
+        for (int i = k + 1; i <= n; ++i) {
+            for (int j = k; j < i; ++j) {
+                const double prev =
+                    f[static_cast<std::size_t>(k) - 1]
+                     [static_cast<std::size_t>(j)];
+                if (prev == kInf)
+                    continue;
+                const double stage =
+                    transferIn(j).seconds + span(k, j, i);
+                const double cand = std::max(prev, stage);
+                if (cand < f[static_cast<std::size_t>(k)]
+                             [static_cast<std::size_t>(i)]) {
+                    f[static_cast<std::size_t>(k)]
+                     [static_cast<std::size_t>(i)] = cand;
+                    choice[static_cast<std::size_t>(k)]
+                          [static_cast<std::size_t>(i)] = j;
+                }
+            }
+        }
+    }
+
+    PipelinePartition part;
+    part.first_layer.assign(static_cast<std::size_t>(pp) + 1, 0);
+    part.first_layer[static_cast<std::size_t>(pp)] = n;
+    int end = n;
+    for (int k = pp - 1; k >= 1; --k) {
+        const int j = choice[static_cast<std::size_t>(k)]
+                            [static_cast<std::size_t>(end)];
+        tf_assert(j >= k, "pipeline DP reconstruction failed");
+        part.first_layer[static_cast<std::size_t>(k)] = j;
+        end = j;
+    }
+
+    part.stage_seconds.assign(static_cast<std::size_t>(pp), 0.0);
+    for (int k = 0; k < pp; ++k) {
+        const int a = part.first_layer[static_cast<std::size_t>(k)];
+        const int b =
+            part.first_layer[static_cast<std::size_t>(k) + 1];
+        const CollectiveCost in = transferIn(a);
+        if (a > 0)
+            part.transfers += in;
+        part.stage_seconds[static_cast<std::size_t>(k)] =
+            in.seconds + span(k, a, b);
+        part.total_s +=
+            part.stage_seconds[static_cast<std::size_t>(k)];
+        part.bottleneck_s =
+            std::max(part.bottleneck_s,
+                     part.stage_seconds[static_cast<std::size_t>(k)]);
+    }
+    return part;
+}
+
+} // namespace transfusion::multichip

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Pipeline-parallel partitioner: assigns a sequence of layers to
+ * `pp` contiguous stages so that the bottleneck stage time --
+ * per-stage compute plus the incoming inter-stage activation
+ * transfer -- is minimal.  Exact O(pp * n^2) dynamic program over
+ * per-layer latencies; ties break toward the earliest split, so
+ * the result is a pure function of its inputs.
+ */
+
+#ifndef TRANSFUSION_MULTICHIP_PIPELINE_PARALLEL_HH
+#define TRANSFUSION_MULTICHIP_PIPELINE_PARALLEL_HH
+
+#include <vector>
+
+#include "multichip/collective.hh"
+#include "multichip/cluster.hh"
+
+namespace transfusion::multichip
+{
+
+/** One layer's cost, as the partitioner sees it. */
+struct PipelineLayer
+{
+    /**
+     * Latency of this layer on each stage's chip.  Size must be 1
+     * (homogeneous cluster: same cost wherever the layer lands) or
+     * the stage count pp (heterogeneous stages).
+     */
+    std::vector<double> latency_per_stage;
+    /** Bytes of this layer's output activation (stage hand-off). */
+    double activation_bytes = 0;
+
+    double latencyOn(int stage) const
+    {
+        return latency_per_stage.size() == 1
+                   ? latency_per_stage.front()
+                   : latency_per_stage.at(
+                         static_cast<std::size_t>(stage));
+    }
+};
+
+/** Result of one pipeline partition. */
+struct PipelinePartition
+{
+    /**
+     * Stage boundaries: stage k covers layers
+     * [first_layer[k], first_layer[k+1]); size pp + 1 with
+     * first_layer.front() == 0 and first_layer.back() == n.
+     */
+    std::vector<int> first_layer;
+    /** Per-stage seconds, incoming activation transfer included. */
+    std::vector<double> stage_seconds;
+    /** max(stage_seconds): steady-state time per batch. */
+    double bottleneck_s = 0;
+    /** sum(stage_seconds): single-batch fill latency. */
+    double total_s = 0;
+    /** Summed point-to-point transfer costs at stage boundaries. */
+    CollectiveCost transfers;
+
+    int stages() const
+    {
+        return static_cast<int>(stage_seconds.size());
+    }
+    /** Layer count of stage k. */
+    int stageSize(int k) const
+    {
+        return first_layer[static_cast<std::size_t>(k) + 1]
+               - first_layer[static_cast<std::size_t>(k)];
+    }
+};
+
+/**
+ * Partition `layers` into `pp` non-empty contiguous stages
+ * minimizing the bottleneck.  Fatal when pp < 1 or pp exceeds the
+ * layer count.
+ */
+PipelinePartition partitionLayers(
+    const std::vector<PipelineLayer> &layers, int pp,
+    const LinkConfig &link);
+
+} // namespace transfusion::multichip
+
+#endif // TRANSFUSION_MULTICHIP_PIPELINE_PARALLEL_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Parallel (tp, pp) shard-plan search.
+ */
+
+#include "shard_plan.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "obs/obs.hh"
+
+namespace transfusion::multichip
+{
+
+std::vector<ShardSpec>
+feasibleSpecs(const model::TransformerConfig &cfg,
+              std::int64_t total_layers, int chips)
+{
+    if (chips < 1)
+        tf_fatal("cluster size must be >= 1, got ", chips);
+    std::vector<ShardSpec> specs;
+    for (int tp = 1; tp <= chips; ++tp) {
+        if (chips % tp != 0)
+            continue;
+        const int pp = chips / tp;
+        if (cfg.heads % tp != 0 || cfg.ffn_hidden % tp != 0)
+            continue;
+        if (static_cast<std::int64_t>(pp) > total_layers)
+            continue;
+        specs.push_back({ tp, pp });
+    }
+    return specs;
+}
+
+ShardPlan
+planShards(const ClusterConfig &cluster,
+           const model::StackConfig &stack, std::int64_t src_len,
+           std::int64_t tgt_len, schedule::StrategyKind strategy,
+           const ShardPlanOptions &options)
+{
+    TF_SPAN("multichip.plan_shards");
+    cluster.validate();
+    stack.validate();
+    const std::int64_t total_layers =
+        stack.encoder_layers + stack.decoder_layers;
+    const std::vector<ShardSpec> specs = feasibleSpecs(
+        stack.block, total_layers, cluster.size());
+    if (specs.empty())
+        tf_fatal("no feasible (tp, pp) sharding of '",
+                 stack.block.name, "' over ", cluster.size(),
+                 " chips");
+
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(options.threads > 0
+                                     ? options.threads
+                                     : ThreadPool::hardwareThreads()),
+        specs.size()));
+    ThreadPool pool(workers);
+    // Same determinism idiom as schedule::Sweep::run: per-task
+    // registries merged in grid order after input-order collection.
+    auto tagged = parallelMap(
+        pool, specs, [&](const ShardSpec &spec) {
+            obs::Registry local;
+            ShardPlanEntry entry;
+            {
+                obs::ScopedRegistry scope(local);
+                entry.spec = spec;
+                const ShardedStackEvaluator eval(
+                    cluster, stack, src_len, tgt_len, spec,
+                    options.evaluator);
+                entry.result = eval.evaluate(strategy);
+            }
+            return std::make_pair(std::move(entry),
+                                  std::move(local));
+        });
+
+    obs::Registry &sink = obs::currentRegistry();
+    ShardPlan plan;
+    plan.entries.reserve(tagged.size());
+    for (auto &[entry, registry] : tagged) {
+        sink.merge(registry);
+        plan.entries.push_back(std::move(entry));
+    }
+
+    for (std::size_t i = 1; i < plan.entries.size(); ++i) {
+        if (plan.entries[i].objective(options.rank_by_steady_state)
+            < plan.entries[plan.best].objective(
+                options.rank_by_steady_state))
+            plan.best = i;
+    }
+    TF_COUNT("multichip.shard_plans", 1);
+    return plan;
+}
+
+} // namespace transfusion::multichip

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shard-plan search: sweep every feasible (tp, pp) carving of a
+ * cluster for one stack + strategy, in parallel on the shared
+ * ThreadPool, and rank the results.  Results are collected in
+ * grid (input) order and per-task observability registries merge
+ * in the same order, so the sweep is bit-identical for any thread
+ * count -- the same contract schedule::Sweep keeps.
+ */
+
+#ifndef TRANSFUSION_MULTICHIP_SHARD_PLAN_HH
+#define TRANSFUSION_MULTICHIP_SHARD_PLAN_HH
+
+#include <vector>
+
+#include "multichip/sharded_evaluator.hh"
+
+namespace transfusion::multichip
+{
+
+/** Knobs of one shard-plan search. */
+struct ShardPlanOptions
+{
+    schedule::EvaluatorOptions evaluator;
+    /** Worker threads; <= 0 means hardware concurrency. */
+    int threads = 0;
+    /**
+     * Rank plans by steady-state throughput time (true) or by
+     * single-batch latency (false).
+     */
+    bool rank_by_steady_state = true;
+};
+
+/** One evaluated (tp, pp) candidate. */
+struct ShardPlanEntry
+{
+    ShardSpec spec;
+    ShardedStackResult result;
+
+    /** The figure the plan is ranked by. */
+    double objective(bool steady_state) const
+    {
+        return steady_state ? result.steady_state_s
+                            : result.latency_s;
+    }
+};
+
+/** Ranked outcome of one search. */
+struct ShardPlan
+{
+    /** All feasible candidates, grid order (tp-major). */
+    std::vector<ShardPlanEntry> entries;
+    /** Index into `entries` of the best plan (ties: first). */
+    std::size_t best = 0;
+
+    const ShardPlanEntry &bestEntry() const
+    {
+        return entries.at(best);
+    }
+};
+
+/**
+ * Feasible (tp, pp) pairs for `chips` on `cfg`: tp * pp == chips,
+ * tp divides heads and ffn_hidden, pp does not exceed the layer
+ * count.  tp-major order (tp = 1 first).
+ */
+std::vector<ShardSpec> feasibleSpecs(
+    const model::TransformerConfig &cfg, std::int64_t total_layers,
+    int chips);
+
+/**
+ * Evaluate every feasible (tp, pp) of `cluster` and rank.  Fatal
+ * when no spec is feasible.  Deterministic for any thread count.
+ */
+ShardPlan planShards(const ClusterConfig &cluster,
+                     const model::StackConfig &stack,
+                     std::int64_t src_len, std::int64_t tgt_len,
+                     schedule::StrategyKind strategy,
+                     const ShardPlanOptions &options = {});
+
+} // namespace transfusion::multichip
+
+#endif // TRANSFUSION_MULTICHIP_SHARD_PLAN_HH

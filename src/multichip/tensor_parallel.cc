@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tensor-parallel shard construction.
+ */
+
+#include "tensor_parallel.hh"
+
+#include "common/logging.hh"
+#include "obs/obs.hh"
+
+namespace transfusion::multichip
+{
+
+TpShard
+shardTransformer(const model::TransformerConfig &cfg, int tp)
+{
+    cfg.validate();
+    if (tp < 1)
+        tf_fatal("tensor parallelism must be >= 1, got ", tp);
+
+    TpShard shard;
+    shard.tp = tp;
+    if (tp == 1) {
+        // Verbatim copies: the 1-chip path must reproduce the
+        // single-chip evaluator bit for bit.
+        shard.attn_cfg = cfg;
+        shard.ffn_cfg = cfg;
+        return shard;
+    }
+
+    if (cfg.heads % tp != 0)
+        tf_fatal("model '", cfg.name, "': heads (", cfg.heads,
+                 ") not divisible by tp (", tp, ")");
+    if (cfg.ffn_hidden % tp != 0)
+        tf_fatal("model '", cfg.name, "': ffn_hidden (",
+                 cfg.ffn_hidden, ") not divisible by tp (", tp, ")");
+
+    // Column-parallel QKV + head-parallel MHA: H/tp heads, so the
+    // chip's output width is D/tp, but the projected input keeps
+    // the full D contraction.
+    shard.attn_cfg = cfg;
+    shard.attn_cfg.name = cfg.name + "/tp" + std::to_string(tp)
+                          + "-attn";
+    shard.attn_cfg.heads = cfg.heads / tp;
+    shard.attn_cfg.d_model = cfg.d_model / tp;
+    shard.attn_cfg.d_input = cfg.d_model;
+    shard.attn_cfg.ffn_hidden = cfg.ffn_hidden / tp;
+    shard.attn_cfg.validate();
+
+    // Replicated LN + column/row-parallel FFN: full D, S/tp hidden.
+    shard.ffn_cfg = cfg;
+    shard.ffn_cfg.name = cfg.name + "/tp" + std::to_string(tp)
+                         + "-ffn";
+    shard.ffn_cfg.ffn_hidden = cfg.ffn_hidden / tp;
+    shard.ffn_cfg.validate();
+
+    TF_COUNT("multichip.tp_shards", 1);
+    return shard;
+}
+
+} // namespace transfusion::multichip

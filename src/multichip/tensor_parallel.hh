@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Megatron-style tensor-parallel sharder.  Splits one Transformer
+ * block over `tp` chips:
+ *
+ *   QKV   column-parallel: each chip projects the FULL D-wide input
+ *         into its 3 * D/tp slice (H/tp heads of E each) -- no
+ *         communication, weights sliced by output column.
+ *   MHA   embarrassingly head-parallel: each chip attends its own
+ *         H/tp heads.
+ *   LN    replicated at full D (cheap; avoids gathering stats).
+ *   FFN   column-parallel first GEMM (D x S/tp), row-parallel
+ *         second (S/tp x D): one all-reduce of the B*P*D output.
+ *
+ * The attention output projection's row-parallel sum contributes
+ * the other all-reduce, so a full block costs 2 ring all-reduces of
+ * B * P * D elements per layer (1 for FFN-less cross-attn blocks).
+ *
+ * Per-chip pricing needs no new evaluator: the block is described
+ * by TWO TransformerConfigs the existing Evaluator prices exactly.
+ * `attn_cfg` (d_model = D/tp, d_input = D, heads = H/tp) prices the
+ * QKV + MHA sub-layers; `ffn_cfg` (d_model = D, ffn_hidden = S/tp)
+ * prices the LN + FFN sub-layers.  At tp = 1 both collapse to the
+ * original config, which is what makes the 1-chip reproduction
+ * property bit-exact.
+ */
+
+#ifndef TRANSFUSION_MULTICHIP_TENSOR_PARALLEL_HH
+#define TRANSFUSION_MULTICHIP_TENSOR_PARALLEL_HH
+
+#include "model/transformer.hh"
+
+namespace transfusion::multichip
+{
+
+/** One chip's view of a tp-way sharded Transformer block. */
+struct TpShard
+{
+    int tp = 1;
+    /** Prices QKV + MHA per chip (sliced heads, full-D input). */
+    model::TransformerConfig attn_cfg;
+    /** Prices LN + FFN per chip (full D, sliced FFN hidden). */
+    model::TransformerConfig ffn_cfg;
+
+    /** Ring all-reduces per layer: 2 with FFN, 1 without. */
+    int allReducesPerLayer(bool include_ffn) const
+    {
+        return include_ffn ? 2 : 1;
+    }
+
+    /**
+     * Payload of ONE per-layer all-reduce in elements: the full
+     * B x P x D activation (each chip owns a partial sum of all of
+     * it after a row-parallel GEMM).
+     */
+    double allReduceElements(std::int64_t batch,
+                             std::int64_t query_len,
+                             std::int64_t d_model) const
+    {
+        return tp > 1 ? static_cast<double>(batch)
+                            * static_cast<double>(query_len)
+                            * static_cast<double>(d_model)
+                      : 0.0;
+    }
+};
+
+/**
+ * Shard `cfg` tp ways.  Fatal unless tp >= 1, tp divides `heads`
+ * and tp divides `ffn_hidden`.  tp = 1 returns the config verbatim
+ * in both slots.
+ */
+TpShard shardTransformer(const model::TransformerConfig &cfg, int tp);
+
+} // namespace transfusion::multichip
+
+#endif // TRANSFUSION_MULTICHIP_TENSOR_PARALLEL_HH

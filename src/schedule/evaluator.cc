@@ -100,6 +100,7 @@ Evaluator::Evaluator(arch::ArchConfig arch,
     : arch_(std::move(arch)), cfg_(std::move(cfg)),
       workload_(workload), opts_(options)
 {
+    arch_.validate();
     cfg_.validate();
     if (workload_.query_len <= 0 || workload_.context_len <= 0)
         tf_fatal("workload lengths must be positive, got P=",
@@ -209,12 +210,15 @@ Evaluator::phaseTrafficWords(LayerKind kind,
       case LayerKind::Qkv: {
         // Q from the query stream, K/V from the context stream
         // (only the new positions when the cache holds the rest).
+        // The contraction runs over the input width d_in (== d
+        // except for tensor-parallel shards).
+        const double d_in = static_cast<double>(cfg_.dInput());
         const double kv_rows = workload_.kv_cached ? p : m;
         return rr
-            * (costmodel::gemmTrafficWords(b * p, d, d, w)
+            * (costmodel::gemmTrafficWords(b * p, d_in, d, w)
                + 2.0
-                     * costmodel::gemmTrafficWords(b * kv_rows, d,
-                                                   d, w));
+                     * costmodel::gemmTrafficWords(b * kv_rows,
+                                                   d_in, d, w));
       }
       case LayerKind::Mha:
         if (strategy == StrategyKind::Unfused) {
@@ -250,6 +254,7 @@ Evaluator::fusedTrafficWords(const tileseek::TileShape &tile) const
     shape.kv_precomputed = workload_.kv_cached;
     shape.d_model = static_cast<double>(cfg_.d_model);
     shape.ffn_hidden = static_cast<double>(cfg_.ffn_hidden);
+    shape.d_input = static_cast<double>(cfg_.d_input);
 
     const costmodel::FusedStackTraffic t =
         costmodel::fusedStackTraffic(shape,
@@ -257,8 +262,9 @@ Evaluator::fusedTrafficWords(const tileseek::TileShape &tile) const
                                      bufferWords());
 
     const double d = shape.d_model, s = shape.ffn_hidden;
-    const double w_total = 3.0 * d * d + 2.0 * d * s + s + d;
-    const double qkv_frac = 3.0 * d * d / w_total;
+    const double d_in = shape.dIn();
+    const double w_total = 3.0 * d_in * d + 2.0 * d * s + s + d;
+    const double qkv_frac = 3.0 * d_in * d / w_total;
     const double ffn_frac = 1.0 - qkv_frac;
 
     std::array<double, 4> words{};
@@ -287,10 +293,12 @@ Evaluator::selectiveTrafficWords() const
     std::array<double, 4> words{};
     // QKV phase-wise with optimally blocked weight streaming; with
     // a KV cache only the new positions are projected.
+    const double d_in = static_cast<double>(cfg_.dInput());
     const double kv_rows = workload_.kv_cached ? p : m;
     words[layerIndex(LayerKind::Qkv)] =
-        costmodel::gemmTrafficWords(b * p, d, d, w)
-        + 2.0 * costmodel::gemmTrafficWords(b * kv_rows, d, d, w);
+        costmodel::gemmTrafficWords(b * p, d_in, d, w)
+        + 2.0
+            * costmodel::gemmTrafficWords(b * kv_rows, d_in, d, w);
     // Attention + LayerNorm stay fused: AV never leaves the chip;
     // LayerNorm only reads the residual and writes NR.
     words[layerIndex(LayerKind::Mha)] =

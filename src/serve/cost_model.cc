@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.hh"
 
@@ -68,9 +69,55 @@ ServeCostModel::ServeCostModel(arch::ArchConfig arch,
                                std::int64_t max_context,
                                std::int64_t max_prompt,
                                ServeCostOptions options)
-    : strategy_(strategy)
+    : ServeCostModel(
+          strategy, max_batch, max_context, max_prompt, options,
+          // Decode sampling visits one batch size at a time, so a
+          // one-entry evaluator cache keeps this as cheap as the
+          // old loop that hoisted the DecodeEvaluator per batch.
+          [&arch, &cfg, strategy, &options,
+           cache = std::shared_ptr<schedule::DecodeEvaluator>(),
+           cached_batch = std::int64_t{ -1 }](
+              std::int64_t batch,
+              std::int64_t cache_len) mutable {
+              if (batch != cached_batch) {
+                  model::TransformerConfig bcfg = cfg;
+                  bcfg.batch = batch;
+                  cache = std::make_shared<
+                      schedule::DecodeEvaluator>(
+                      arch, bcfg,
+                      schedule::DecodeWorkload{
+                          /*prompt_len=*/1,
+                          /*generate_tokens=*/0 },
+                      options.evaluator);
+                  cached_batch = batch;
+              }
+              return cache->stepMetrics(cache_len, strategy)
+                  .latency_s;
+          },
+          [&arch, &cfg, strategy, &options](
+              std::int64_t prompt_len) {
+              model::TransformerConfig one = cfg;
+              one.batch = 1;
+              const schedule::Evaluator eval(
+                  arch, one,
+                  schedule::Workload::causalSelfAttention(
+                      prompt_len),
+                  options.evaluator);
+              return eval.evaluate(strategy).total.latency_s;
+          })
 {
     cfg.validate();
+}
+
+ServeCostModel::ServeCostModel(schedule::StrategyKind strategy,
+                               std::int64_t max_batch,
+                               std::int64_t max_context,
+                               std::int64_t max_prompt,
+                               const ServeCostOptions &options,
+                               const DecodeStepFn &decode_step,
+                               const PrefillFn &prefill)
+    : strategy_(strategy)
+{
     if (max_batch <= 0)
         tf_fatal("max_batch must be positive, got ", max_batch);
     if (max_context <= 0)
@@ -95,38 +142,22 @@ ServeCostModel::ServeCostModel(arch::ArchConfig arch,
     cache_lens_ = geometricGrid(cache_lo, max_context,
                                 options.cache_samples);
 
-    // Decode tables: one DecodeEvaluator per calibrated batch size
-    // (it forces the naive tile, so each sample is a cheap pure
-    // evaluator call), sampled across the cache-length grid.
+    // Decode tables: batch-major over the cache-length grid.
     for (std::int64_t b : batches_) {
-        model::TransformerConfig bcfg = cfg;
-        bcfg.batch = b;
-        const schedule::DecodeEvaluator deval(
-            arch, bcfg, {/*prompt_len=*/1, /*generate_tokens=*/0},
-            options.evaluator);
         std::vector<double> row;
         row.reserve(cache_lens_.size());
         for (std::int64_t len : cache_lens_)
-            row.push_back(
-                deval.stepMetrics(len, strategy_).latency_s);
+            row.push_back(decode_step(b, len));
         step_s_.push_back(std::move(row));
     }
 
-    // Prefill table: full causal self-attention evaluations of a
-    // single request at geometric prompt lengths.
+    // Prefill table: single requests at geometric prompt lengths.
     const std::int64_t prompt_lo = std::min<std::int64_t>(
         64, max_prompt);
     prompt_lens_ = geometricGrid(prompt_lo, max_prompt,
                                  options.prefill_samples);
-    model::TransformerConfig one = cfg;
-    one.batch = 1;
-    for (std::int64_t p : prompt_lens_) {
-        const schedule::Evaluator eval(
-            arch, one, schedule::Workload::causalSelfAttention(p),
-            options.evaluator);
-        prefill_s_.push_back(
-            eval.evaluate(strategy_).total.latency_s);
-    }
+    for (std::int64_t p : prompt_lens_)
+        prefill_s_.push_back(prefill(p));
 }
 
 double

@@ -23,6 +23,7 @@
 #define TRANSFUSION_SERVE_COST_MODEL_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "schedule/decode.hh"
@@ -69,6 +70,29 @@ class ServeCostModel
                    std::int64_t max_context,
                    std::int64_t max_prompt,
                    ServeCostOptions options = {});
+
+    /** Prices one decode iteration of `batch` requests. */
+    using DecodeStepFn =
+        std::function<double(std::int64_t batch,
+                             std::int64_t cache_len)>;
+    /** Prices one request's prompt prefill. */
+    using PrefillFn = std::function<double(std::int64_t prompt_len)>;
+
+    /**
+     * Calibrate from injected pricing functions instead of a local
+     * single-chip evaluator (multi-chip sharded evaluators plug in
+     * here).  The sampling grids are identical to the evaluator
+     * constructor's for equal (max_batch, max_context, max_prompt,
+     * options), so two models whose functions agree pointwise
+     * produce bit-identical tables.  Samples are taken in batch-
+     * major then cache-length order, prompts ascending.
+     */
+    ServeCostModel(schedule::StrategyKind strategy,
+                   std::int64_t max_batch, std::int64_t max_context,
+                   std::int64_t max_prompt,
+                   const ServeCostOptions &options,
+                   const DecodeStepFn &decode_step,
+                   const PrefillFn &prefill);
 
     /**
      * Seconds of one decode iteration: `batch` co-scheduled

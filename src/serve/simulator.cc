@@ -19,21 +19,43 @@ ServeSimulator::ServeSimulator(arch::ArchConfig arch,
                                model::TransformerConfig cfg,
                                const WorkloadOptions &workload,
                                ServeOptions options)
-    : options_(options),
-      cost_(arch, cfg, options.strategy, options.max_batch,
-            workload.maxContext(), workload.prompt.hi,
-            options.cost),
-      words_per_token_(kvWordsPerToken(cfg)),
-      capacity_words_(kvCapacityWords(arch, cfg,
-                                      options.dram_capacity_bytes))
+    : ServeSimulator(
+          ServeCostModel(arch, cfg, options.strategy,
+                         options.max_batch, workload.maxContext(),
+                         workload.prompt.hi, options.cost),
+          kvWordsPerToken(cfg),
+          kvCapacityWords(arch, cfg, options.dram_capacity_bytes),
+          workload, options)
+{
+}
+
+ServeSimulator::ServeSimulator(ServeCostModel cost,
+                               double words_per_token,
+                               double capacity_words,
+                               const WorkloadOptions &workload,
+                               ServeOptions options)
+    : options_(options), cost_(std::move(cost)),
+      words_per_token_(words_per_token),
+      capacity_words_(capacity_words)
 {
     workload.validate();
+    if (options_.strategy != cost_.strategy())
+        tf_fatal("options.strategy (",
+                 schedule::toString(options_.strategy),
+                 ") does not match the cost model's (",
+                 schedule::toString(cost_.strategy()), ")");
     if (options_.max_batch <= 0)
         tf_fatal("max_batch must be positive, got ",
                  options_.max_batch);
     if (options_.max_queue <= 0)
         tf_fatal("max_queue must be positive, got ",
                  options_.max_queue);
+    if (!(words_per_token_ > 0))
+        tf_fatal("words_per_token must be positive, got ",
+                 words_per_token_);
+    if (!(capacity_words_ > 0))
+        tf_fatal("kv capacity must be positive, got ",
+                 capacity_words_);
 }
 
 ServeMetrics

@@ -93,6 +93,17 @@ class ServeSimulator
                    const WorkloadOptions &workload,
                    ServeOptions options = {});
 
+    /**
+     * Assemble from a pre-built cost model and explicit KV
+     * accounting (multi-chip sharded replicas calibrate their own
+     * tables and aggregate capacity over the cluster, then plug in
+     * here).  `options.strategy` must match the cost model's.
+     */
+    ServeSimulator(ServeCostModel cost, double words_per_token,
+                   double capacity_words,
+                   const WorkloadOptions &workload,
+                   ServeOptions options = {});
+
     /** Replay one trace (requests sorted by arrival time). */
     ServeMetrics run(const std::vector<Request> &requests) const;
 

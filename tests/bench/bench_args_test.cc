@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the shared bench flag parser, focused on the
+ * multi-chip flags: --chips/--tp/--pp must accept positive
+ * integers (attached or detached form), default to 1, and exit
+ * with status 2 -- never crash or silently truncate -- on zero,
+ * negative, or trailing-garbage values.
+ *
+ * parseBenchArgs exits the process on bad input by design (it IS
+ * the bench CLI surface), so the rejection paths are death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hh"
+
+namespace transfusion::bench
+{
+namespace
+{
+
+/** argv helper: parse a null-terminated list of string literals. */
+template <std::size_t N>
+BenchArgs
+parse(const char *(&&argv)[N])
+{
+    return parseBenchArgs(static_cast<int>(N),
+                          const_cast<char **>(argv));
+}
+
+TEST(BenchArgs, MultiChipFlagsDefaultToOneChip)
+{
+    const auto args = parse({ "bench" });
+    EXPECT_EQ(args.chips, 1);
+    EXPECT_EQ(args.tp, 1);
+    EXPECT_EQ(args.pp, 1);
+}
+
+TEST(BenchArgs, MultiChipFlagsParseDetachedAndAttachedForms)
+{
+    const auto detached =
+        parse({ "bench", "--chips", "8", "--tp", "4", "--pp", "2" });
+    EXPECT_EQ(detached.chips, 8);
+    EXPECT_EQ(detached.tp, 4);
+    EXPECT_EQ(detached.pp, 2);
+
+    const auto attached =
+        parse({ "bench", "--chips=4", "--tp=2", "--pp=2" });
+    EXPECT_EQ(attached.chips, 4);
+    EXPECT_EQ(attached.tp, 2);
+    EXPECT_EQ(attached.pp, 2);
+}
+
+TEST(BenchArgsDeathTest, ZeroChipsExitsWithUsageError)
+{
+    EXPECT_EXIT(parse({ "bench", "--chips", "0" }),
+                testing::ExitedWithCode(2),
+                "--chips needs a positive integer");
+}
+
+TEST(BenchArgsDeathTest, NegativeWidthExitsWithUsageError)
+{
+    EXPECT_EXIT(parse({ "bench", "--tp", "-2" }),
+                testing::ExitedWithCode(2),
+                "--tp needs a positive integer");
+}
+
+TEST(BenchArgsDeathTest, TrailingGarbageExitsWithUsageError)
+{
+    // "4x" must not strtol-truncate to 4.
+    EXPECT_EXIT(parse({ "bench", "--chips", "4x" }),
+                testing::ExitedWithCode(2),
+                "--chips needs a positive integer, got '4x'");
+    EXPECT_EXIT(parse({ "bench", "--pp=2.5" }),
+                testing::ExitedWithCode(2),
+                "--pp needs a positive integer");
+}
+
+TEST(BenchArgsDeathTest, EmptyAndMissingValuesExit)
+{
+    EXPECT_EXIT(parse({ "bench", "--chips=" }),
+                testing::ExitedWithCode(2),
+                "--chips needs a positive integer");
+    EXPECT_EXIT(parse({ "bench", "--chips" }),
+                testing::ExitedWithCode(2), "--chips needs a value");
+}
+
+TEST(BenchArgsDeathTest, AbsurdWidthsAreRejected)
+{
+    // The parser caps counts at 2^20 -- nobody sweeps a
+    // million-chip cluster, but a typo'd "40000000000" would
+    // otherwise overflow int.
+    EXPECT_EXIT(parse({ "bench", "--chips", "40000000000" }),
+                testing::ExitedWithCode(2),
+                "--chips needs a positive integer");
+}
+
+TEST(BenchArgsDeathTest, UnknownFlagsStillExit)
+{
+    EXPECT_EXIT(parse({ "bench", "--chipz", "4" }),
+                testing::ExitedWithCode(2), "unknown argument");
+}
+
+} // namespace
+} // namespace transfusion::bench

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the cluster description: construction helpers,
+ * homogeneity, validation fatals that name the offending field,
+ * and the presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "multichip/cluster.hh"
+
+namespace transfusion::multichip
+{
+namespace
+{
+
+TEST(Cluster, HomogeneousClusterReplicatesTheChip)
+{
+    const auto c =
+        homogeneousCluster(arch::cloudArch(), 4, cloudLink(), "c4");
+    EXPECT_EQ(c.size(), 4);
+    EXPECT_EQ(c.name, "c4");
+    EXPECT_TRUE(c.homogeneous());
+    for (const auto &chip : c.chips)
+        EXPECT_TRUE(chip == c.chips.front());
+    c.validate();
+}
+
+TEST(Cluster, MixedChipsAreNotHomogeneous)
+{
+    auto c = homogeneousCluster(arch::cloudArch(), 2, cloudLink());
+    c.chips[1] = arch::edgeArch();
+    EXPECT_FALSE(c.homogeneous());
+}
+
+TEST(Cluster, SingleChipNeedsNoLink)
+{
+    // A default (all-zero) LinkConfig is invalid on its own, but a
+    // 1-chip cluster never uses it.
+    ClusterConfig c;
+    c.chips = { arch::edgeArch() };
+    c.validate();
+}
+
+TEST(Cluster, ValidateNamesTheBadLinkField)
+{
+    auto c = homogeneousCluster(arch::cloudArch(), 2, cloudLink());
+    c.link.bandwidth_bytes_per_sec = 0;
+    try {
+        c.validate();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "bandwidth_bytes_per_sec"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Cluster, ValidateRejectsEmptyClusterAndBadChip)
+{
+    ClusterConfig empty;
+    EXPECT_THROW(empty.validate(), FatalError);
+
+    auto c = cloudCluster(2);
+    c.chips[0].clock_hz = 0;
+    EXPECT_THROW(c.validate(), FatalError);
+}
+
+TEST(Cluster, PresetsValidateAndCarryTheirFabrics)
+{
+    for (const int n : { 1, 2, 4, 8 }) {
+        const auto cloud = cloudCluster(n);
+        const auto edge = edgeCluster(n);
+        cloud.validate();
+        edge.validate();
+        EXPECT_EQ(cloud.size(), n);
+        EXPECT_EQ(edge.size(), n);
+    }
+    // The edge fabric is the slow one in every dimension the model
+    // prices: less bandwidth, more latency, more energy per byte.
+    EXPECT_LT(edgeLink().bandwidth_bytes_per_sec,
+              cloudLink().bandwidth_bytes_per_sec);
+    EXPECT_GT(edgeLink().latency_s, cloudLink().latency_s);
+    EXPECT_GT(edgeLink().pj_per_byte, cloudLink().pj_per_byte);
+}
+
+TEST(Cluster, ClusterByNameMatchesPresetsAndRejectsUnknown)
+{
+    EXPECT_EQ(clusterByName("cloud", 4).toString(),
+              cloudCluster(4).toString());
+    EXPECT_EQ(clusterByName("edge", 2).toString(),
+              edgeCluster(2).toString());
+    EXPECT_THROW(clusterByName("laptop", 2), FatalError);
+}
+
+TEST(Cluster, ToStringMentionsSizeAndTopology)
+{
+    const auto c = cloudCluster(8);
+    const auto s = c.toString();
+    EXPECT_NE(s.find("8"), std::string::npos) << s;
+    EXPECT_NE(s.find(toString(Topology::Ring)), std::string::npos)
+        << s;
+}
+
+} // namespace
+} // namespace transfusion::multichip

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Property tests for the collective cost model: byte counts must
+ * match the closed-form ring-algorithm volumes for every collective
+ * and participant count, and the alpha-beta time/energy terms must
+ * follow directly from them.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "multichip/collective.hh"
+
+namespace transfusion::multichip
+{
+namespace
+{
+
+LinkConfig
+testLink(Topology topology = Topology::Ring)
+{
+    LinkConfig link;
+    link.bandwidth_bytes_per_sec = 50e9;
+    link.latency_s = 2e-6;
+    link.pj_per_byte = 10.0;
+    link.topology = topology;
+    return link;
+}
+
+constexpr double kPayload = 1.5e9; // bytes of the full tensor
+
+TEST(Collective, RingByteCountsMatchClosedForms)
+{
+    const auto link = testLink();
+    for (const int n : { 2, 4, 8 }) {
+        const double nn = n;
+        const auto ar = collectiveCost(CollectiveKind::AllReduce,
+                                       kPayload, n, link);
+        EXPECT_DOUBLE_EQ(ar.bytes_per_chip,
+                         2.0 * (nn - 1.0) / nn * kPayload)
+            << "all-reduce n=" << n;
+        EXPECT_EQ(ar.steps, 2 * (n - 1));
+
+        const auto ag = collectiveCost(CollectiveKind::AllGather,
+                                       kPayload, n, link);
+        const auto rs = collectiveCost(
+            CollectiveKind::ReduceScatter, kPayload, n, link);
+        for (const auto &half : { ag, rs }) {
+            EXPECT_DOUBLE_EQ(half.bytes_per_chip,
+                             (nn - 1.0) / nn * kPayload)
+                << "n=" << n;
+            EXPECT_EQ(half.steps, n - 1);
+        }
+
+        // all-reduce == reduce-scatter + all-gather, exactly.
+        EXPECT_DOUBLE_EQ(ar.bytes_per_chip,
+                         rs.bytes_per_chip + ag.bytes_per_chip);
+        EXPECT_EQ(ar.steps, rs.steps + ag.steps);
+
+        // Every chip injects symmetrically.
+        for (const auto &c : { ar, ag, rs })
+            EXPECT_DOUBLE_EQ(c.total_link_bytes,
+                             nn * c.bytes_per_chip);
+    }
+}
+
+TEST(Collective, TimeAndEnergyFollowTheAlphaBetaModel)
+{
+    const auto link = testLink();
+    for (const auto kind :
+         { CollectiveKind::AllReduce, CollectiveKind::AllGather,
+           CollectiveKind::ReduceScatter,
+           CollectiveKind::PointToPoint }) {
+        const auto c = collectiveCost(kind, kPayload, 4, link);
+        EXPECT_DOUBLE_EQ(c.seconds,
+                         c.steps * link.latency_s
+                             + c.bytes_per_chip
+                                   / link.bandwidth_bytes_per_sec);
+        EXPECT_DOUBLE_EQ(c.energy_j, c.total_link_bytes
+                                         * link.pj_per_byte * 1e-12);
+    }
+}
+
+TEST(Collective, PointToPointMovesThePayloadOnce)
+{
+    const auto c = collectiveCost(CollectiveKind::PointToPoint,
+                                  kPayload, 2, testLink());
+    EXPECT_DOUBLE_EQ(c.bytes_per_chip, kPayload);
+    // Only the sender injects: the hop is not double-counted.
+    EXPECT_DOUBLE_EQ(c.total_link_bytes, kPayload);
+    EXPECT_EQ(c.steps, 1);
+}
+
+TEST(Collective, OneChipAndEmptyPayloadAreFree)
+{
+    for (const auto kind :
+         { CollectiveKind::AllReduce, CollectiveKind::AllGather,
+           CollectiveKind::ReduceScatter,
+           CollectiveKind::PointToPoint }) {
+        for (const auto &c :
+             { collectiveCost(kind, kPayload, 1, testLink()),
+               collectiveCost(kind, 0.0, 8, testLink()) }) {
+            EXPECT_DOUBLE_EQ(c.seconds, 0.0);
+            EXPECT_DOUBLE_EQ(c.bytes_per_chip, 0.0);
+            EXPECT_DOUBLE_EQ(c.total_link_bytes, 0.0);
+            EXPECT_DOUBLE_EQ(c.energy_j, 0.0);
+            EXPECT_EQ(c.steps, 0);
+        }
+    }
+}
+
+TEST(Collective, FullyConnectedSavesLatencyStepsNotBytes)
+{
+    const auto ring = testLink(Topology::Ring);
+    const auto full = testLink(Topology::FullyConnected);
+    for (const int n : { 2, 4, 8 }) {
+        const auto r = collectiveCost(CollectiveKind::AllGather,
+                                      kPayload, n, ring);
+        const auto f = collectiveCost(CollectiveKind::AllGather,
+                                      kPayload, n, full);
+        // Injection bandwidth bounds the bytes either way.
+        EXPECT_DOUBLE_EQ(f.bytes_per_chip, r.bytes_per_chip);
+        EXPECT_DOUBLE_EQ(f.total_link_bytes, r.total_link_bytes);
+        EXPECT_EQ(f.steps, static_cast<int>(std::ceil(
+                               std::log2(static_cast<double>(n)))));
+        EXPECT_LE(f.steps, r.steps);
+        EXPECT_LE(f.seconds, r.seconds);
+    }
+    // All-reduce = reduce-scatter + all-gather in steps, too.
+    const auto ar = collectiveCost(CollectiveKind::AllReduce,
+                                   kPayload, 8, full);
+    EXPECT_EQ(ar.steps, 2 * 3);
+}
+
+TEST(Collective, ScaledAndAccumulateCompose)
+{
+    const auto one = collectiveCost(CollectiveKind::AllReduce,
+                                    kPayload, 4, testLink());
+    const auto repeated = one.scaled(32.0);
+    EXPECT_DOUBLE_EQ(repeated.seconds, 32.0 * one.seconds);
+    EXPECT_DOUBLE_EQ(repeated.bytes_per_chip,
+                     32.0 * one.bytes_per_chip);
+    EXPECT_DOUBLE_EQ(repeated.total_link_bytes,
+                     32.0 * one.total_link_bytes);
+    EXPECT_DOUBLE_EQ(repeated.energy_j, 32.0 * one.energy_j);
+    EXPECT_EQ(repeated.steps, 32 * one.steps);
+
+    CollectiveCost sum;
+    sum += one;
+    sum += one;
+    EXPECT_DOUBLE_EQ(sum.seconds, 2.0 * one.seconds);
+    EXPECT_DOUBLE_EQ(sum.total_link_bytes,
+                     2.0 * one.total_link_bytes);
+    EXPECT_EQ(sum.steps, 2 * one.steps);
+}
+
+TEST(Collective, RejectsNonPositiveParticipants)
+{
+    // Participant counts come from validated ShardSpecs, so a bad
+    // one is an internal invariant violation, not a user error.
+    EXPECT_THROW(collectiveCost(CollectiveKind::AllReduce, kPayload,
+                                0, testLink()),
+                 PanicError);
+}
+
+} // namespace
+} // namespace transfusion::multichip

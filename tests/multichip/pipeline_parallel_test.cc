@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the pipeline partitioner: optimal and balanced
+ * splits, transfer accounting at stage boundaries, deterministic
+ * tie-breaking, heterogeneous per-stage latencies, and the
+ * validation fatals.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "multichip/pipeline_parallel.hh"
+
+namespace transfusion::multichip
+{
+namespace
+{
+
+LinkConfig
+testLink()
+{
+    LinkConfig link;
+    link.bandwidth_bytes_per_sec = 10e9;
+    link.latency_s = 1e-6;
+    link.pj_per_byte = 20.0;
+    return link;
+}
+
+/** n uniform layers of `seconds` each, `act` output bytes. */
+std::vector<PipelineLayer>
+uniformLayers(int n, double seconds, double act)
+{
+    std::vector<PipelineLayer> layers(
+        static_cast<std::size_t>(n));
+    for (auto &l : layers) {
+        l.latency_per_stage = { seconds };
+        l.activation_bytes = act;
+    }
+    return layers;
+}
+
+TEST(PipelinePartition, UniformLayersSplitEvenly)
+{
+    const auto part =
+        partitionLayers(uniformLayers(8, 1.0, 1e6), 4, testLink());
+    ASSERT_EQ(part.stages(), 4);
+    for (int k = 0; k < 4; ++k)
+        EXPECT_EQ(part.stageSize(k), 2);
+    // Stage 0 pays no incoming hop; the others pay exactly one.
+    const double hop =
+        collectiveCost(CollectiveKind::PointToPoint, 1e6, 2,
+                       testLink())
+            .seconds;
+    EXPECT_DOUBLE_EQ(part.stage_seconds[0], 2.0);
+    for (int k = 1; k < 4; ++k)
+        EXPECT_DOUBLE_EQ(part.stage_seconds[static_cast<std::size_t>(
+                             k)],
+                         2.0 + hop);
+    EXPECT_DOUBLE_EQ(part.bottleneck_s, 2.0 + hop);
+    EXPECT_DOUBLE_EQ(part.total_s, 8.0 + 3.0 * hop);
+}
+
+TEST(PipelinePartition, SinglePipelineStageIsTransferFree)
+{
+    const auto part =
+        partitionLayers(uniformLayers(6, 0.5, 1e9), 1, testLink());
+    EXPECT_EQ(part.stages(), 1);
+    EXPECT_EQ(part.stageSize(0), 6);
+    EXPECT_DOUBLE_EQ(part.total_s, 3.0);
+    EXPECT_DOUBLE_EQ(part.bottleneck_s, 3.0);
+    EXPECT_DOUBLE_EQ(part.transfers.total_link_bytes, 0.0);
+    EXPECT_DOUBLE_EQ(part.transfers.seconds, 0.0);
+}
+
+TEST(PipelinePartition, HeavyLayerGetsIsolated)
+{
+    // One 10 s layer among 1 s layers: the optimum parks it alone.
+    auto layers = uniformLayers(5, 1.0, 0.0);
+    layers[2].latency_per_stage = { 10.0 };
+    const auto part = partitionLayers(layers, 3, testLink());
+    EXPECT_EQ(part.stageSize(0), 2); // layers 0, 1
+    EXPECT_EQ(part.stageSize(1), 1); // the heavy layer
+    EXPECT_EQ(part.stageSize(2), 2); // layers 3, 4
+    EXPECT_DOUBLE_EQ(part.bottleneck_s, 10.0);
+}
+
+TEST(PipelinePartition, TransferAccountingSumsBoundaryHops)
+{
+    // Distinct activation sizes reveal WHICH boundaries were paid:
+    // layers 0..3 emit 1, 2, 4, 8 MB.
+    std::vector<PipelineLayer> layers;
+    for (int i = 0; i < 4; ++i) {
+        PipelineLayer l;
+        l.latency_per_stage = { 1.0 };
+        l.activation_bytes = (1 << i) * 1e6;
+        layers.push_back(l);
+    }
+    const auto part = partitionLayers(layers, 2, testLink());
+    ASSERT_EQ(part.first_layer,
+              (std::vector<int>{ 0, 2, 4 }));
+    // The only boundary is after layer 1: its 2 MB output crosses.
+    const auto hop = collectiveCost(CollectiveKind::PointToPoint,
+                                    2e6, 2, testLink());
+    EXPECT_DOUBLE_EQ(part.transfers.total_link_bytes,
+                     hop.total_link_bytes);
+    EXPECT_DOUBLE_EQ(part.transfers.seconds, hop.seconds);
+    EXPECT_DOUBLE_EQ(part.transfers.energy_j, hop.energy_j);
+}
+
+TEST(PipelinePartition, TiesBreakTowardTheEarliestSplit)
+{
+    // 3 equal layers over 2 stages: {1, 2} and {2, 1} tie on
+    // compute, but the earlier split ships layer 0's smaller
+    // activation.  Make activations equal so the bottleneck really
+    // ties, then demand the earliest split.
+    const auto part =
+        partitionLayers(uniformLayers(3, 1.0, 0.0), 2, testLink());
+    EXPECT_EQ(part.first_layer, (std::vector<int>{ 0, 1, 3 }));
+
+    // And the partition is a pure function of its inputs.
+    const auto again =
+        partitionLayers(uniformLayers(3, 1.0, 0.0), 2, testLink());
+    EXPECT_EQ(part.first_layer, again.first_layer);
+    EXPECT_EQ(part.stage_seconds, again.stage_seconds);
+}
+
+TEST(PipelinePartition, HeterogeneousStagesUsePerStageLatency)
+{
+    // Two layers, two stages; stage 1's chip runs everything 3x
+    // slower.  Per-stage latency vectors must be consulted at the
+    // stage the layer actually lands on.
+    std::vector<PipelineLayer> layers(2);
+    layers[0].latency_per_stage = { 1.0, 3.0 };
+    layers[1].latency_per_stage = { 1.0, 3.0 };
+    const auto part = partitionLayers(layers, 2, testLink());
+    EXPECT_DOUBLE_EQ(part.stage_seconds[0], 1.0);
+    EXPECT_DOUBLE_EQ(part.stage_seconds[1], 3.0);
+    EXPECT_DOUBLE_EQ(part.bottleneck_s, 3.0);
+}
+
+TEST(PipelinePartition, RejectsInfeasibleShapes)
+{
+    const auto layers = uniformLayers(4, 1.0, 0.0);
+    EXPECT_THROW(partitionLayers(layers, 0, testLink()),
+                 FatalError);
+    EXPECT_THROW(partitionLayers(layers, 5, testLink()),
+                 FatalError);
+
+    auto bad = layers;
+    bad[1].latency_per_stage = { 1.0, 2.0, 3.0 }; // size != 1, pp
+    EXPECT_THROW(partitionLayers(bad, 2, testLink()), FatalError);
+}
+
+} // namespace
+} // namespace transfusion::multichip

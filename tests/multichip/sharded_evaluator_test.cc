@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the sharded whole-stack evaluator.  The headline
+ * property: on a 1-chip cluster (tp = pp = 1) it reproduces
+ * schedule::StackEvaluator BIT FOR BIT -- every added multi-chip
+ * term must be exactly zero and the arithmetic order identical.
+ * Beyond that: the TP collective totals compose from the ring
+ * formulas, pipeline placements cover every layer, and the
+ * validation fatals fire.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "model/stack.hh"
+#include "multichip/sharded_evaluator.hh"
+#include "schedule/decode.hh"
+#include "schedule/stack_evaluator.hh"
+
+namespace transfusion::multichip
+{
+namespace
+{
+
+constexpr std::int64_t kSrc = 512;
+constexpr std::int64_t kTgt = 512;
+
+schedule::EvaluatorOptions
+fastOptions()
+{
+    schedule::EvaluatorOptions o;
+    o.mcts.iterations = 64;
+    return o;
+}
+
+/** Bitwise equality of every LayerMetrics field. */
+void
+expectSameMetrics(const schedule::LayerMetrics &a,
+                  const schedule::LayerMetrics &b,
+                  const std::string &what)
+{
+    EXPECT_EQ(a.latency_s, b.latency_s) << what;
+    EXPECT_EQ(a.compute_s, b.compute_s) << what;
+    EXPECT_EQ(a.dram_s, b.dram_s) << what;
+    EXPECT_EQ(a.dram_bytes, b.dram_bytes) << what;
+    EXPECT_EQ(a.ops_2d, b.ops_2d) << what;
+    EXPECT_EQ(a.ops_1d, b.ops_1d) << what;
+    EXPECT_EQ(a.energy.dram_j, b.energy.dram_j) << what;
+    EXPECT_EQ(a.energy.buffer_j, b.energy.buffer_j) << what;
+    EXPECT_EQ(a.energy.rf_j, b.energy.rf_j) << what;
+    EXPECT_EQ(a.energy.pe_j, b.energy.pe_j) << what;
+    EXPECT_EQ(a.energy.link_j, b.energy.link_j) << what;
+}
+
+TEST(ShardedEvaluator, OneChipReproducesStackEvaluatorBitForBit)
+{
+    const auto opts = fastOptions();
+    for (const auto &stack :
+         { model::decoderOnly(model::t5Small()),
+           model::encoderDecoder(model::t5Small(), 6, 6) }) {
+        const ClusterConfig cluster = edgeCluster(1);
+        const ShardedStackEvaluator sharded(cluster, stack, kSrc,
+                                            kTgt, { 1, 1 }, opts);
+        const schedule::StackEvaluator plain(cluster.chips.front(),
+                                             stack, kSrc, kTgt,
+                                             opts);
+        for (const auto strategy : schedule::allStrategies()) {
+            const auto s = sharded.evaluate(strategy);
+            const auto p = plain.evaluate(strategy);
+            const std::string what = stack.name + "/"
+                                     + toString(strategy);
+            expectSameMetrics(s.per_chip.encoder, p.encoder,
+                              what + "/encoder");
+            expectSameMetrics(s.per_chip.decoder_self,
+                              p.decoder_self, what + "/self");
+            expectSameMetrics(s.per_chip.decoder_cross,
+                              p.decoder_cross, what + "/cross");
+            expectSameMetrics(s.per_chip.total, p.total,
+                              what + "/total");
+
+            // Every multi-chip term is exactly zero, and the
+            // derived figures collapse onto the single chip's.
+            EXPECT_EQ(s.tp_collectives.total_link_bytes, 0.0);
+            EXPECT_EQ(s.tp_collectives.seconds, 0.0);
+            EXPECT_EQ(s.pipeline.transfers.total_link_bytes, 0.0);
+            EXPECT_EQ(s.latency_s, p.total.latency_s);
+            EXPECT_EQ(s.steady_state_s, p.total.latency_s);
+            EXPECT_EQ(s.cluster_energy_j, p.total.energy.total());
+            EXPECT_EQ(s.per_chip.total.energy.link_j, 0.0);
+        }
+    }
+}
+
+TEST(ShardedEvaluator, TpCollectivesComposeFromTheRingFormula)
+{
+    const auto stack = model::decoderOnly(model::t5Small());
+    const ClusterConfig cluster = cloudCluster(4);
+    const ShardedStackEvaluator eval(cluster, stack, kSrc, kTgt,
+                                     { 4, 1 }, fastOptions());
+    const auto r =
+        eval.evaluate(schedule::StrategyKind::Unfused);
+
+    // 2 all-reduces of the full B x P x D activation per layer.
+    const double payload =
+        static_cast<double>(stack.block.batch)
+        * static_cast<double>(kTgt)
+        * static_cast<double>(stack.block.d_model)
+        * static_cast<double>(
+            cluster.chips.front().element_bytes);
+    const auto expected =
+        collectiveCost(CollectiveKind::AllReduce, payload, 4,
+                       cluster.link)
+            .scaled(2.0 * static_cast<double>(stack.block.layers));
+    EXPECT_DOUBLE_EQ(r.tp_collectives.total_link_bytes,
+                     expected.total_link_bytes);
+    EXPECT_DOUBLE_EQ(r.tp_collectives.seconds, expected.seconds);
+    EXPECT_DOUBLE_EQ(r.tp_collectives.energy_j,
+                     expected.energy_j);
+
+    // One rank's link-energy share is exactly 1/tp of the total.
+    EXPECT_DOUBLE_EQ(r.per_chip.total.energy.link_j,
+                     r.tp_collectives.energy_j / 4.0);
+    // And the whole-cluster figure folds all tp ranks back in.
+    EXPECT_DOUBLE_EQ(r.cluster_energy_j,
+                     r.per_chip.total.energy.total() * 4.0);
+}
+
+TEST(ShardedEvaluator, TensorParallelismShrinksPerChipWork)
+{
+    const auto stack = model::decoderOnly(model::t5Small());
+    const auto opts = fastOptions();
+    const ShardedStackEvaluator solo(edgeCluster(1), stack, kSrc,
+                                     kTgt, { 1, 1 }, opts);
+    const ShardedStackEvaluator tp4(edgeCluster(4), stack, kSrc,
+                                    kTgt, { 4, 1 }, opts);
+    const auto kind = schedule::StrategyKind::TransFusion;
+    const auto one = solo.evaluate(kind);
+    const auto four = tp4.evaluate(kind);
+    EXPECT_LT(four.per_chip.total.ops_2d,
+              one.per_chip.total.ops_2d);
+    EXPECT_LT(four.per_chip.total.dram_bytes,
+              one.per_chip.total.dram_bytes);
+    // ...but the collectives are not free: link traffic appears.
+    EXPECT_GT(four.tp_collectives.total_link_bytes, 0.0);
+    EXPECT_GT(four.per_chip.total.energy.link_j, 0.0);
+}
+
+TEST(ShardedEvaluator, PipelinePlacementCoversEveryLayer)
+{
+    const auto stack =
+        model::decoderOnly(model::t5Small()); // 6 layers
+    const ClusterConfig cluster = cloudCluster(2);
+    const ShardedStackEvaluator eval(cluster, stack, kSrc, kTgt,
+                                     { 1, 2 }, fastOptions());
+    const auto r =
+        eval.evaluate(schedule::StrategyKind::TransFusion);
+
+    ASSERT_EQ(r.pipeline.stages(), 2);
+    EXPECT_EQ(r.pipeline.first_layer.front(), 0);
+    EXPECT_EQ(r.pipeline.first_layer.back(),
+              static_cast<int>(stack.decoder_layers));
+    // Identical chips, identical layers: the split is even.
+    EXPECT_EQ(r.pipeline.stageSize(0), 3);
+    EXPECT_EQ(r.pipeline.stageSize(1), 3);
+
+    // Fill latency is the sum of stages, the steady state their
+    // max, and exactly one boundary hop was paid.
+    EXPECT_DOUBLE_EQ(r.latency_s, r.pipeline.total_s);
+    EXPECT_DOUBLE_EQ(r.steady_state_s, r.pipeline.bottleneck_s);
+    EXPECT_LT(r.steady_state_s, r.latency_s);
+    EXPECT_GT(r.pipeline.transfers.total_link_bytes, 0.0);
+    EXPECT_DOUBLE_EQ(
+        r.cluster_energy_j,
+        r.per_chip.total.energy.total()
+            + r.pipeline.transfers.energy_j); // tp = 1 column
+}
+
+TEST(ShardedEvaluator, DecodeStepOnOneChipIsDecodeEvaluator)
+{
+    const auto stack = model::decoderOnly(model::t5Small());
+    const auto opts = fastOptions();
+    const ShardedStackEvaluator eval(edgeCluster(1), stack, kSrc,
+                                     kTgt, { 1, 1 }, opts);
+    const schedule::DecodeEvaluator deval(
+        arch::edgeArch64(), stack.block,
+        { /*prompt_len=*/1, /*generate_tokens=*/0 }, opts);
+    for (const std::int64_t cache : { 64, 1024, 4096 }) {
+        const auto kind = schedule::StrategyKind::TransFusion;
+        EXPECT_EQ(eval.decodeStepSeconds(cache, kind),
+                  deval.stepMetrics(cache, kind).latency_s);
+    }
+}
+
+TEST(ShardedEvaluator, ShardedDecodeStepsAreSaneAndMonotonic)
+{
+    const auto stack = model::decoderOnly(model::t5Small());
+    const auto kind = schedule::StrategyKind::TransFusion;
+    for (const auto spec :
+         { ShardSpec{ 2, 1 }, ShardSpec{ 1, 2 },
+           ShardSpec{ 2, 2 } }) {
+        const ShardedStackEvaluator eval(
+            cloudCluster(spec.chips()), stack, kSrc, kTgt, spec,
+            fastOptions());
+        const double small = eval.decodeStepSeconds(256, kind);
+        const double large = eval.decodeStepSeconds(8192, kind);
+        EXPECT_GT(small, 0.0) << spec.toString();
+        // Longer caches mean more attention work per step.
+        EXPECT_LT(small, large) << spec.toString();
+    }
+}
+
+TEST(ShardedEvaluator, ConstructionFatals)
+{
+    const auto stack = model::decoderOnly(model::t5Small());
+    // Spec must account for every chip.
+    EXPECT_THROW(ShardedStackEvaluator(cloudCluster(4), stack,
+                                       kSrc, kTgt, { 2, 1 }),
+                 FatalError);
+    EXPECT_THROW(ShardedStackEvaluator(cloudCluster(2), stack,
+                                       kSrc, kTgt, { 0, 2 }),
+                 FatalError);
+    // A TP group must be homogeneous.
+    auto mixed = cloudCluster(2);
+    mixed.chips[1] = arch::edgeArch();
+    EXPECT_THROW(ShardedStackEvaluator(mixed, stack, kSrc, kTgt,
+                                       { 2, 1 }),
+                 FatalError);
+    // Decode needs a decoder-only stack.
+    const ShardedStackEvaluator encdec(
+        cloudCluster(2), model::encoderDecoder(model::t5Small(),
+                                               6, 6),
+        kSrc, kTgt, { 2, 1 }, fastOptions());
+    EXPECT_THROW(encdec.decodeStepSeconds(
+                     128, schedule::StrategyKind::TransFusion),
+                 FatalError);
+}
+
+} // namespace
+} // namespace transfusion::multichip

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the Megatron-style tensor-parallel sharder: the
+ * tp = 1 identity (the anchor of the 1-chip bit-for-bit property),
+ * the derived per-chip shapes, and the divisibility fatals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "model/transformer.hh"
+#include "multichip/tensor_parallel.hh"
+
+namespace transfusion::multichip
+{
+namespace
+{
+
+void
+expectSameConfig(const model::TransformerConfig &a,
+                 const model::TransformerConfig &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.layers, b.layers);
+    EXPECT_EQ(a.d_model, b.d_model);
+    EXPECT_EQ(a.heads, b.heads);
+    EXPECT_EQ(a.head_dim, b.head_dim);
+    EXPECT_EQ(a.ffn_hidden, b.ffn_hidden);
+    EXPECT_EQ(a.activation, b.activation);
+    EXPECT_EQ(a.batch, b.batch);
+    EXPECT_EQ(a.d_input, b.d_input);
+}
+
+TEST(TensorParallel, OneWayShardIsTheConfigVerbatim)
+{
+    const auto cfg = model::t5Small();
+    const auto shard = shardTransformer(cfg, 1);
+    EXPECT_EQ(shard.tp, 1);
+    expectSameConfig(shard.attn_cfg, cfg);
+    expectSameConfig(shard.ffn_cfg, cfg);
+}
+
+TEST(TensorParallel, FourWayShardSlicesHeadsAndFfn)
+{
+    const auto cfg = model::t5Small(); // H=8, E=64, D=512, S=2048
+    const auto shard = shardTransformer(cfg, 4);
+    EXPECT_EQ(shard.tp, 4);
+
+    // attn_cfg: H/tp heads of full E each, projecting the FULL
+    // D-wide input (column-parallel QKV).
+    EXPECT_EQ(shard.attn_cfg.heads, cfg.heads / 4);
+    EXPECT_EQ(shard.attn_cfg.head_dim, cfg.head_dim);
+    EXPECT_EQ(shard.attn_cfg.d_model, cfg.d_model / 4);
+    EXPECT_EQ(shard.attn_cfg.dInput(), cfg.d_model);
+    EXPECT_EQ(shard.attn_cfg.batch, cfg.batch);
+    shard.attn_cfg.validate();
+
+    // ffn_cfg: full-D LN plus the S/tp slice of the FFN.
+    EXPECT_EQ(shard.ffn_cfg.d_model, cfg.d_model);
+    EXPECT_EQ(shard.ffn_cfg.heads, cfg.heads);
+    EXPECT_EQ(shard.ffn_cfg.ffn_hidden, cfg.ffn_hidden / 4);
+    EXPECT_EQ(shard.ffn_cfg.dInput(), cfg.d_model);
+    shard.ffn_cfg.validate();
+}
+
+TEST(TensorParallel, ShardNamesIdentifyTheSlices)
+{
+    const auto shard = shardTransformer(model::t5Small(), 2);
+    EXPECT_NE(shard.attn_cfg.name.find("tp2"), std::string::npos)
+        << shard.attn_cfg.name;
+    EXPECT_NE(shard.ffn_cfg.name.find("tp2"), std::string::npos)
+        << shard.ffn_cfg.name;
+    EXPECT_NE(shard.attn_cfg.name, shard.ffn_cfg.name);
+}
+
+TEST(TensorParallel, AllReducePayloadIsTheFullActivation)
+{
+    const auto cfg = model::t5Small();
+    const auto sharded = shardTransformer(cfg, 4);
+    EXPECT_DOUBLE_EQ(sharded.allReduceElements(64, 4096,
+                                               cfg.d_model),
+                     64.0 * 4096.0 * static_cast<double>(
+                         cfg.d_model));
+    EXPECT_EQ(sharded.allReducesPerLayer(/*include_ffn=*/true), 2);
+    EXPECT_EQ(sharded.allReducesPerLayer(/*include_ffn=*/false), 1);
+
+    // tp = 1 never communicates.
+    const auto solo = shardTransformer(cfg, 1);
+    EXPECT_DOUBLE_EQ(solo.allReduceElements(64, 4096, cfg.d_model),
+                     0.0);
+}
+
+TEST(TensorParallel, RejectsIndivisibleOrNonPositiveWidths)
+{
+    const auto cfg = model::t5Small(); // H=8, S=2048
+    EXPECT_THROW(shardTransformer(cfg, 0), FatalError);
+    EXPECT_THROW(shardTransformer(cfg, 3), FatalError);  // 8 % 3
+    EXPECT_THROW(shardTransformer(cfg, 16), FatalError); // 8 % 16
+
+    auto odd_ffn = cfg;
+    odd_ffn.ffn_hidden = 2050; // 2 divides heads but not S
+    EXPECT_THROW(shardTransformer(odd_ffn, 4), FatalError);
+}
+
+} // namespace
+} // namespace transfusion::multichip
