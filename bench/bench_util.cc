@@ -5,6 +5,7 @@
 
 #include "bench_util.hh"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -26,7 +27,7 @@ printUsage(std::ostream &os, const char *prog)
     os << "usage: " << prog
        << " [--threads N] [--seed N] [--csv]"
           " [--trace FILE] [--report FILE]"
-          " [--chips N] [--tp N] [--pp N]\n"
+          " [--chips N] [--tp N] [--pp N] [--faults N]\n"
        << "  --threads N  worker threads (default: all cores)\n"
        << "  --seed N     base RNG seed (default: 1)\n"
        << "  --csv        emit tables as CSV\n"
@@ -37,7 +38,9 @@ printUsage(std::ostream &os, const char *prog)
        << "  --chips N    cluster size for multi-chip benches"
           " (default: 1)\n"
        << "  --tp N       tensor-parallel width (default: 1)\n"
-       << "  --pp N       pipeline stages (default: 1)\n";
+       << "  --pp N       pipeline stages (default: 1)\n"
+       << "  --faults N   generated fault events for fault benches"
+          " (default: 1, 0 = fault-free)\n";
 }
 
 /** Exit-time artifact destinations; set once by parseBenchArgs. */
@@ -102,20 +105,25 @@ flagValue(int argc, char **argv, int &i, const std::string &flag,
 }
 
 /**
- * Strictly parse a positive integer count: the whole string must
- * be digits and the result >= 1, else usage + exit(2).
+ * Strictly parse an integer count in [min_value, 2^20]: the whole
+ * string must be digits and in range, else usage + exit(2).  errno
+ * is checked explicitly because strtoll saturates on overflow —
+ * relying on the saturated value tripping the range check would
+ * silently accept overflowing input if the cap were ever raised.
  */
 int
 parseCount(const char *prog, const std::string &flag,
-           const std::string &value)
+           const std::string &value, long long min_value = 1)
 {
     char *end = nullptr;
-    const long parsed = std::strtol(value.c_str(), &end, 10);
+    errno = 0;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
     if (value.empty() || end == nullptr || *end != '\0'
-        || parsed < 1 || parsed > 1 << 20) {
-        std::cerr << prog << ": " << flag
-                  << " needs a positive integer, got '" << value
-                  << "'\n";
+        || errno == ERANGE || parsed < min_value
+        || parsed > 1 << 20) {
+        std::cerr << prog << ": " << flag << " needs a "
+                  << (min_value > 0 ? "positive" : "non-negative")
+                  << " integer, got '" << value << "'\n";
         printUsage(std::cerr, prog);
         std::exit(2);
     }
@@ -150,6 +158,9 @@ parseBenchArgs(int argc, char **argv)
             args.tp = parseCount(argv[0], "--tp", value);
         } else if (flagValue(argc, argv, i, "--pp", value)) {
             args.pp = parseCount(argv[0], "--pp", value);
+        } else if (flagValue(argc, argv, i, "--faults", value)) {
+            args.faults = parseCount(argv[0], "--faults", value,
+                                     /*min_value=*/0);
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "'\n";

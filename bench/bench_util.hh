@@ -47,15 +47,19 @@ struct BenchArgs
     int tp = 1;
     /** Pipeline stages (default: 1 = no pipelining). */
     int pp = 1;
+    /** Generated fault events for fault benches (0 = none). */
+    int faults = 1;
 };
 
 /**
  * Parse `--threads N`, `--seed N`, `--csv`, `--trace FILE`,
- * `--report FILE`, `--chips N`, `--tp N` and `--pp N` (plus
- * `--help`).  Unknown flags print usage to stderr and exit(2);
- * `--help` prints it to stdout and exit(0).  `--chips`/`--tp`/
- * `--pp` are parsed strictly: a non-numeric value, trailing
- * garbage (`--chips 4x`) or a non-positive count exits(2).
+ * `--report FILE`, `--chips N`, `--tp N`, `--pp N` and
+ * `--faults N` (plus `--help`).  Unknown flags print usage to
+ * stderr and exit(2); `--help` prints it to stdout and exit(0).
+ * Count flags are parsed strictly: a non-numeric value, trailing
+ * garbage (`--chips 4x`), an out-of-range count or an
+ * int64-overflowing literal (`--chips 99999999999999999999`)
+ * exits(2); `--faults` alone accepts 0 (fault-free).
  *
  * `--trace` starts the global obs::TraceSession immediately;
  * `--trace`/`--report` artifacts are written by an atexit hook, so

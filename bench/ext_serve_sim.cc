@@ -121,14 +121,25 @@ main(int argc, char **argv)
                     Table::cell(load_factors[i], 2) + "x",
                     Table::cell(
                         scenarios[i].workload.arrival_per_s, 2),
-                    Table::cell(r.tokens_per_second, 1),
-                    formatSeconds(r.ttft_s.percentile(50)),
-                    formatSeconds(r.latency_s.percentile(50)),
-                    formatSeconds(r.latency_s.percentile(99)),
+                    r.makespan_s > 0
+                        ? Table::cell(r.tokens_per_second, 1)
+                        : "-",
+                    r.ttft_s.empty()
+                        ? "-"
+                        : formatSeconds(
+                              r.ttft_s.percentileOr(50, 0)),
+                    r.latency_s.empty()
+                        ? "-"
+                        : formatSeconds(
+                              r.latency_s.percentileOr(50, 0)),
+                    r.latency_s.empty()
+                        ? "-"
+                        : formatSeconds(
+                              r.latency_s.percentileOr(99, 0)),
                     r.queue_wait_s.empty()
                         ? "-"
                         : formatSeconds(
-                              r.queue_wait_s.percentile(99)),
+                              r.queue_wait_s.percentileOr(99, 0)),
                     std::to_string(r.peak_running),
                     std::to_string(r.peak_queue),
                     std::to_string(r.rejected),

@@ -47,12 +47,18 @@ main()
         const auto m = sim.run(trace);
         t.addRow({
             schedule::toString(kind),
-            Table::cell(m.tokens_per_second, 1),
-            formatSeconds(m.ttft_s.percentile(50)),
+            m.makespan_s > 0
+                ? Table::cell(m.tokens_per_second, 1)
+                : "-",
+            m.ttft_s.empty()
+                ? "-"
+                : formatSeconds(m.ttft_s.percentileOr(50, 0)),
             m.tpot_s.empty()
                 ? "-"
-                : formatSeconds(m.tpot_s.percentile(50)),
-            formatSeconds(m.latency_s.percentile(99)),
+                : formatSeconds(m.tpot_s.percentileOr(50, 0)),
+            m.latency_s.empty()
+                ? "-"
+                : formatSeconds(m.latency_s.percentileOr(99, 0)),
             std::to_string(m.peak_running),
             std::to_string(m.rejected),
         });

@@ -31,12 +31,13 @@ run_tsan() {
     cmake -B build-tsan -S . -DTRANSFUSION_SANITIZE=thread
     cmake --build build-tsan -j "$jobs" \
         --target tf_common_test tf_tileseek_test tf_schedule_test \
-        tf_serve_test tf_obs_test tf_multichip_test \
-        ext_multichip_scaling
+        tf_serve_test tf_obs_test tf_multichip_test tf_fault_test \
+        ext_multichip_scaling ext_fault_degradation
     # The threaded surfaces: pool unit tests, parallel sweeps, the
     # root-parallel MCTS determinism suite, the serve-replay
     # scenario fan-out, the obs registry/trace concurrency tests,
-    # and the multichip shard-plan search.
+    # the multichip shard-plan search, and the fault-server replans
+    # that re-run that search mid-trace.
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
         -L threaded
     # The multichip sweep fans (tp, pp) candidates across the pool
@@ -45,6 +46,12 @@ run_tsan() {
     echo "== TSan: multichip sweep bench =="
     ./build-tsan/bench/ext_multichip_scaling --chips 4 \
         --threads "$jobs" > /dev/null
+    # Fault-tolerant serving replans on the pool after every fault;
+    # drive the degradation bench so those mid-trace sweeps (and
+    # the drain/retry bookkeeping around them) run under TSan too.
+    echo "== TSan: fault degradation bench =="
+    ./build-tsan/bench/ext_fault_degradation --chips 4 \
+        --threads "$jobs" --faults 2 > /dev/null
 }
 
 run_obs_off() {

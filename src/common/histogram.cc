@@ -82,6 +82,14 @@ Histogram::percentile(double p) const
     return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+double
+Histogram::percentileOr(double p, double fallback) const
+{
+    if (p < 0.0 || p > 100.0)
+        tf_fatal("percentile must be in [0, 100], got ", p);
+    return samples_.empty() ? fallback : percentile(p);
+}
+
 std::string
 Histogram::summary() const
 {

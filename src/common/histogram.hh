@@ -50,6 +50,16 @@ class Histogram
      */
     double percentile(double p) const;
 
+    /**
+     * percentile(p), or `fallback` when the histogram is empty.
+     * Rendering paths (bench tables, ServeMetrics::summary) use
+     * this so a zero-completion run degrades to an explicit empty
+     * field instead of aborting.  Still fatal on p outside
+     * [0, 100] — a bad percentile is a caller bug, not a data
+     * condition.
+     */
+    double percentileOr(double p, double fallback) const;
+
     /** "n=..., p50=..., p99=..." one-liner for logs and tests. */
     std::string summary() const;
 

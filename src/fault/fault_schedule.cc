@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Fault-schedule validation and seeded generation.
+ */
+
+#include "fault_schedule.hh"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace transfusion::fault
+{
+
+std::string
+toString(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::ChipLoss:
+        return "chip-loss";
+    case FaultKind::ChipRecovery:
+        return "chip-recovery";
+    case FaultKind::LinkDegrade:
+        return "link-degrade";
+    }
+    tf_panic("unknown FaultKind");
+}
+
+std::string
+FaultEvent::toString() const
+{
+    std::ostringstream os;
+    os << fault::toString(kind) << "@" << time_s;
+    if (kind == FaultKind::LinkDegrade)
+        os << "(x" << factor << ")";
+    else
+        os << "(chip " << chip << ")";
+    return os.str();
+}
+
+void
+FaultSchedule::validate(int cluster_size) const
+{
+    if (cluster_size <= 0)
+        tf_fatal("fault schedule needs a positive cluster size, "
+                 "got ",
+                 cluster_size);
+    std::vector<bool> up(static_cast<std::size_t>(cluster_size),
+                         true);
+    double prev = 0;
+    for (const FaultEvent &e : events) {
+        if (e.time_s < 0)
+            tf_fatal("fault event before time zero: ",
+                     e.toString());
+        if (e.time_s < prev)
+            tf_fatal("fault events must be sorted by time; ",
+                     e.toString(), " follows t=", prev);
+        prev = e.time_s;
+        switch (e.kind) {
+        case FaultKind::ChipLoss:
+        case FaultKind::ChipRecovery: {
+            if (e.chip < 0 || e.chip >= cluster_size)
+                tf_fatal("fault event chip ", e.chip,
+                         " out of range for a ", cluster_size,
+                         "-chip cluster");
+            const auto i = static_cast<std::size_t>(e.chip);
+            if (e.kind == FaultKind::ChipLoss && !up[i])
+                tf_fatal("chip ", e.chip,
+                         " lost twice without a recovery (",
+                         e.toString(), ")");
+            if (e.kind == FaultKind::ChipRecovery && up[i])
+                tf_fatal("chip ", e.chip,
+                         " recovered while up (", e.toString(),
+                         ")");
+            up[i] = e.kind == FaultKind::ChipRecovery;
+            break;
+        }
+        case FaultKind::LinkDegrade:
+            if (!(e.factor > 0) || e.factor > 1)
+                tf_fatal("link-degrade factor must be in (0, 1], "
+                         "got ",
+                         e.factor);
+            break;
+        }
+    }
+}
+
+std::string
+FaultSchedule::toString() const
+{
+    std::ostringstream os;
+    os << events.size() << " events:";
+    for (const FaultEvent &e : events)
+        os << " " << e.toString();
+    return os.str();
+}
+
+void
+FaultScheduleOptions::validate() const
+{
+    if (incidents < 0)
+        tf_fatal("incidents must be non-negative, got ", incidents);
+    if (!(horizon_s > 0))
+        tf_fatal("horizon_s must be positive, got ", horizon_s);
+    if (!(mean_outage_s > 0))
+        tf_fatal("mean_outage_s must be positive, got ",
+                 mean_outage_s);
+    if (link_degrade_prob < 0 || link_degrade_prob > 1)
+        tf_fatal("link_degrade_prob must be in [0, 1], got ",
+                 link_degrade_prob);
+    if (!(min_factor > 0) || min_factor > 1)
+        tf_fatal("min_factor must be in (0, 1], got ", min_factor);
+}
+
+FaultSchedule
+generateFaultSchedule(const FaultScheduleOptions &options,
+                      int cluster_size, std::uint64_t seed)
+{
+    options.validate();
+    if (cluster_size <= 0)
+        tf_fatal("fault schedule needs a positive cluster size, "
+                 "got ",
+                 cluster_size);
+
+    Rng rng(seed);
+    FaultSchedule schedule;
+    // Recoveries scheduled by earlier losses, flushed in time
+    // order before each later incident.
+    std::vector<FaultEvent> due;
+    std::vector<bool> up(static_cast<std::size_t>(cluster_size),
+                         true);
+    const auto flushDue = [&](double until) {
+        std::sort(due.begin(), due.end(),
+                  [](const FaultEvent &a, const FaultEvent &b) {
+                      return a.time_s < b.time_s;
+                  });
+        std::size_t used = 0;
+        for (; used < due.size() && due[used].time_s <= until;
+             ++used) {
+            up[static_cast<std::size_t>(due[used].chip)] = true;
+            schedule.events.push_back(due[used]);
+        }
+        due.erase(due.begin(),
+                  due.begin() + static_cast<std::ptrdiff_t>(used));
+    };
+
+    double t = 0;
+    for (int i = 0; i < options.incidents; ++i) {
+        // Jittered mean gap keeps incidents spread over the
+        // horizon without the lockstep of a fixed period.
+        t += options.horizon_s
+            / static_cast<double>(options.incidents)
+            * (0.5 + rng.nextDouble());
+        flushDue(t);
+
+        std::vector<int> candidates;
+        for (int c = 0; c < cluster_size; ++c)
+            if (up[static_cast<std::size_t>(c)])
+                candidates.push_back(c);
+        // Never down the last healthy chip; fall back to a link
+        // event so the incident count is honored.
+        const bool lose = candidates.size() > 1
+            && rng.nextDouble() >= options.link_degrade_prob;
+        if (lose) {
+            const int chip = candidates[rng.nextBelow(
+                candidates.size())];
+            up[static_cast<std::size_t>(chip)] = false;
+            schedule.events.push_back(
+                { t, FaultKind::ChipLoss, chip, 1.0 });
+            FaultEvent recovery;
+            recovery.time_s = t
+                + options.mean_outage_s
+                    * (0.5 + rng.nextDouble());
+            recovery.kind = FaultKind::ChipRecovery;
+            recovery.chip = chip;
+            due.push_back(recovery);
+        } else {
+            const double factor = rng.nextDouble(
+                options.min_factor, 1.0);
+            schedule.events.push_back(
+                { t, FaultKind::LinkDegrade, -1, factor });
+        }
+    }
+    flushDue(std::numeric_limits<double>::infinity());
+    schedule.validate(cluster_size);
+    return schedule;
+}
+
+} // namespace transfusion::fault

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fault model for multi-chip serving: a schedule of
+ * chip-loss, chip-recovery and link-degradation events at virtual
+ * timestamps.  A schedule is plain data — tests inject hand-written
+ * ones, benches generate them from a seed — and the fault-tolerant
+ * server consumes events strictly in time order, so a (workload,
+ * schedule, seed) triple reproduces the same degraded trace
+ * bit-for-bit on any machine and thread count.
+ *
+ * Events describe the *world*, not the reaction: what the serving
+ * stack does about a loss (drain, replan, retry) lives in
+ * fault_server.hh.
+ */
+
+#ifndef TRANSFUSION_FAULT_FAULT_SCHEDULE_HH
+#define TRANSFUSION_FAULT_FAULT_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace transfusion::fault
+{
+
+/** What happens to the cluster at one event. */
+enum class FaultKind
+{
+    ChipLoss,     ///< a chip drops out of the cluster
+    ChipRecovery, ///< a previously lost chip rejoins
+    LinkDegrade,  ///< fabric bandwidth drops to `factor` x pristine
+};
+
+/** Printable name ("chip-loss" / "chip-recovery" / "link-degrade"). */
+std::string toString(FaultKind k);
+
+/** One point event in virtual time. */
+struct FaultEvent
+{
+    double time_s = 0; ///< virtual timestamp the event lands at
+    FaultKind kind = FaultKind::ChipLoss;
+    /** Chip index for loss/recovery; ignored for link events. */
+    int chip = -1;
+    /**
+     * Link-degrade bandwidth scale in (0, 1], *absolute* against
+     * the pristine fabric (not cumulative), so factor = 1 restores
+     * the link.  Ignored for chip events.
+     */
+    double factor = 1.0;
+
+    std::string toString() const;
+};
+
+/** An ordered fault trace against one cluster. */
+struct FaultSchedule
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Fatal unless the schedule is well-formed for a cluster of
+     * `cluster_size` chips: times non-negative and non-decreasing,
+     * chip indices in range, a loss only hits an up chip, a
+     * recovery only revives a down one, degrade factors in (0, 1].
+     * Losing every chip is legal (a total outage the server must
+     * survive).
+     */
+    void validate(int cluster_size) const;
+
+    /** "k events: loss@t ..." one-liner for banners and logs. */
+    std::string toString() const;
+};
+
+/** Knobs of one generated fault trace. */
+struct FaultScheduleOptions
+{
+    /** Fault *incidents* to generate (losses + link degrades);
+     *  each loss also schedules its recovery event. */
+    int incidents = 1;
+    /** Virtual window the incidents are spread over. */
+    double horizon_s = 60.0;
+    /** Mean chip outage before the paired recovery. */
+    double mean_outage_s = 5.0;
+    /** Probability an incident degrades the link instead of
+     *  losing a chip. */
+    double link_degrade_prob = 0.25;
+    /** Lower bound of generated degrade factors. */
+    double min_factor = 0.25;
+
+    /** Fatal unless counts/durations/probabilities make sense. */
+    void validate() const;
+};
+
+/**
+ * Generate a valid schedule for `cluster_size` chips: incident
+ * times spread over the horizon with jittered gaps, each chip loss
+ * paired with a recovery `~mean_outage_s` later, link degrades
+ * drawn in [min_factor, 1).  The generator never downs the last
+ * healthy chip (hand-write a schedule to exercise total outages).
+ * Pure function of (options, cluster_size, seed).
+ */
+FaultSchedule generateFaultSchedule(
+    const FaultScheduleOptions &options, int cluster_size,
+    std::uint64_t seed);
+
+} // namespace transfusion::fault
+
+#endif // TRANSFUSION_FAULT_FAULT_SCHEDULE_HH

@@ -68,6 +68,28 @@ shardedKvCapacityWords(const ClusterConfig &cluster,
     return total;
 }
 
+bool
+shardedWeightsFit(const ClusterConfig &cluster,
+                  const model::TransformerConfig &cfg,
+                  double dram_capacity_bytes)
+{
+    cluster.validate();
+    cfg.validate();
+    const double shard_words = serve::weightWords(cfg)
+                               / static_cast<double>(cluster.size());
+    for (const arch::ArchConfig &chip : cluster.chips) {
+        const double cap =
+            dram_capacity_bytes > 0
+                ? dram_capacity_bytes
+                : serve::defaultDramCapacityBytes(chip);
+        const double shard_bytes =
+            shard_words * static_cast<double>(chip.element_bytes);
+        if (shard_bytes >= cap)
+            return false;
+    }
+    return true;
+}
+
 serve::ServeCostModel
 shardedServeCostModel(const ClusterConfig &cluster,
                       const model::TransformerConfig &cfg,

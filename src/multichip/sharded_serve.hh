@@ -35,6 +35,17 @@ double shardedKvCapacityWords(const ClusterConfig &cluster,
                               double dram_capacity_bytes = 0);
 
 /**
+ * Whether every chip of `cluster` can hold a 1/size weight shard of
+ * `cfg` with room left over for KV cache.  The non-fatal precheck
+ * for shardedKvCapacityWords: the fault layer asks this about a
+ * shrunken cluster before replanning onto it, and degrades to an
+ * outage instead of aborting when the answer is no.
+ */
+bool shardedWeightsFit(const ClusterConfig &cluster,
+                       const model::TransformerConfig &cfg,
+                       double dram_capacity_bytes = 0);
+
+/**
  * Calibrated cost tables for one sharded replica of `cfg` (a
  * decoder-only LLM) on `cluster`.  Grids match the single-chip
  * ServeCostModel's for equal options, decode steps and prefills

@@ -113,6 +113,13 @@ currentRegistry()
     return t_current != nullptr ? *t_current : Registry::global();
 }
 
+std::string
+metricKey(const std::string &prefix, std::int64_t index,
+          const std::string &suffix)
+{
+    return prefix + "." + std::to_string(index) + "." + suffix;
+}
+
 ScopedRegistry::ScopedRegistry(Registry &target)
     : previous_(t_current)
 {

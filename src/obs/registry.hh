@@ -99,6 +99,14 @@ class Registry
 Registry &currentRegistry();
 
 /**
+ * "prefix.index.suffix" metric key for per-instance series (e.g.
+ * "fault/window.3.tokens").  One spelling everywhere so RunReport
+ * diffs line up across producers and goldens.
+ */
+std::string metricKey(const std::string &prefix, std::int64_t index,
+                      const std::string &suffix);
+
+/**
  * RAII redirection of this thread's currentRegistry().  Thread-pool
  * drivers wrap each task in a scope over a task-local registry so
  * per-task metrics can merge deterministically in input order.

@@ -42,7 +42,10 @@ geometricGrid(std::int64_t lo, std::int64_t hi, int points)
 
 /**
  * Piecewise-linear interpolation; x outside [xs.front, xs.back]
- * extrapolates on the boundary segment, floored at zero.
+ * clamps to the endpoint value.  Linear extrapolation on the
+ * boundary segment used to run through zero for a steep-enough
+ * negative boundary slope, pricing out-of-grid batches at
+ * 0 s/step — the endpoint is the honest bound the grid supports.
  */
 double
 interp(const std::vector<std::int64_t> &xs,
@@ -50,14 +53,17 @@ interp(const std::vector<std::int64_t> &xs,
 {
     if (xs.size() == 1)
         return ys[0];
+    if (x <= static_cast<double>(xs.front()))
+        return ys.front();
+    if (x >= static_cast<double>(xs.back()))
+        return ys.back();
     std::size_t hi = 1;
     while (hi + 1 < xs.size() && x > static_cast<double>(xs[hi]))
         ++hi;
     const auto x0 = static_cast<double>(xs[hi - 1]);
     const auto x1 = static_cast<double>(xs[hi]);
     const double frac = (x - x0) / (x1 - x0);
-    const double v = ys[hi - 1] + frac * (ys[hi] - ys[hi - 1]);
-    return std::max(v, 0.0);
+    return ys[hi - 1] + frac * (ys[hi] - ys[hi - 1]);
 }
 
 } // namespace

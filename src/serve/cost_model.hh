@@ -98,9 +98,10 @@ class ServeCostModel
      * Seconds of one decode iteration: `batch` co-scheduled
      * requests each emit one token against a mean resident cache of
      * `mean_cache_len` positions.  Bilinear interpolation on the
-     * calibrated grid; batch clamps to [1, max_batch], cache length
-     * extrapolates linearly on the boundary segments (the cost is
-     * affine there).
+     * calibrated grid; batch and cache length clamp to the grid
+     * endpoints (boundary-segment extrapolation could run a steep
+     * negative slope through zero and price off-grid steps for
+     * free).
      */
     double decodeStepSeconds(std::int64_t batch,
                              double mean_cache_len) const;
@@ -108,7 +109,8 @@ class ServeCostModel
     /**
      * Seconds to prefill one request's prompt (causal
      * self-attention, batch 1).  Piecewise-linear in the prompt
-     * length over the calibrated grid.
+     * length over the calibrated grid, clamped at the grid
+     * endpoints.
      */
     double prefillSeconds(std::int64_t prompt_len) const;
 

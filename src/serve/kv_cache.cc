@@ -75,6 +75,19 @@ KvCacheTracker::tryReserve(double words)
 }
 
 void
+KvCacheTracker::setCapacity(double capacity_words)
+{
+    if (capacity_words <= 0)
+        tf_fatal("KV capacity must be positive, got ",
+                 capacity_words);
+    if (reserved_ > capacity_words)
+        tf_fatal("cannot shrink KV capacity to ", capacity_words,
+                 " words below the ", reserved_,
+                 " currently reserved");
+    capacity_ = capacity_words;
+}
+
+void
 KvCacheTracker::release(double words)
 {
     if (words < 0 || words > reserved_ + 1e-6)

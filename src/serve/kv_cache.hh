@@ -81,6 +81,14 @@ class KvCacheTracker
     /** Return `words` previously reserved. */
     void release(double words);
 
+    /**
+     * Re-point the ledger at a new capacity, keeping current
+     * reservations and the peak watermark (a cluster replan changes
+     * the pooled budget, not the history).  Fatal if reservations
+     * exceed the new capacity — callers must drain or evict first.
+     */
+    void setCapacity(double capacity_words);
+
   private:
     double capacity_ = 0;
     double reserved_ = 0;

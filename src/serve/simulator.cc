@@ -6,14 +6,46 @@
 #include "simulator.hh"
 
 #include <algorithm>
-#include <deque>
+#include <limits>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "common/math_utils.hh"
+#include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "obs/obs.hh"
 
 namespace transfusion::serve
 {
+
+namespace
+{
+
+constexpr double kNoHorizon =
+    std::numeric_limits<double>::infinity();
+
+} // namespace
+
+std::string
+ServeMetrics::summary() const
+{
+    // Empty distributions (a fully shed trace, or a degraded-mode
+    // window that completed nothing) render as "-" rather than
+    // calling Histogram::percentile(), which is fatal on empty.
+    const auto p = [](const Histogram &h, double q) {
+        return h.empty() ? std::string("-")
+                         : formatSeconds(h.percentileOr(q, 0.0));
+    };
+    std::ostringstream os;
+    os << "offered=" << offered << ", completed=" << completed
+       << ", rejected=" << rejected << ", tok/s="
+       << (makespan_s > 0 ? Table::cell(tokens_per_second, 1)
+                          : std::string("-"))
+       << ", ttft_p50=" << p(ttft_s, 50) << ", lat_p99="
+       << p(latency_s, 99) << ", wait_p99="
+       << p(queue_wait_s, 99);
+    return os.str();
+}
 
 ServeSimulator::ServeSimulator(arch::ArchConfig arch,
                                model::TransformerConfig cfg,
@@ -58,23 +90,9 @@ ServeSimulator::ServeSimulator(ServeCostModel cost,
                  capacity_words_);
 }
 
-ServeMetrics
-ServeSimulator::run(const std::vector<Request> &requests) const
+ServeSession
+ServeSimulator::startSession(std::vector<Request> requests) const
 {
-    /** One admitted, not-yet-finished request. */
-    struct Running
-    {
-        Request req;
-        double first_token_s = 0;
-        std::int64_t generated = 0;
-    };
-
-    TF_SPAN("serve.run");
-    TF_TIMER("serve/run");
-    ServeMetrics m;
-    m.offered = static_cast<std::int64_t>(requests.size());
-    m.kv_capacity_words = capacity_words_;
-
     for (std::size_t i = 0; i < requests.size(); ++i) {
         const Request &r = requests[i];
         if (r.prompt_len <= 0 || r.output_len <= 0)
@@ -82,42 +100,57 @@ ServeSimulator::run(const std::vector<Request> &requests) const
         if (i > 0 && r.arrival_s < requests[i - 1].arrival_s)
             tf_fatal("requests must be sorted by arrival time");
     }
+    ServeSession s(capacity_words_);
+    s.pending = std::move(requests);
+    s.metrics.offered =
+        static_cast<std::int64_t>(s.pending.size());
+    s.metrics.kv_capacity_words = capacity_words_;
+    return s;
+}
 
-    KvCacheTracker cache(capacity_words_);
-    std::deque<Request> queue;
-    std::vector<Running> running;
-    std::size_t next = 0;
-    double t = 0;
+void
+ServeSimulator::advance(ServeSession &s, double horizon_s) const
+{
+    ServeMetrics &m = s.metrics;
 
     const auto reservation = [&](const Request &r) {
         return words_per_token_
             * static_cast<double>(r.peakContext());
     };
-    const auto finish = [&](const Running &r, double now) {
+    const auto finish = [&](const InFlightRequest &r, double now) {
         m.completed += 1;
         m.latency_s.add(now - r.req.arrival_s);
         if (r.req.output_len > 1)
             m.tpot_s.add((now - r.first_token_s)
                          / static_cast<double>(r.req.output_len
                                                - 1));
-        cache.release(reservation(r.req));
+        s.cache.release(reservation(r.req));
     };
 
-    while (m.completed + m.rejected < m.offered) {
+    while (s.workLeft()) {
+        // Horizon check at the round boundary only: the caller's
+        // world change (a fault, a replan) lands between rounds,
+        // never mid-round.  With horizon_s = +inf this never fires
+        // and the loop is the original run() loop.
+        if (s.now >= horizon_s)
+            return;
+
         // Pull every arrival up to the current clock into the
         // bounded queue; overflow is shed immediately.
-        while (next < requests.size()
-               && requests[next].arrival_s <= t) {
-            if (static_cast<std::int64_t>(queue.size())
+        while (s.next < s.pending.size()
+               && s.pending[s.next].arrival_s <= s.now) {
+            if (static_cast<std::int64_t>(s.queue.size())
                 >= options_.max_queue) {
                 m.rejected += 1;
+                s.shed_log.push_back(
+                    { s.pending[s.next], s.now });
             } else {
-                queue.push_back(requests[next]);
+                s.queue.push_back(s.pending[s.next]);
                 m.peak_queue = std::max(
                     m.peak_queue,
-                    static_cast<std::int64_t>(queue.size()));
+                    static_cast<std::int64_t>(s.queue.size()));
             }
-            ++next;
+            ++s.next;
         }
 
         // FIFO admission: the head joins as soon as a decode lane
@@ -126,25 +159,26 @@ ServeSimulator::run(const std::vector<Request> &requests) const
         // a head that merely does not fit *now* blocks the queue
         // (no overtaking, so admission order is deterministic and
         // starvation-free).
-        std::vector<Running> admitted;
-        while (!queue.empty()
-               && static_cast<std::int64_t>(running.size()
+        std::vector<InFlightRequest> admitted;
+        while (!s.queue.empty()
+               && static_cast<std::int64_t>(s.running.size()
                                             + admitted.size())
                    < options_.max_batch) {
-            const Request &head = queue.front();
+            const Request &head = s.queue.front();
             const double words = reservation(head);
-            if (!cache.fitsAlone(words)) {
+            if (!s.cache.fitsAlone(words)) {
                 m.rejected += 1;
-                queue.pop_front();
+                s.shed_log.push_back({ head, s.now });
+                s.queue.pop_front();
                 continue;
             }
-            if (!cache.tryReserve(words))
+            if (!s.cache.tryReserve(words))
                 break;
-            m.queue_wait_s.add(t - head.arrival_s);
-            Running r;
+            m.queue_wait_s.add(s.now - head.arrival_s);
+            InFlightRequest r;
             r.req = head;
             admitted.push_back(r);
-            queue.pop_front();
+            s.queue.pop_front();
         }
 
         if (!admitted.empty()) {
@@ -153,71 +187,125 @@ ServeSimulator::run(const std::vector<Request> &requests) const
             // pricing is the conservative model); each produces its
             // request's first token.
             double dt = 0;
-            for (const Running &r : admitted)
+            for (const InFlightRequest &r : admitted)
                 dt += cost_.prefillSeconds(r.req.prompt_len);
-            t += dt;
+            s.now += dt;
             m.prefill_rounds += 1;
-            for (Running &r : admitted) {
-                r.first_token_s = t;
+            for (InFlightRequest &r : admitted) {
+                r.first_token_s = s.now;
                 r.generated = 1;
                 m.generated_tokens += 1;
-                m.ttft_s.add(t - r.req.arrival_s);
+                m.ttft_s.add(s.now - r.req.arrival_s);
                 if (r.generated >= r.req.output_len)
-                    finish(r, t);
+                    finish(r, s.now);
                 else
-                    running.push_back(r);
+                    s.running.push_back(r);
             }
             m.peak_running = std::max(
                 m.peak_running,
-                static_cast<std::int64_t>(running.size()));
+                static_cast<std::int64_t>(s.running.size()));
             continue;
         }
 
-        if (!running.empty()) {
+        if (!s.running.empty()) {
             // Decode round: every running request emits one token;
             // the step is priced at the batch's mean cache length
             // (exact for the affine-in-cache-length cost model).
             double ctx = 0;
-            for (const Running &r : running)
+            for (const InFlightRequest &r : s.running)
                 ctx += static_cast<double>(r.req.prompt_len
                                            + r.generated);
             const auto batch =
-                static_cast<std::int64_t>(running.size());
-            t += cost_.decodeStepSeconds(
+                static_cast<std::int64_t>(s.running.size());
+            s.now += cost_.decodeStepSeconds(
                 batch, ctx / static_cast<double>(batch));
             m.decode_rounds += 1;
-            std::vector<Running> still;
-            still.reserve(running.size());
-            for (Running &r : running) {
+            std::vector<InFlightRequest> still;
+            still.reserve(s.running.size());
+            for (InFlightRequest &r : s.running) {
                 r.generated += 1;
                 m.generated_tokens += 1;
                 if (r.generated >= r.req.output_len)
-                    finish(r, t);
+                    finish(r, s.now);
                 else
                     still.push_back(r);
             }
-            running = std::move(still);
+            s.running = std::move(still);
             continue;
         }
 
-        // Idle: jump the clock to the next arrival.
-        if (next < requests.size()) {
-            t = std::max(t, requests[next].arrival_s);
+        // Idle: jump the clock to the next arrival (capped at the
+        // horizon so a fault epoch never swallows arrivals that
+        // belong to the next one).
+        if (s.next < s.pending.size()) {
+            const double arrival = s.pending[s.next].arrival_s;
+            if (arrival >= horizon_s) {
+                s.now = std::max(s.now, horizon_s);
+                return;
+            }
+            s.now = std::max(s.now, arrival);
             continue;
         }
-        // Nothing admitted, running, or arriving.  If the ledger
-        // balances this was the final shed and the loop condition
-        // ends us; anything else would spin forever, so fail loud.
-        if (m.completed + m.rejected >= m.offered)
-            break;
-        tf_fatal("serve loop wedged with ", queue.size(),
+        // Nothing admitted, running, or arriving.  If the whole
+        // round's progress was rejections the queue is empty and
+        // the loop condition ends the replay; a still-populated
+        // queue would spin forever, so fail loud (defensive:
+        // admission always makes progress when nothing is running).
+        if (s.queue.empty())
+            continue;
+        tf_fatal("serve loop wedged with ", s.queue.size(),
                  " queued requests (completed ", m.completed,
                  ", rejected ", m.rejected, " of ", m.offered,
                  ")");
     }
+}
 
-    m.peak_reserved_words = cache.peakReservedWords();
-    m.makespan_s = t;
+std::vector<InFlightRequest>
+ServeSimulator::drainRunning(ServeSession &s) const
+{
+    for (const InFlightRequest &r : s.running)
+        s.cache.release(words_per_token_
+                        * static_cast<double>(
+                            r.req.peakContext()));
+    std::vector<InFlightRequest> drained = std::move(s.running);
+    s.running.clear();
+    return drained;
+}
+
+void
+ServeSimulator::injectRequests(ServeSession &s,
+                               std::vector<Request> arrivals) const
+{
+    if (arrivals.empty())
+        return;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const Request &r = arrivals[i];
+        if (r.prompt_len <= 0 || r.output_len <= 0)
+            tf_fatal("bad injected request: ", r.toString());
+        if (i > 0 && r.arrival_s < arrivals[i - 1].arrival_s)
+            tf_fatal("injected requests must be sorted by "
+                     "arrival time");
+    }
+    const auto mid = static_cast<std::ptrdiff_t>(s.pending.size());
+    s.pending.insert(s.pending.end(), arrivals.begin(),
+                     arrivals.end());
+    // Keep the unconsumed tail sorted; the consumed prefix
+    // [0, next) is history and never re-read.
+    std::inplace_merge(
+        s.pending.begin()
+            + static_cast<std::ptrdiff_t>(s.next),
+        s.pending.begin() + mid, s.pending.end(),
+        [](const Request &a, const Request &b) {
+            return a.arrival_s < b.arrival_s;
+        });
+}
+
+ServeMetrics
+ServeSimulator::finishSession(ServeSession &s) const
+{
+    ServeMetrics &m = s.metrics;
+    m.peak_reserved_words = s.cache.peakReservedWords();
+    m.makespan_s = s.now;
     if (m.makespan_s > 0)
         m.tokens_per_second =
             static_cast<double>(m.generated_tokens)
@@ -244,7 +332,17 @@ ServeSimulator::run(const std::vector<Request> &requests) const
                  static_cast<double>(m.peak_queue));
     TF_GAUGE_MAX("serve/kv_reserved_words", m.peak_reserved_words);
     TF_GAUGE_ADD("serve/makespan_s", m.makespan_s);
-    return m;
+    return std::move(m);
+}
+
+ServeMetrics
+ServeSimulator::run(const std::vector<Request> &requests) const
+{
+    TF_SPAN("serve.run");
+    TF_TIMER("serve/run");
+    ServeSession session = startSession(requests);
+    advance(session, kNoHorizon);
+    return finishSession(session);
 }
 
 std::vector<ServeMetrics>

@@ -12,12 +12,23 @@
  * reservation are available, and leave the moment their last token
  * is generated.  See DESIGN.md section 10 for the full event-loop,
  * admission, and determinism contract.
+ *
+ * The loop is exposed in two forms.  `run()` replays one trace to
+ * completion — the original, pure API.  The session form
+ * (`startSession` / `advance` / `finishSession`) runs the *same*
+ * loop resumably against an explicit `ServeSession`, so a caller
+ * can stop at a virtual-time horizon, mutate the world (the fault
+ * layer drains in-flight work, swaps cost tables after a replan,
+ * injects retry arrivals) and resume.  `run()` is implemented as a
+ * single uninterrupted session, so both forms are bit-identical.
  */
 
 #ifndef TRANSFUSION_SERVE_SIMULATOR_HH
 #define TRANSFUSION_SERVE_SIMULATOR_HH
 
 #include <cstdint>
+#include <deque>
+#include <string>
 #include <vector>
 
 #include "common/histogram.hh"
@@ -67,6 +78,74 @@ struct ServeMetrics
     Histogram tpot_s;       ///< mean inter-token time per request
     Histogram latency_s;    ///< arrival -> last token
     Histogram queue_wait_s; ///< arrival -> admission
+
+    /**
+     * One-line human summary of the ledger and the latency
+     * distributions.  Zero-completion runs (every request shed)
+     * render empty distributions and the undefined throughput as
+     * explicit "-" fields instead of aborting — the regression the
+     * fault layer's all-shed degraded windows exposed.
+     */
+    std::string summary() const;
+};
+
+/** One admitted, not-yet-finished request. */
+struct InFlightRequest
+{
+    Request req;
+    double first_token_s = 0;     ///< clock of its first token
+    std::int64_t generated = 0;   ///< tokens emitted so far
+};
+
+/** One load-shed request, with the clock when it was shed. */
+struct ShedRecord
+{
+    Request req;
+    double shed_s = 0;
+};
+
+/**
+ * Resumable state of one serving replay.  Created by
+ * ServeSimulator::startSession and advanced by
+ * ServeSimulator::advance; every field is plain data so a fault
+ * layer can drain/inject between epochs.  Integer bookkeeping
+ * only — mutating it never touches the cost tables, so moving a
+ * session between simulators (after a degraded-mode replan) is
+ * well-defined.
+ */
+struct ServeSession
+{
+    explicit ServeSession(double capacity_words)
+        : cache(capacity_words)
+    {}
+
+    /** Full arrival-sorted trace; [0, next) already pulled. */
+    std::vector<Request> pending;
+    std::size_t next = 0;
+    /** Arrived, not yet admitted (FIFO, bounded by max_queue). */
+    std::deque<Request> queue;
+    /** Admitted requests mid-generation. */
+    std::vector<InFlightRequest> running;
+    /** KV reservation ledger (capacity survives replans). */
+    KvCacheTracker cache;
+    /** Virtual clock in seconds. */
+    double now = 0;
+    /** Partial metrics, finalized by finishSession. */
+    ServeMetrics metrics;
+    /**
+     * Every request shed since the log was last consumed (queue
+     * overflow and can-never-fit rejections).  Purely an audit
+     * trail: run() ignores it, the fault layer drains it to decide
+     * which sheds to retry.
+     */
+    std::vector<ShedRecord> shed_log;
+
+    /** Whether any arrival, queued, or running work remains. */
+    bool workLeft() const
+    {
+        return next < pending.size() || !queue.empty()
+            || !running.empty();
+    }
 };
 
 /**
@@ -106,6 +185,52 @@ class ServeSimulator
 
     /** Replay one trace (requests sorted by arrival time). */
     ServeMetrics run(const std::vector<Request> &requests) const;
+
+    /**
+     * Validate `requests` (sorted, positive lengths) and open a
+     * session over them with this simulator's KV capacity.
+     */
+    ServeSession
+    startSession(std::vector<Request> requests) const;
+
+    /**
+     * Run the event loop until no work is left or the clock
+     * reaches `horizon_s` (checked at round boundaries: a round in
+     * flight when the horizon passes completes first, so a fault
+     * at time T takes effect at the first boundary >= T).  With
+     * `horizon_s` = +infinity this is exactly the run() loop.
+     */
+    void advance(ServeSession &session, double horizon_s) const;
+
+    /**
+     * Remove every in-flight request from `session`, releasing its
+     * KV reservation, and return the drained records (admission
+     * order).  The fault layer calls this on chip loss: the
+     * requests become retryable instead of silently dropped.
+     * Tokens they already generated stay counted in
+     * `generated_tokens`; the caller tracks them as wasted.
+     */
+    std::vector<InFlightRequest>
+    drainRunning(ServeSession &session) const;
+
+    /**
+     * Merge `arrivals` (sorted by arrival time, e.g. backoff
+     * retries) into the not-yet-pulled tail of the session's
+     * pending trace.  Arrivals in the past are legal: they are
+     * pulled at the next round boundary.  Does not change
+     * `metrics.offered` — a retry is a re-offer of an already
+     * counted request.
+     */
+    void injectRequests(ServeSession &session,
+                        std::vector<Request> arrivals) const;
+
+    /**
+     * Finalize and return the session's metrics (peak KV words,
+     * makespan, throughput) and record the replay-attribution
+     * counters into the current obs registry.  Call exactly once,
+     * after the last advance.
+     */
+    ServeMetrics finishSession(ServeSession &session) const;
 
     const ServeCostModel &costModel() const { return cost_; }
     const ServeOptions &options() const { return options_; }

@@ -95,6 +95,36 @@ TEST(BenchArgsDeathTest, AbsurdWidthsAreRejected)
                 "--chips needs a positive integer");
 }
 
+TEST(BenchArgsDeathTest, Int64OverflowIsRejectedNotWrapped)
+{
+    // Past INT64_MAX strtoll saturates and sets ERANGE; the parser
+    // must report the original text, not a wrapped/saturated value.
+    EXPECT_EXIT(
+        parse({ "bench", "--chips", "99999999999999999999" }),
+        testing::ExitedWithCode(2),
+        "--chips needs a positive integer, got "
+        "'99999999999999999999'");
+    EXPECT_EXIT(parse({ "bench", "--tp=-99999999999999999999" }),
+                testing::ExitedWithCode(2),
+                "--tp needs a positive integer");
+}
+
+TEST(BenchArgs, FaultsFlagAcceptsZero)
+{
+    // --faults is a count of incidents, and zero (fault-free) is a
+    // meaningful baseline -- the only bench flag with min 0.
+    EXPECT_EQ(parse({ "bench" }).faults, 1);
+    EXPECT_EQ(parse({ "bench", "--faults", "0" }).faults, 0);
+    EXPECT_EQ(parse({ "bench", "--faults=3" }).faults, 3);
+}
+
+TEST(BenchArgsDeathTest, NegativeFaultsExitsWithUsageError)
+{
+    EXPECT_EXIT(parse({ "bench", "--faults", "-1" }),
+                testing::ExitedWithCode(2),
+                "--faults needs a non-negative integer");
+}
+
 TEST(BenchArgsDeathTest, UnknownFlagsStillExit)
 {
     EXPECT_EXIT(parse({ "bench", "--chipz", "4" }),

@@ -87,6 +87,22 @@ TEST(Histogram, MergeIsLossless)
     EXPECT_NEAR(a.sum(), both.sum(), 1e-12 * both.sum());
 }
 
+TEST(Histogram, PercentileOrFallsBackOnlyWhenEmpty)
+{
+    Histogram h;
+    // Empty: never throws, always the caller's fallback.
+    EXPECT_DOUBLE_EQ(h.percentileOr(50, 0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentileOr(99, -1), -1.0);
+    h.add(4.0);
+    h.add(8.0);
+    // Non-empty: identical to percentile(), fallback ignored.
+    EXPECT_DOUBLE_EQ(h.percentileOr(0, -1), h.percentile(0));
+    EXPECT_DOUBLE_EQ(h.percentileOr(50, -1), h.percentile(50));
+    EXPECT_DOUBLE_EQ(h.percentileOr(100, -1), h.percentile(100));
+    // Out-of-range p is still a bug, not a fallback case.
+    EXPECT_THROW(h.percentileOr(101, 0), FatalError);
+}
+
 TEST(Histogram, SummaryMentionsCountAndTails)
 {
     Histogram h;

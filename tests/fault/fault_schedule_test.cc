@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the fault schedule: validation catches malformed
+ * traces, generation is seeded-deterministic and always valid, and
+ * the retry-backoff arithmetic is exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fault/fault_schedule.hh"
+#include "fault/fault_server.hh"
+
+namespace transfusion::fault
+{
+namespace
+{
+
+TEST(FaultSchedule, ValidateAcceptsAWellFormedTrace)
+{
+    FaultSchedule s;
+    s.events.push_back({ 1.0, FaultKind::ChipLoss, 0 });
+    s.events.push_back({ 2.0, FaultKind::LinkDegrade, -1, 0.5 });
+    s.events.push_back({ 3.0, FaultKind::ChipRecovery, 0 });
+    s.events.push_back({ 3.0, FaultKind::ChipLoss, 1 });
+    EXPECT_NO_THROW(s.validate(2));
+}
+
+TEST(FaultSchedule, ValidateRejectsMalformedTraces)
+{
+    {
+        FaultSchedule s; // out-of-order times
+        s.events.push_back({ 2.0, FaultKind::ChipLoss, 0 });
+        s.events.push_back({ 1.0, FaultKind::ChipRecovery, 0 });
+        EXPECT_THROW(s.validate(2), FatalError);
+    }
+    {
+        FaultSchedule s; // chip out of range
+        s.events.push_back({ 1.0, FaultKind::ChipLoss, 5 });
+        EXPECT_THROW(s.validate(2), FatalError);
+    }
+    {
+        FaultSchedule s; // double loss without recovery
+        s.events.push_back({ 1.0, FaultKind::ChipLoss, 0 });
+        s.events.push_back({ 2.0, FaultKind::ChipLoss, 0 });
+        EXPECT_THROW(s.validate(2), FatalError);
+    }
+    {
+        FaultSchedule s; // recovery of an up chip
+        s.events.push_back({ 1.0, FaultKind::ChipRecovery, 0 });
+        EXPECT_THROW(s.validate(2), FatalError);
+    }
+    {
+        FaultSchedule s; // degrade factor out of (0, 1]
+        s.events.push_back(
+            { 1.0, FaultKind::LinkDegrade, -1, 1.5 });
+        EXPECT_THROW(s.validate(2), FatalError);
+    }
+    {
+        FaultSchedule s; // negative time
+        s.events.push_back({ -1.0, FaultKind::ChipLoss, 0 });
+        EXPECT_THROW(s.validate(2), FatalError);
+    }
+}
+
+TEST(FaultSchedule, TotalLossIsLegal)
+{
+    FaultSchedule s;
+    s.events.push_back({ 1.0, FaultKind::ChipLoss, 0 });
+    s.events.push_back({ 2.0, FaultKind::ChipLoss, 1 });
+    EXPECT_NO_THROW(s.validate(2));
+}
+
+TEST(FaultSchedule, GenerationIsSeededDeterministic)
+{
+    FaultScheduleOptions o;
+    o.incidents = 6;
+    const FaultSchedule a = generateFaultSchedule(o, 4, 11);
+    const FaultSchedule b = generateFaultSchedule(o, 4, 11);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].time_s, b.events[i].time_s);
+        EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+        EXPECT_EQ(a.events[i].chip, b.events[i].chip);
+        EXPECT_EQ(a.events[i].factor, b.events[i].factor);
+    }
+    const FaultSchedule c = generateFaultSchedule(o, 4, 12);
+    EXPECT_NE(a.toString(), c.toString());
+}
+
+TEST(FaultSchedule, GenerationIsAlwaysValidAndPairsRecoveries)
+{
+    FaultScheduleOptions o;
+    o.incidents = 12;
+    o.link_degrade_prob = 0.3;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const FaultSchedule s = generateFaultSchedule(o, 3, seed);
+        EXPECT_NO_THROW(s.validate(3)) << "seed " << seed;
+        std::int64_t losses = 0;
+        std::int64_t recoveries = 0;
+        for (const FaultEvent &e : s.events) {
+            losses += e.kind == FaultKind::ChipLoss;
+            recoveries += e.kind == FaultKind::ChipRecovery;
+        }
+        EXPECT_EQ(losses, recoveries) << "seed " << seed;
+    }
+}
+
+TEST(FaultSchedule, GeneratorNeverDownsTheLastChip)
+{
+    FaultScheduleOptions o;
+    o.incidents = 10;
+    o.link_degrade_prob = 0.0; // ask for losses only
+    const FaultSchedule s = generateFaultSchedule(o, 1, 5);
+    for (const FaultEvent &e : s.events)
+        EXPECT_EQ(e.kind, FaultKind::LinkDegrade);
+}
+
+TEST(RetryPolicy, BackoffGrowsGeometricallyAndCaps)
+{
+    RetryPolicy p;
+    p.backoff_s = 0.5;
+    p.multiplier = 2.0;
+    p.cap_s = 3.0;
+    EXPECT_EQ(p.delaySeconds(1), 0.5);
+    EXPECT_EQ(p.delaySeconds(2), 1.0);
+    EXPECT_EQ(p.delaySeconds(3), 2.0);
+    EXPECT_EQ(p.delaySeconds(4), 3.0); // capped, not 4.0
+    EXPECT_EQ(p.delaySeconds(10), 3.0);
+}
+
+TEST(RetryPolicy, ValidateRejectsNonsense)
+{
+    RetryPolicy p;
+    p.backoff_s = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = {};
+    p.multiplier = 0.5;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = {};
+    p.cap_s = p.backoff_s / 2;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = {};
+    p.max_attempts = -1;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+} // namespace
+} // namespace transfusion::fault

@@ -66,6 +66,34 @@ TEST(ServeCostModel, MonotoneInCacheBatchAndPrompt)
     EXPECT_GT(cm.prefillSeconds(1), 0.0);
 }
 
+TEST(ServeCostModel, OutOfGridQueriesClampToEndpointValues)
+{
+    // Injected pricing with a steep boundary slope: linear
+    // extrapolation below the first cache grid point (64) crosses
+    // zero, which once priced short caches at a zero-floored
+    // 0 s/step.  The endpoint value is the honest bound.
+    ServeCostOptions o;
+    o.cache_samples = 3;
+    o.prefill_samples = 3;
+    const ServeCostModel cm(
+        schedule::StrategyKind::FuseMax, /*max_batch=*/1,
+        /*max_context=*/4096, /*max_prompt=*/4096, o,
+        [](std::int64_t, std::int64_t len) {
+            return 1e-6 * (static_cast<double>(len) - 60.0);
+        },
+        [](std::int64_t prompt) {
+            return 1e-6 * (static_cast<double>(prompt) - 60.0);
+        });
+    // Below the grid: the len=64 endpoint, never an extrapolated
+    // negative or zero price.
+    EXPECT_DOUBLE_EQ(cm.decodeStepSeconds(1, 1.0), 4e-6);
+    EXPECT_DOUBLE_EQ(cm.prefillSeconds(1), 4e-6);
+    EXPECT_GT(cm.decodeStepSeconds(1, 1.0), 0.0);
+    // Above the grid: the max_context endpoint.
+    EXPECT_DOUBLE_EQ(cm.decodeStepSeconds(1, 1e9),
+                     cm.decodeStepSeconds(1, 4096));
+}
+
 TEST(ServeCostModel, StrategiesPriceDifferently)
 {
     const auto arch = arch::edgeArch();

@@ -72,5 +72,31 @@ TEST(ServeKvCache, TrackerReservesReleasesAndPeaks)
     EXPECT_THROW(KvCacheTracker(0.0), FatalError);
 }
 
+TEST(ServeKvCache, SetCapacityResizesWithoutForgettingHistory)
+{
+    KvCacheTracker t(100.0);
+    EXPECT_TRUE(t.tryReserve(80.0));
+    t.release(80.0);
+
+    // Shrink (a cluster replan after chip loss): reservations are
+    // drained, so any positive budget >= reserved is legal, and the
+    // high-water mark survives the resize.
+    t.setCapacity(50.0);
+    EXPECT_DOUBLE_EQ(t.capacityWords(), 50.0);
+    EXPECT_DOUBLE_EQ(t.peakReservedWords(), 80.0);
+    EXPECT_FALSE(t.fitsAlone(50.5));
+    EXPECT_TRUE(t.tryReserve(50.0));
+    EXPECT_FALSE(t.tryReserve(0.5));
+
+    // Growing (recovery) keeps live reservations intact.
+    t.setCapacity(120.0);
+    EXPECT_DOUBLE_EQ(t.reservedWords(), 50.0);
+    EXPECT_TRUE(t.tryReserve(70.0));
+
+    // Shrinking below what is currently reserved is a logic error.
+    EXPECT_THROW(t.setCapacity(60.0), FatalError);
+    EXPECT_THROW(t.setCapacity(0.0), FatalError);
+}
+
 } // namespace
 } // namespace transfusion::serve

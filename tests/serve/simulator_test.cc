@@ -113,6 +113,20 @@ TEST(ServeSimulator, ImpossibleRequestsAreShed)
     EXPECT_EQ(m.completed, 0);
     EXPECT_EQ(m.rejected, wl.requests);
     EXPECT_EQ(m.generated_tokens, 0);
+
+    // A fully shed ledger must still render: its empty latency
+    // distributions once aborted on Histogram::percentile().
+    const std::string s = m.summary();
+    EXPECT_NE(s.find("completed=0"), std::string::npos);
+    EXPECT_NE(s.find("ttft_p50=-"), std::string::npos);
+    EXPECT_NE(s.find("lat_p99=-"), std::string::npos);
+
+    // An empty trace is the zero-makespan corner: tok/s has no
+    // denominator and must render as "-", not divide by zero.
+    const auto empty = sim.run({});
+    EXPECT_EQ(empty.offered, 0);
+    EXPECT_DOUBLE_EQ(empty.makespan_s, 0.0);
+    EXPECT_NE(empty.summary().find("tok/s=-"), std::string::npos);
 }
 
 TEST(ServeSimulator, BoundedQueueShedsBursts)
