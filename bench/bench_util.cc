@@ -27,7 +27,8 @@ printUsage(std::ostream &os, const char *prog)
     os << "usage: " << prog
        << " [--threads N] [--seed N] [--csv]"
           " [--trace FILE] [--report FILE]"
-          " [--chips N] [--tp N] [--pp N] [--faults N]\n"
+          " [--chips N] [--tp N] [--pp N] [--faults N]"
+          " [--replicas N] [--policy NAME]\n"
        << "  --threads N  worker threads (default: all cores)\n"
        << "  --seed N     base RNG seed (default: 1)\n"
        << "  --csv        emit tables as CSV\n"
@@ -40,7 +41,11 @@ printUsage(std::ostream &os, const char *prog)
        << "  --tp N       tensor-parallel width (default: 1)\n"
        << "  --pp N       pipeline stages (default: 1)\n"
        << "  --faults N   generated fault events for fault benches"
-          " (default: 1, 0 = fault-free)\n";
+          " (default: 1, 0 = fault-free)\n"
+       << "  --replicas N replica count for fleet benches"
+          " (default: 1)\n"
+       << "  --policy NAME fleet load-balancing policy, one of: "
+       << fleet::policyNames() << " (default: round-robin)\n";
 }
 
 /** Exit-time artifact destinations; set once by parseBenchArgs. */
@@ -161,6 +166,20 @@ parseBenchArgs(int argc, char **argv)
         } else if (flagValue(argc, argv, i, "--faults", value)) {
             args.faults = parseCount(argv[0], "--faults", value,
                                      /*min_value=*/0);
+        } else if (flagValue(argc, argv, i, "--replicas", value)) {
+            args.replicas =
+                parseCount(argv[0], "--replicas", value);
+        } else if (flagValue(argc, argv, i, "--policy", value)) {
+            const std::optional<fleet::PolicyKind> parsed =
+                fleet::parsePolicy(value);
+            if (!parsed) {
+                std::cerr << argv[0] << ": unknown policy '"
+                          << value << "' (expected one of: "
+                          << fleet::policyNames() << ")\n";
+                printUsage(std::cerr, argv[0]);
+                std::exit(2);
+            }
+            args.policy = *parsed;
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "'\n";

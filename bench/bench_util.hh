@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "fleet/policy.hh"
 #include "schedule/sweep.hh"
 #include "sim/compare.hh"
 
@@ -49,17 +50,23 @@ struct BenchArgs
     int pp = 1;
     /** Generated fault events for fault benches (0 = none). */
     int faults = 1;
+    /** Replica count for fleet benches (default: 1). */
+    int replicas = 1;
+    /** Fleet load-balancing policy (default: round-robin). */
+    fleet::PolicyKind policy = fleet::PolicyKind::RoundRobin;
 };
 
 /**
  * Parse `--threads N`, `--seed N`, `--csv`, `--trace FILE`,
- * `--report FILE`, `--chips N`, `--tp N`, `--pp N` and
- * `--faults N` (plus `--help`).  Unknown flags print usage to
- * stderr and exit(2); `--help` prints it to stdout and exit(0).
- * Count flags are parsed strictly: a non-numeric value, trailing
- * garbage (`--chips 4x`), an out-of-range count or an
- * int64-overflowing literal (`--chips 99999999999999999999`)
- * exits(2); `--faults` alone accepts 0 (fault-free).
+ * `--report FILE`, `--chips N`, `--tp N`, `--pp N`, `--faults N`,
+ * `--replicas N` and `--policy NAME` (plus `--help`).  Unknown
+ * flags print usage to stderr and exit(2); `--help` prints it to
+ * stdout and exit(0).  Count flags are parsed strictly: a
+ * non-numeric value, trailing garbage (`--chips 4x`), an
+ * out-of-range count or an int64-overflowing literal
+ * (`--chips 99999999999999999999`) exits(2); `--faults` alone
+ * accepts 0 (fault-free).  `--policy` takes a
+ * fleet::parsePolicy name; an unknown name exits(2).
  *
  * `--trace` starts the global obs::TraceSession immediately;
  * `--trace`/`--report` artifacts are written by an atexit hook, so

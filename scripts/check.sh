@@ -32,12 +32,15 @@ run_tsan() {
     cmake --build build-tsan -j "$jobs" \
         --target tf_common_test tf_tileseek_test tf_schedule_test \
         tf_serve_test tf_obs_test tf_multichip_test tf_fault_test \
-        ext_multichip_scaling ext_fault_degradation
+        tf_fleet_test \
+        ext_multichip_scaling ext_fault_degradation \
+        ext_fleet_scaling
     # The threaded surfaces: pool unit tests, parallel sweeps, the
     # root-parallel MCTS determinism suite, the serve-replay
     # scenario fan-out, the obs registry/trace concurrency tests,
-    # the multichip shard-plan search, and the fault-server replans
-    # that re-run that search mid-trace.
+    # the multichip shard-plan search, the fault-server replans
+    # that re-run that search mid-trace, and the fleet event loop
+    # that advances replica sessions across the pool.
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
         -L threaded
     # The multichip sweep fans (tp, pp) candidates across the pool
@@ -52,6 +55,13 @@ run_tsan() {
     echo "== TSan: fault degradation bench =="
     ./build-tsan/bench/ext_fault_degradation --chips 4 \
         --threads "$jobs" --faults 2 > /dev/null
+    # The fleet replays advance every replica session in parallel
+    # and merge per-replica registries afterwards; drive the full
+    # replica x policy sweep (1/2/4/8 replicas, every policy) under
+    # TSan so the parallel advance + prefix-merge path is raced.
+    echo "== TSan: fleet scaling bench =="
+    ./build-tsan/bench/ext_fleet_scaling --replicas 8 \
+        --threads "$jobs" > /dev/null
 }
 
 run_obs_off() {

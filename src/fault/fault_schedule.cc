@@ -98,6 +98,33 @@ FaultSchedule::toString() const
     return os.str();
 }
 
+std::vector<DownSpan>
+FaultSchedule::downSpans(int cluster_size) const
+{
+    validate(cluster_size);
+    std::vector<DownSpan> spans;
+    int down_chips = 0;
+    for (const FaultEvent &e : events) {
+        switch (e.kind) {
+        case FaultKind::ChipLoss:
+            if (down_chips == 0)
+                spans.push_back(
+                    { e.time_s,
+                      std::numeric_limits<double>::infinity() });
+            down_chips += 1;
+            break;
+        case FaultKind::ChipRecovery:
+            down_chips -= 1;
+            if (down_chips == 0)
+                spans.back().end_s = e.time_s;
+            break;
+        case FaultKind::LinkDegrade:
+            break; // a slower fabric still serves
+        }
+    }
+    return spans;
+}
+
 void
 FaultScheduleOptions::validate() const
 {

@@ -51,6 +51,14 @@ struct FaultEvent
     std::string toString() const;
 };
 
+/** One maximal span during which a cluster is not fully healthy. */
+struct DownSpan
+{
+    double start_s = 0;
+    /** +infinity when the schedule never restores full health. */
+    double end_s = 0;
+};
+
 /** An ordered fault trace against one cluster. */
 struct FaultSchedule
 {
@@ -70,6 +78,17 @@ struct FaultSchedule
 
     /** "k events: loss@t ..." one-liner for banners and logs. */
     std::string toString() const;
+
+    /**
+     * Maximal time spans with at least one chip down, merged and in
+     * time order (validates first).  A loss never recovered yields
+     * a final span ending at +infinity.  Link-degrade events do not
+     * open a span — a scaled fabric still serves.  This is the view
+     * the fleet layer consumes: a sharded replica spans all its
+     * chips, so any lost chip makes the whole replica unroutable
+     * until full health returns.
+     */
+    std::vector<DownSpan> downSpans(int cluster_size) const;
 };
 
 /** Knobs of one generated fault trace. */

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Autoscaler validation and the tick state machine.
+ */
+
+#include "autoscaler.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::fleet
+{
+
+void
+AutoscalerOptions::validate(int pool) const
+{
+    if (pool <= 0)
+        tf_fatal("autoscaler needs a positive replica pool, got ",
+                 pool);
+    if (min_replicas < 1)
+        tf_fatal("min_replicas must be at least 1, got ",
+                 min_replicas);
+    const int max = maxReplicas(pool);
+    if (max < min_replicas || max > pool)
+        tf_fatal("max_replicas must lie in [min_replicas, pool] = [",
+                 min_replicas, ", ", pool, "], got ", max);
+    const int initial = initialReplicas();
+    if (initial < min_replicas || initial > max)
+        tf_fatal("initial_replicas must lie in [min, max] = [",
+                 min_replicas, ", ", max, "], got ", initial);
+    if (!(interval_s > 0))
+        tf_fatal("interval_s must be positive, got ", interval_s);
+    if (!(up_queue_depth > 0))
+        tf_fatal("up_queue_depth must be positive, got ",
+                 up_queue_depth);
+    if (down_queue_depth < 0 || down_queue_depth >= up_queue_depth)
+        tf_fatal("down_queue_depth must lie in [0, up_queue_depth), "
+                 "got ",
+                 down_queue_depth);
+    if (up_after_ticks < 1 || down_after_ticks < 1)
+        tf_fatal("hysteresis tick counts must be at least 1, got "
+                 "up=",
+                 up_after_ticks, " down=", down_after_ticks);
+    if (cooldown_ticks < 0)
+        tf_fatal("cooldown_ticks must be non-negative, got ",
+                 cooldown_ticks);
+}
+
+std::string
+toString(ScaleDecision d)
+{
+    switch (d) {
+    case ScaleDecision::Hold:
+        return "hold";
+    case ScaleDecision::Up:
+        return "up";
+    case ScaleDecision::Down:
+        return "down";
+    }
+    tf_panic("unknown ScaleDecision");
+}
+
+Autoscaler::Autoscaler(AutoscalerOptions options, int pool)
+    : options_(options), pool_(pool)
+{
+    options_.validate(pool_);
+}
+
+ScaleDecision
+Autoscaler::observe(double depth_per_serving, double wait_p99_s,
+                    int serving)
+{
+    ticks_ += 1;
+    const bool overloaded =
+        depth_per_serving >= options_.up_queue_depth
+        || (options_.up_wait_p99_s > 0
+            && wait_p99_s >= options_.up_wait_p99_s);
+    const bool idle = !overloaded
+        && depth_per_serving <= options_.down_queue_depth;
+    // Streaks accumulate even through cooldown so a persistent
+    // signal fires the moment the cooldown expires.
+    up_streak_ = overloaded ? up_streak_ + 1 : 0;
+    down_streak_ = idle ? down_streak_ + 1 : 0;
+    if (cooldown_ > 0) {
+        cooldown_ -= 1;
+        return ScaleDecision::Hold;
+    }
+    if (up_streak_ >= options_.up_after_ticks
+        && serving < options_.maxReplicas(pool_)) {
+        up_streak_ = 0;
+        cooldown_ = options_.cooldown_ticks;
+        ups_ += 1;
+        return ScaleDecision::Up;
+    }
+    if (down_streak_ >= options_.down_after_ticks
+        && serving > options_.min_replicas) {
+        down_streak_ = 0;
+        cooldown_ = options_.cooldown_ticks;
+        downs_ += 1;
+        return ScaleDecision::Down;
+    }
+    return ScaleDecision::Hold;
+}
+
+} // namespace transfusion::fleet

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Hysteresis-based replica autoscaler: a pure state machine that
+ * turns load signals sampled at fixed virtual-time ticks into
+ * scale-up / scale-down decisions.  It owns no replicas — the
+ * fleet simulator samples the signals, applies the decision
+ * (activate a provisioned replica, or drain one: stop routing,
+ * finish in-flight, then release), and calls back next tick.
+ *
+ * Hysteresis is double: a signal must persist for N consecutive
+ * ticks before a decision fires, and every decision starts a
+ * cooldown during which further decisions are held (streaks keep
+ * accumulating underneath, so reaction after cooldown is
+ * immediate).  Everything is integer/double state driven by the
+ * caller's virtual clock — no wall time, fully deterministic.
+ */
+
+#ifndef TRANSFUSION_FLEET_AUTOSCALER_HH
+#define TRANSFUSION_FLEET_AUTOSCALER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace transfusion::fleet
+{
+
+/** Scaling thresholds and hysteresis knobs. */
+struct AutoscalerOptions
+{
+    /** Master switch; a disabled autoscaler never ticks and the
+     *  fleet serves with every provisioned replica active. */
+    bool enabled = false;
+    /** Fewest replicas kept serving (never drained below). */
+    int min_replicas = 1;
+    /** Most replicas ever activated; <= 0 means the whole pool. */
+    int max_replicas = 0;
+    /** Replicas active at t = 0; <= 0 means min_replicas. */
+    int initial_replicas = 0;
+    /** Virtual seconds between signal samples. */
+    double interval_s = 2.0;
+    /** Scale up when queued requests per serving replica reach
+     *  this. */
+    double up_queue_depth = 8.0;
+    /** Scale up when the p99 of current queue waits reaches this;
+     *  <= 0 disables the wait trigger. */
+    double up_wait_p99_s = 0;
+    /** Scale down only when queued requests per serving replica
+     *  are at or below this. */
+    double down_queue_depth = 0.5;
+    /** Consecutive over-threshold ticks before scaling up. */
+    int up_after_ticks = 2;
+    /** Consecutive under-threshold ticks before scaling down. */
+    int down_after_ticks = 4;
+    /** Ticks held after any decision before the next may fire. */
+    int cooldown_ticks = 2;
+
+    /** Fatal unless bounds/thresholds/tick counts are coherent for
+     *  a pool of `pool` provisioned replicas. */
+    void validate(int pool) const;
+
+    /** max_replicas with the <= 0 default resolved to `pool`. */
+    int maxReplicas(int pool) const
+    {
+        return max_replicas <= 0 ? pool : max_replicas;
+    }
+
+    /** initial_replicas with the <= 0 default resolved. */
+    int initialReplicas() const
+    {
+        return initial_replicas <= 0 ? min_replicas
+                                     : initial_replicas;
+    }
+};
+
+/** What the fleet should do after one tick. */
+enum class ScaleDecision
+{
+    Hold,
+    Up,   ///< activate one more replica
+    Down, ///< drain one replica (stop routing, finish, release)
+};
+
+/** Printable name ("hold" / "up" / "down"). */
+std::string toString(ScaleDecision d);
+
+/** The tick-driven decision state machine. */
+class Autoscaler
+{
+  public:
+    /** @param pool provisioned replica count (decision ceiling). */
+    Autoscaler(AutoscalerOptions options, int pool);
+
+    /**
+     * Record one sampled signal and decide.  `depth_per_serving`
+     * is the fleet's queued-request count per serving replica
+     * (+infinity when nothing serves is legal and reads as
+     * overload); `wait_p99_s` the p99 of the current waits of all
+     * queued requests; `serving` how many replicas are active and
+     * not draining.  Up is only returned while serving < max,
+     * Down only while serving > min.
+     */
+    ScaleDecision observe(double depth_per_serving,
+                          double wait_p99_s, int serving);
+
+    std::int64_t ticks() const { return ticks_; }
+    std::int64_t scaleUps() const { return ups_; }
+    std::int64_t scaleDowns() const { return downs_; }
+
+  private:
+    AutoscalerOptions options_;
+    int pool_ = 0;
+    int up_streak_ = 0;
+    int down_streak_ = 0;
+    int cooldown_ = 0;
+    std::int64_t ticks_ = 0;
+    std::int64_t ups_ = 0;
+    std::int64_t downs_ = 0;
+};
+
+} // namespace transfusion::fleet
+
+#endif // TRANSFUSION_FLEET_AUTOSCALER_HH

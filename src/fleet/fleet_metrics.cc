@@ -1,0 +1,39 @@
+/**
+ * @file
+ * FleetMetrics rendering.
+ */
+
+#include "fleet_metrics.hh"
+
+#include <sstream>
+
+#include "common/math_utils.hh"
+#include "common/table.hh"
+
+namespace transfusion::fleet
+{
+
+std::string
+FleetMetrics::summary() const
+{
+    const auto p = [](const Histogram &h, double q) {
+        return h.empty() ? std::string("-")
+                         : formatSeconds(h.percentileOr(q, 0.0));
+    };
+    std::ostringstream os;
+    os << "replicas=" << replicas.size() << ", offered=" << offered
+       << ", completed=" << completed << ", rejected=" << rejected
+       << ", completed/s="
+       << (makespan_s > 0 ? Table::cell(completed_per_second, 2)
+                          : std::string("-"))
+       << ", routed=" << routed << ", failover=" << failover_drained
+       << " (rerouted " << failover_reroutes << ", exhausted "
+       << failover_exhausted << "), downs=" << replica_downs
+       << ", scale=" << scale_ups << "/" << scale_downs
+       << ", peak_serving=" << peak_serving
+       << ", lat_p99=" << p(latency_s, 99) << ", wait_p99="
+       << p(queue_wait_s, 99);
+    return os.str();
+}
+
+} // namespace transfusion::fleet

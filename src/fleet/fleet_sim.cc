@@ -1,0 +1,591 @@
+/**
+ * @file
+ * The shared-virtual-clock fleet loop: advance, fault, route, tick.
+ */
+
+#include "fleet_sim.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "model/stack.hh"
+#include "multichip/sharded_serve.hh"
+#include "obs/obs.hh"
+
+namespace transfusion::fleet
+{
+
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** (arrival, id) — the one routing order used everywhere. */
+bool
+arrivesBefore(const serve::Request &a, const serve::Request &b)
+{
+    return a.arrival_s != b.arrival_s ? a.arrival_s < b.arrival_s
+                                      : a.id < b.id;
+}
+
+/** Mutable per-replica run state (the session plus flags). */
+struct ReplicaState
+{
+    bool active = false;   ///< holds (or held) a serving slot
+    bool draining = false; ///< finishing work, not routable
+    bool down = false;     ///< inside a fault down-span
+    std::optional<serve::ServeSession> session;
+    /** Down-spans consumed so far / whether inside spans[ix]. */
+    std::size_t span_ix = 0;
+    bool in_span = false;
+};
+
+} // namespace
+
+FleetSimulator::FleetSimulator(std::vector<ReplicaConfig> replicas,
+                               model::TransformerConfig cfg,
+                               serve::WorkloadOptions workload,
+                               FleetOptions options)
+    : replicas_(std::move(replicas)), cfg_(std::move(cfg)),
+      workload_(workload), options_(std::move(options))
+{
+    if (replicas_.empty())
+        tf_fatal("a fleet needs at least one replica");
+    cfg_.validate();
+    workload_.validate();
+    options_.retry.validate();
+    if (options_.autoscaler.enabled)
+        options_.autoscaler.validate(
+            static_cast<int>(replicas_.size()));
+    for (ReplicaConfig &r : replicas_) {
+        r.cluster.validate();
+        multichip::ShardSpec spec = r.spec;
+        if (spec.tp <= 0 || spec.pp <= 0)
+            spec = planSpec(r.cluster);
+        specs_.push_back(spec);
+        sims_.push_back(
+            std::make_shared<const serve::ServeSimulator>(
+                multichip::shardedSimulator(r.cluster, cfg_, spec,
+                                            workload_,
+                                            options_.serve)));
+    }
+}
+
+FleetSimulator
+FleetSimulator::uniform(int replicas,
+                        multichip::ClusterConfig cluster,
+                        model::TransformerConfig cfg,
+                        serve::WorkloadOptions workload,
+                        FleetOptions options)
+{
+    if (replicas < 1)
+        tf_fatal("a fleet needs at least one replica, got ",
+                 replicas);
+    FleetSimulator fleet;
+    fleet.cfg_ = std::move(cfg);
+    fleet.workload_ = workload;
+    fleet.options_ = std::move(options);
+    fleet.cfg_.validate();
+    fleet.workload_.validate();
+    fleet.options_.retry.validate();
+    if (fleet.options_.autoscaler.enabled)
+        fleet.options_.autoscaler.validate(replicas);
+    cluster.validate();
+    const multichip::ShardSpec spec = fleet.planSpec(cluster);
+    // Calibrate once, share everywhere: sessions never touch the
+    // simulator's (immutable) tables, so identical replicas can
+    // alias one instance.
+    const auto sim = std::make_shared<const serve::ServeSimulator>(
+        multichip::shardedSimulator(cluster, fleet.cfg_, spec,
+                                    fleet.workload_,
+                                    fleet.options_.serve));
+    for (int i = 0; i < replicas; ++i) {
+        fleet.replicas_.push_back(ReplicaConfig{ cluster, spec });
+        fleet.specs_.push_back(spec);
+        fleet.sims_.push_back(sim);
+    }
+    return fleet;
+}
+
+multichip::ShardSpec
+FleetSimulator::planSpec(
+    const multichip::ClusterConfig &cluster) const
+{
+    multichip::ShardPlanOptions plan;
+    plan.evaluator = options_.serve.cost.evaluator;
+    plan.threads = options_.plan_threads;
+    const multichip::ShardPlan best = multichip::planShards(
+        cluster, model::decoderOnly(cfg_), /*src_len=*/0,
+        workload_.maxContext(), options_.serve.strategy, plan);
+    return best.bestEntry().spec;
+}
+
+FleetMetrics
+FleetSimulator::run(const std::vector<serve::Request> &requests,
+                    const FleetRunOptions &run) const
+{
+    const int pool = replicaCount();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const serve::Request &r = requests[i];
+        if (r.prompt_len <= 0 || r.output_len <= 0)
+            tf_fatal("bad request: ", r.toString());
+        if (i > 0 && r.arrival_s < requests[i - 1].arrival_s)
+            tf_fatal("requests must be sorted by arrival time");
+    }
+    if (run.faults.size() > static_cast<std::size_t>(pool))
+        tf_fatal("got ", run.faults.size(),
+                 " fault schedules for ", pool, " replicas");
+
+    // Per-replica unroutable windows (validates each schedule).
+    std::vector<std::vector<fault::DownSpan>> spans(
+        static_cast<std::size_t>(pool));
+    bool any_faults = false;
+    for (std::size_t i = 0; i < run.faults.size(); ++i) {
+        spans[i] = run.faults[i].downSpans(
+            replicas_[i].cluster.size());
+        any_faults = any_faults || !spans[i].empty();
+    }
+
+    if (pool == 1 && run.policy == PolicyKind::PassThrough
+        && !any_faults && !options_.autoscaler.enabled) {
+        // Delegate outright: the same code path (and the same
+        // instrumentation) as the single sharded replica, so the
+        // trivial fleet is bit-identical — metrics and RunReport —
+        // to the fault-tolerant server on an empty schedule.
+        serve::ServeMetrics m = sims_[0]->run(requests);
+        FleetMetrics fm;
+        fm.offered = m.offered;
+        fm.completed = m.completed;
+        fm.rejected = m.rejected;
+        fm.generated_tokens = m.generated_tokens;
+        fm.routed = m.offered;
+        fm.makespan_s = m.makespan_s;
+        if (fm.makespan_s > 0)
+            fm.completed_per_second =
+                static_cast<double>(fm.completed) / fm.makespan_s;
+        fm.peak_serving = 1;
+        fm.ttft_s.merge(m.ttft_s);
+        fm.tpot_s.merge(m.tpot_s);
+        fm.latency_s.merge(m.latency_s);
+        fm.queue_wait_s.merge(m.queue_wait_s);
+        fm.replicas.push_back(std::move(m));
+        return fm;
+    }
+
+    TF_SPAN("fleet.run");
+    TF_TIMER("fleet/run");
+
+    FleetMetrics fm;
+    fm.offered = static_cast<std::int64_t>(requests.size());
+
+    const bool scaling = options_.autoscaler.enabled;
+    std::optional<Autoscaler> scaler;
+    if (scaling)
+        scaler.emplace(options_.autoscaler, pool);
+    Router router(run.policy, run.seed);
+
+    std::vector<ReplicaState> states(
+        static_cast<std::size_t>(pool));
+    const int initial =
+        scaling ? options_.autoscaler.initialReplicas() : pool;
+    for (int i = 0; i < initial; ++i) {
+        states[static_cast<std::size_t>(i)].active = true;
+        states[static_cast<std::size_t>(i)].session =
+            sims_[static_cast<std::size_t>(i)]->startSession({});
+    }
+
+    std::size_t next_trace = 0;
+    std::vector<serve::Request> reoffers; ///< (arrival, id) sorted
+    std::vector<serve::Request> held;     ///< no eligible replica
+    std::map<std::int64_t, int> attempts;
+    double next_tick = scaling ? options_.autoscaler.interval_s
+                               : kInf;
+
+    ThreadPool advance_pool(options_.threads);
+    std::vector<int> indices;
+    for (int i = 0; i < pool; ++i)
+        indices.push_back(i);
+
+    const auto at = [&](int i) -> ReplicaState & {
+        return states[static_cast<std::size_t>(i)];
+    };
+    const auto eligible = [&](int i) {
+        const ReplicaState &st = at(i);
+        return st.active && !st.draining && !st.down;
+    };
+    const auto servingCount = [&]() {
+        int n = 0;
+        for (int i = 0; i < pool; ++i)
+            if (eligible(i))
+                n += 1;
+        return n;
+    };
+    const auto sessionWork = [&]() {
+        for (const ReplicaState &st : states)
+            if (st.session && st.session->workLeft())
+                return true;
+        return false;
+    };
+
+    /**
+     * Advance every live session to the shared horizon, in
+     * parallel: sessions are independent, advance() emits no
+     * observability, and the shared cost tables are immutable, so
+     * the result is bit-identical for any thread count.  Sheds
+     * that happened inside the step are final (healthy-replica
+     * overload); the audit log is cleared to bound memory.
+     */
+    const auto advanceAll = [&](double horizon) {
+        parallelMap(advance_pool, indices, [&](const int &i) {
+            ReplicaState &st = at(i);
+            if (st.session)
+                sims_[static_cast<std::size_t>(i)]->advance(
+                    *st.session, horizon);
+            return 0;
+        });
+        for (ReplicaState &st : states)
+            if (st.session)
+                st.session->shed_log.clear();
+    };
+
+    /** A drained replica that finished its work releases its
+     *  slot. */
+    const auto settleDrains = [&]() {
+        for (ReplicaState &st : states)
+            if (st.draining && st.session
+                && !st.session->workLeft()) {
+                st.draining = false;
+                st.active = false;
+            }
+    };
+
+    /** Earliest unconsumed fault boundary over all replicas. */
+    const auto nextFaultBoundary = [&]() {
+        double t = kInf;
+        for (int i = 0; i < pool; ++i) {
+            const ReplicaState &st = at(i);
+            const auto &sp = spans[static_cast<std::size_t>(i)];
+            if (st.span_ix >= sp.size())
+                continue;
+            t = std::min(t, st.in_span ? sp[st.span_ix].end_s
+                                       : sp[st.span_ix].start_s);
+        }
+        return t;
+    };
+
+    /**
+     * Pull every request off a replica that just went down and
+     * hand it back to the router after backoff — or refuse it for
+     * good once its retry budget is spent.  Uses the boundary time
+     * (not the session's possibly-overshot clock), mirroring the
+     * fault layer's convention.
+     */
+    const auto drainReplica = [&](int i, double t) {
+        ReplicaState &st = at(i);
+        if (!st.session)
+            return;
+        const serve::ServeSimulator &sim =
+            *sims_[static_cast<std::size_t>(i)];
+        std::vector<serve::Request> out;
+        for (const serve::InFlightRequest &r :
+             sim.drainRunning(*st.session)) {
+            fm.failover_wasted_tokens += r.generated;
+            out.push_back(r.req);
+        }
+        for (const serve::Request &r :
+             sim.drainQueued(*st.session))
+            out.push_back(r);
+        for (const serve::Request &req : out) {
+            // The request leaves this replica's ledger; it will be
+            // re-counted wherever it terminates.
+            st.session->metrics.offered -= 1;
+            fm.failover_drained += 1;
+            int &k = attempts[req.id];
+            if (k >= options_.retry.max_attempts) {
+                fm.failover_exhausted += 1;
+                continue;
+            }
+            k += 1;
+            serve::Request r = req;
+            // The re-offer's clock restarts here, exactly as a
+            // fault-layer retry: the backoff shows up as idle
+            // time, not as queue wait.
+            r.arrival_s = t + options_.retry.delaySeconds(k);
+            reoffers.push_back(r);
+            fm.failover_reroutes += 1;
+        }
+        std::sort(reoffers.begin(), reoffers.end(), arrivesBefore);
+    };
+
+    /** Apply every boundary up to `t`, replica-index order. */
+    const auto applyFaults = [&](double t) {
+        for (int i = 0; i < pool; ++i) {
+            ReplicaState &st = at(i);
+            const auto &sp = spans[static_cast<std::size_t>(i)];
+            while (st.span_ix < sp.size()) {
+                if (!st.in_span && sp[st.span_ix].start_s <= t) {
+                    st.in_span = true;
+                    st.down = true;
+                    fm.replica_downs += 1;
+                    drainReplica(i, sp[st.span_ix].start_s);
+                } else if (st.in_span
+                           && sp[st.span_ix].end_s <= t) {
+                    st.in_span = false;
+                    st.down = false;
+                    st.span_ix += 1;
+                    fm.replica_ups += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    };
+
+    /** Load views of the eligible replicas, index order. */
+    const auto buildViews = [&]() {
+        std::vector<ReplicaView> views;
+        for (int i = 0; i < pool; ++i)
+            if (eligible(i)) {
+                const ReplicaState &st = at(i);
+                views.push_back(
+                    ReplicaView{ i, st.session->outstanding(),
+                                 st.session->freeKvWords() });
+            }
+        return views;
+    };
+
+    /**
+     * Route every due request — previously held ones first by the
+     * shared (arrival, id) order, then trace arrivals and matured
+     * re-offers up to `t`.  A request with no eligible replica is
+     * held (original arrival preserved) until eligibility
+     * reappears.
+     */
+    const auto routeArrivals = [&](double t) {
+        std::vector<serve::Request> batch;
+        batch.swap(held);
+        while (next_trace < requests.size()
+               && requests[next_trace].arrival_s <= t)
+            batch.push_back(requests[next_trace++]);
+        std::size_t due = 0;
+        while (due < reoffers.size()
+               && reoffers[due].arrival_s <= t)
+            due += 1;
+        batch.insert(batch.end(), reoffers.begin(),
+                     reoffers.begin()
+                         + static_cast<std::ptrdiff_t>(due));
+        reoffers.erase(reoffers.begin(),
+                       reoffers.begin()
+                           + static_cast<std::ptrdiff_t>(due));
+        std::sort(batch.begin(), batch.end(), arrivesBefore);
+        for (const serve::Request &r : batch) {
+            // Views rebuild per decision: outstanding counts and
+            // KV headroom change with every injection.
+            const std::vector<ReplicaView> views = buildViews();
+            if (views.empty()) {
+                held.push_back(r);
+                continue;
+            }
+            const int i = router.pick(views);
+            ReplicaState &st = at(i);
+            sims_[static_cast<std::size_t>(i)]->injectRequests(
+                *st.session, { r });
+            st.session->metrics.offered += 1;
+        }
+    };
+
+    /** Whether a tick could change anything (guards the loop
+     *  against ticking forever on a finished or stuck fleet). */
+    const auto canActivate = [&]() {
+        if (servingCount() >= options_.autoscaler.maxReplicas(pool))
+            return false;
+        for (int i = 0; i < pool; ++i)
+            if (at(i).draining || (!at(i).active && !at(i).down))
+                return true;
+        return false;
+    };
+
+    const auto scaleUp = [&]() {
+        // Un-drain the lowest-index draining replica first (its
+        // session is warm), else activate the lowest-index idle
+        // non-down one.
+        for (int i = 0; i < pool; ++i)
+            if (at(i).draining) {
+                at(i).draining = false;
+                return;
+            }
+        for (int i = 0; i < pool; ++i) {
+            ReplicaState &st = at(i);
+            if (!st.active && !st.down) {
+                st.active = true;
+                if (!st.session)
+                    st.session =
+                        sims_[static_cast<std::size_t>(i)]
+                            ->startSession({});
+                return;
+            }
+        }
+    };
+
+    const auto scaleDown = [&]() {
+        // Drain the highest-index serving replica: stop routing to
+        // it, let it finish, release on settle.
+        for (int i = pool - 1; i >= 0; --i)
+            if (eligible(i)) {
+                at(i).draining = true;
+                return;
+            }
+    };
+
+    /** Sample load, feed the state machine, apply the verdict. */
+    const auto tick = [&](double t) {
+        Histogram waits;
+        for (int i = 0; i < pool; ++i) {
+            if (!eligible(i))
+                continue;
+            const serve::ServeSession &s = *at(i).session;
+            for (const serve::Request &r : s.queue)
+                waits.add(t - r.arrival_s);
+            for (std::size_t j = s.next; j < s.pending.size(); ++j)
+                if (s.pending[j].arrival_s <= t)
+                    waits.add(t - s.pending[j].arrival_s);
+        }
+        for (const serve::Request &r : held)
+            waits.add(t - r.arrival_s);
+        const int serving = servingCount();
+        const auto depth = static_cast<double>(waits.count());
+        const double per_serving = serving > 0
+            ? depth / static_cast<double>(serving)
+            : (depth > 0 ? kInf : 0.0);
+        const ScaleDecision d = scaler->observe(
+            per_serving, waits.percentileOr(99, 0.0), serving);
+        if (d == ScaleDecision::Up)
+            scaleUp();
+        else if (d == ScaleDecision::Down)
+            scaleDown();
+    };
+
+    fm.peak_serving = servingCount();
+    while (true) {
+        const bool arrivals_left =
+            next_trace < requests.size() || !reoffers.empty();
+        const bool swork = sessionWork();
+        if (!arrivals_left && !swork && held.empty())
+            break;
+        const double tA = [&]() {
+            double t = kInf;
+            if (next_trace < requests.size())
+                t = requests[next_trace].arrival_s;
+            if (!reoffers.empty())
+                t = std::min(t, reoffers.front().arrival_s);
+            return t;
+        }();
+        const double tF = nextFaultBoundary();
+        const double tT = scaling
+                && (swork || arrivals_left
+                    || (!held.empty() && canActivate()))
+            ? next_tick
+            : kInf;
+        const double t = std::min(tA, std::min(tF, tT));
+        if (t == kInf) {
+            if (swork) {
+                // Nothing left to schedule: let every session run
+                // its remaining work out.
+                advanceAll(kInf);
+                settleDrains();
+                continue;
+            }
+            // Only held requests remain and nothing can ever make
+            // a replica eligible again: refuse them below.
+            break;
+        }
+        advanceAll(t);
+        settleDrains();
+        applyFaults(t);
+        routeArrivals(t);
+        if (scaling && t >= next_tick) {
+            tick(t);
+            while (next_tick <= t)
+                next_tick += options_.autoscaler.interval_s;
+            // A scale-up at the tick may have created eligibility
+            // for requests held a moment ago.
+            routeArrivals(t);
+        }
+        fm.peak_serving =
+            std::max(fm.peak_serving,
+                     static_cast<std::int64_t>(servingCount()));
+    }
+    fm.held_rejected = static_cast<std::int64_t>(held.size());
+    held.clear();
+
+    // Finish every replica session inside its own registry, then
+    // fold each one into the caller's under its replica prefix —
+    // always in replica-index order, so the merged registry (and
+    // any RunReport over it) is bit-identical per run.
+    for (int i = 0; i < pool; ++i) {
+        ReplicaState &st = at(i);
+        serve::ServeMetrics m;
+        if (st.session) {
+            obs::Registry local;
+            {
+                obs::ScopedRegistry scope(local);
+                m = sims_[static_cast<std::size_t>(i)]
+                        ->finishSession(*st.session);
+            }
+            obs::currentRegistry().mergePrefixed(
+                local.snapshot(),
+                "fleet/replica." + std::to_string(i) + ".");
+        }
+        tf_assert(m.completed + m.rejected == m.offered,
+                  "replica ", i, " ledger leak: completed ",
+                  m.completed, " + rejected ", m.rejected,
+                  " != offered ", m.offered);
+        fm.completed += m.completed;
+        fm.rejected += m.rejected;
+        fm.generated_tokens += m.generated_tokens;
+        fm.makespan_s = std::max(fm.makespan_s, m.makespan_s);
+        fm.ttft_s.merge(m.ttft_s);
+        fm.tpot_s.merge(m.tpot_s);
+        fm.latency_s.merge(m.latency_s);
+        fm.queue_wait_s.merge(m.queue_wait_s);
+        fm.replicas.push_back(std::move(m));
+    }
+    fm.rejected += fm.failover_exhausted + fm.held_rejected;
+    fm.routed = router.decisions();
+    if (scaler) {
+        fm.autoscaler_ticks = scaler->ticks();
+        fm.scale_ups = scaler->scaleUps();
+        fm.scale_downs = scaler->scaleDowns();
+    }
+    if (fm.makespan_s > 0)
+        fm.completed_per_second =
+            static_cast<double>(fm.completed) / fm.makespan_s;
+    tf_assert(fm.completed + fm.rejected == fm.offered,
+              "fleet accounting leak: completed ", fm.completed,
+              " + rejected ", fm.rejected, " != offered ",
+              fm.offered);
+
+    TF_COUNT("fleet/replicas", pool);
+    TF_COUNT("fleet/routed", fm.routed);
+    TF_COUNT("fleet/held_rejected", fm.held_rejected);
+    TF_COUNT("fleet/replica_downs", fm.replica_downs);
+    TF_COUNT("fleet/replica_ups", fm.replica_ups);
+    TF_COUNT("fleet/failover.drained", fm.failover_drained);
+    TF_COUNT("fleet/failover.reroutes", fm.failover_reroutes);
+    TF_COUNT("fleet/failover.exhausted", fm.failover_exhausted);
+    TF_COUNT("fleet/failover.wasted_tokens",
+             fm.failover_wasted_tokens);
+    TF_COUNT("fleet/autoscaler.ticks", fm.autoscaler_ticks);
+    TF_COUNT("fleet/autoscaler.scale_ups", fm.scale_ups);
+    TF_COUNT("fleet/autoscaler.scale_downs", fm.scale_downs);
+    TF_GAUGE_MAX("fleet/peak_serving",
+                 static_cast<double>(fm.peak_serving));
+    TF_GAUGE_ADD("fleet/makespan_s", fm.makespan_s);
+    return fm;
+}
+
+} // namespace transfusion::fleet

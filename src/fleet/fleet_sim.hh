@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Deterministic multi-replica serving: N sharded replicas (each an
+ * existing sharded serve::ServeSimulator, possibly heterogeneous
+ * clusters or shardings) behind a seeded Router, with cross-replica
+ * failover and an optional hysteresis Autoscaler.
+ *
+ * The fleet drives every replica's resumable session
+ * (startSession / advance / finishSession) against one shared
+ * virtual clock.  Each step advances all sessions in parallel to
+ * the next fleet event — an arrival, a replica fault boundary, or
+ * an autoscaler tick — then applies the events in a fixed order:
+ * fault transitions in replica-index order, arrivals in
+ * (arrival, id) order, the autoscaler tick last.
+ *
+ * Failover: a replica with *any* chip down (FaultSchedule::
+ * downSpans) is unroutable; at the down boundary its in-flight and
+ * queued work is drained and re-offered to the router after the
+ * capped-backoff retry budget (fault::RetryPolicy), never silently
+ * dropped.  Sheds on a *healthy* replica (queue overflow,
+ * can-never-fit) stay final — genuine overload is not a fault.
+ * Intra-replica degraded replanning is the fault layer's domain;
+ * the fleet fails over at replica granularity.
+ *
+ * Determinism contract: run() is a pure function of (requests,
+ * run options) and the construction arguments, bit-identical for
+ * any `threads` — sessions advance independently and emit no
+ * observability, and per-replica registries merge in replica-index
+ * order under a "fleet/replica.<i>." prefix.  A 1-replica fleet
+ * under the pass-through policy with no faults and no autoscaler
+ * delegates outright to the replica's run(), so its result —
+ * metrics and RunReport — is bit-for-bit the single-replica
+ * fault-tolerant server's on an empty schedule.
+ */
+
+#ifndef TRANSFUSION_FLEET_FLEET_SIM_HH
+#define TRANSFUSION_FLEET_FLEET_SIM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_server.hh"
+#include "fleet/autoscaler.hh"
+#include "fleet/fleet_metrics.hh"
+#include "fleet/policy.hh"
+#include "fleet/router.hh"
+
+namespace transfusion::fleet
+{
+
+/** One replica slot: its cluster and (optional) sharding. */
+struct ReplicaConfig
+{
+    multichip::ClusterConfig cluster;
+    /** tp = pp = 0 (the default) plans it with planShards at
+     *  construction, exactly as the fault layer does. */
+    multichip::ShardSpec spec{ 0, 0 };
+};
+
+/** Construction-time fleet configuration. */
+struct FleetOptions
+{
+    /** Simulator knobs shared by every replica. */
+    serve::ServeOptions serve;
+    /** Backoff budget for failed-over requests. */
+    fault::RetryPolicy retry;
+    /** Scaling policy; disabled by default (all replicas serve). */
+    AutoscalerOptions autoscaler;
+    /** Worker threads advancing replica sessions; <= 0 = all
+     *  hardware.  Results are bit-identical for any value. */
+    int threads = 1;
+    /** Worker threads for shard planning; <= 0 = all hardware. */
+    int plan_threads = 0;
+};
+
+/** Per-run (not per-fleet) knobs: cheap to sweep. */
+struct FleetRunOptions
+{
+    PolicyKind policy = PolicyKind::RoundRobin;
+    /** Seeds the router's Rng (power-of-two-choices draws). */
+    std::uint64_t seed = 1;
+    /**
+     * Per-replica fault schedules, indexed by replica; shorter
+     * than the fleet means the tail replicas never fault.  Each
+     * schedule is validated against its replica's cluster size.
+     */
+    std::vector<fault::FaultSchedule> faults;
+};
+
+/**
+ * N calibrated sharded replicas behind one router.  Construction
+ * calibrates each distinct replica's cost tables (the expensive
+ * part); run() replays traces and is const.
+ */
+class FleetSimulator
+{
+  public:
+    /** Heterogeneous fleet: one calibration per replica slot. */
+    FleetSimulator(std::vector<ReplicaConfig> replicas,
+                   model::TransformerConfig cfg,
+                   serve::WorkloadOptions workload,
+                   FleetOptions options = {});
+
+    /**
+     * Homogeneous fleet: `replicas` copies of one (cluster, spec),
+     * planned and calibrated *once* and shared — sessions are
+     * independent of the simulator instance, so replicas can share
+     * immutable cost tables.
+     */
+    static FleetSimulator uniform(int replicas,
+                                  multichip::ClusterConfig cluster,
+                                  model::TransformerConfig cfg,
+                                  serve::WorkloadOptions workload,
+                                  FleetOptions options = {});
+
+    /**
+     * Replay `requests` (sorted by arrival, positive lengths)
+     * across the fleet.  Asserts the fleet ledger offered ==
+     * completed + rejected, with rejected = replica sheds +
+     * failover_exhausted + held_rejected.
+     */
+    FleetMetrics run(const std::vector<serve::Request> &requests,
+                     const FleetRunOptions &run = {}) const;
+
+    int replicaCount() const
+    {
+        return static_cast<int>(sims_.size());
+    }
+
+    /** Replica i's calibrated simulator (shared in uniform()). */
+    const serve::ServeSimulator &replicaSimulator(int i) const
+    {
+        return *sims_.at(static_cast<std::size_t>(i));
+    }
+
+    /** Replica i's sharding in force. */
+    multichip::ShardSpec replicaSpec(int i) const
+    {
+        return specs_.at(static_cast<std::size_t>(i));
+    }
+
+    const FleetOptions &options() const { return options_; }
+
+  private:
+    FleetSimulator() = default; // uniform() assembles by hand
+
+    /** planShards mirror of the fault layer's construction. */
+    multichip::ShardSpec
+    planSpec(const multichip::ClusterConfig &cluster) const;
+
+    std::vector<ReplicaConfig> replicas_;
+    model::TransformerConfig cfg_;
+    serve::WorkloadOptions workload_;
+    FleetOptions options_;
+    std::vector<multichip::ShardSpec> specs_;
+    /** Calibrated per-replica simulators; uniform() shares one. */
+    std::vector<std::shared_ptr<const serve::ServeSimulator>> sims_;
+};
+
+} // namespace transfusion::fleet
+
+#endif // TRANSFUSION_FLEET_FLEET_SIM_HH

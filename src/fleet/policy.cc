@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Policy naming and parsing.
+ */
+
+#include "policy.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::fleet
+{
+
+std::string
+toString(PolicyKind k)
+{
+    switch (k) {
+    case PolicyKind::PassThrough:
+        return "pass-through";
+    case PolicyKind::RoundRobin:
+        return "round-robin";
+    case PolicyKind::LeastOutstanding:
+        return "least-outstanding";
+    case PolicyKind::KvPressure:
+        return "kv-pressure";
+    case PolicyKind::PowerOfTwo:
+        return "power-of-two";
+    }
+    tf_panic("unknown PolicyKind");
+}
+
+std::optional<PolicyKind>
+parsePolicy(const std::string &name)
+{
+    for (PolicyKind k : allPolicies())
+        if (name == toString(k))
+            return k;
+    if (name == "p2c")
+        return PolicyKind::PowerOfTwo;
+    return std::nullopt;
+}
+
+std::vector<PolicyKind>
+allPolicies()
+{
+    return { PolicyKind::PassThrough, PolicyKind::RoundRobin,
+             PolicyKind::LeastOutstanding, PolicyKind::KvPressure,
+             PolicyKind::PowerOfTwo };
+}
+
+std::string
+policyNames()
+{
+    std::string names;
+    for (PolicyKind k : allPolicies()) {
+        if (!names.empty())
+            names += ", ";
+        names += toString(k);
+    }
+    return names;
+}
+
+} // namespace transfusion::fleet

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Load-balancing policies for the fleet router: which replica a
+ * request is routed to, as a pure function of the replica states
+ * (and, for the randomized policy, a seeded Rng stream), so a
+ * routed trace is reproducible bit-for-bit from (policy, seed).
+ *
+ * The policy names are the CLI surface (`--policy` in bench_util);
+ * parsePolicy is the single spelling authority.
+ */
+
+#ifndef TRANSFUSION_FLEET_POLICY_HH
+#define TRANSFUSION_FLEET_POLICY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace transfusion::fleet
+{
+
+/** How the router spreads requests over eligible replicas. */
+enum class PolicyKind
+{
+    /**
+     * Always the lowest-index eligible replica.  A 1-replica fleet
+     * under pass-through reproduces the single-replica run bit for
+     * bit — the fleet layer's identity baseline.
+     */
+    PassThrough,
+    /** Cycle through the eligible replicas in index order. */
+    RoundRobin,
+    /** Fewest outstanding (unpulled + queued + running) requests;
+     *  ties break toward the lowest index. */
+    LeastOutstanding,
+    /** Most free pooled KV words; ties break toward the lowest
+     *  index. */
+    KvPressure,
+    /**
+     * Power-of-two-choices: two seeded uniform draws over the
+     * eligible set, route to the less-loaded of the pair (ties to
+     * the lower index).  Exactly two Rng draws per decision, so the
+     * stream position is a pure function of the decision count.
+     */
+    PowerOfTwo,
+};
+
+/** Canonical CLI name ("round-robin", "p2c", ...). */
+std::string toString(PolicyKind k);
+
+/**
+ * Parse a policy name; accepts the canonical names plus the "p2c"
+ * shorthand for power-of-two.  nullopt on anything else — callers
+ * own the failure mode (the bench CLI exits 2).
+ */
+std::optional<PolicyKind> parsePolicy(const std::string &name);
+
+/** Every policy, in declaration order (sweep order for benches). */
+std::vector<PolicyKind> allPolicies();
+
+/** Comma-separated canonical names, for usage/error messages. */
+std::string policyNames();
+
+} // namespace transfusion::fleet
+
+#endif // TRANSFUSION_FLEET_POLICY_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Policy dispatch for one routing decision.
+ */
+
+#include "router.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::fleet
+{
+
+namespace
+{
+
+/** Less-loaded of two views; ties break to the lower index. */
+const ReplicaView &
+lessLoaded(const ReplicaView &a, const ReplicaView &b)
+{
+    if (a.outstanding != b.outstanding)
+        return a.outstanding < b.outstanding ? a : b;
+    return a.index <= b.index ? a : b;
+}
+
+} // namespace
+
+Router::Router(PolicyKind policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed)
+{
+}
+
+int
+Router::pick(const std::vector<ReplicaView> &eligible)
+{
+    tf_assert(!eligible.empty(),
+              "router asked to pick from zero replicas");
+    decisions_ += 1;
+    switch (policy_) {
+    case PolicyKind::PassThrough:
+        return eligible.front().index;
+    case PolicyKind::RoundRobin:
+        return eligible[round_robin_++ % eligible.size()].index;
+    case PolicyKind::LeastOutstanding: {
+        const ReplicaView *best = &eligible.front();
+        for (const ReplicaView &v : eligible)
+            if (v.outstanding < best->outstanding)
+                best = &v;
+        return best->index;
+    }
+    case PolicyKind::KvPressure: {
+        const ReplicaView *best = &eligible.front();
+        for (const ReplicaView &v : eligible)
+            if (v.free_kv_words > best->free_kv_words)
+                best = &v;
+        return best->index;
+    }
+    case PolicyKind::PowerOfTwo: {
+        // Always two draws, even over one replica, so the stream
+        // position depends only on the decision count.
+        const std::uint64_t n = eligible.size();
+        const ReplicaView &a =
+            eligible[static_cast<std::size_t>(rng_.nextBelow(n))];
+        const ReplicaView &b =
+            eligible[static_cast<std::size_t>(rng_.nextBelow(n))];
+        return lessLoaded(a, b).index;
+    }
+    }
+    tf_panic("unknown PolicyKind");
+}
+
+} // namespace transfusion::fleet

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The fleet request router: one routing decision per offered (or
+ * failed-over) request, over the currently *eligible* replicas —
+ * active, healthy, and not draining.  The router never sees
+ * ineligible replicas; the fleet simulator builds the view list.
+ *
+ * Determinism: every policy is a pure function of the view list and
+ * the router's own state (round-robin cursor, seeded Rng), and the
+ * fleet simulator makes routing decisions in a fixed order (arrival
+ * order, ties by request id), so routed traces are bit-identical
+ * per (policy, seed) on any machine and thread count.
+ */
+
+#ifndef TRANSFUSION_FLEET_ROUTER_HH
+#define TRANSFUSION_FLEET_ROUTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "fleet/policy.hh"
+
+namespace transfusion::fleet
+{
+
+/** What a policy may balance on: one eligible replica's load. */
+struct ReplicaView
+{
+    /** Replica index in the fleet (stable across the run). */
+    int index = 0;
+    /** Unpulled + queued + running requests at this replica. */
+    std::int64_t outstanding = 0;
+    /** Unreserved pooled KV words at this replica. */
+    double free_kv_words = 0;
+};
+
+/** Seeded, stateful policy applicator. */
+class Router
+{
+  public:
+    Router(PolicyKind policy, std::uint64_t seed);
+
+    PolicyKind policy() const { return policy_; }
+
+    /**
+     * Pick the replica for one request.  `eligible` must be
+     * non-empty and sorted by replica index (the fleet simulator
+     * builds it that way).  Returns the chosen replica *index*
+     * (ReplicaView::index, not a position in the vector).
+     */
+    int pick(const std::vector<ReplicaView> &eligible);
+
+    /** Routing decisions made so far. */
+    std::int64_t decisions() const { return decisions_; }
+
+  private:
+    PolicyKind policy_;
+    Rng rng_;
+    std::uint64_t round_robin_ = 0;
+    std::int64_t decisions_ = 0;
+};
+
+} // namespace transfusion::fleet
+
+#endif // TRANSFUSION_FLEET_ROUTER_HH

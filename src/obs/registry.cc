@@ -79,6 +79,25 @@ Registry::merge(const RegistrySnapshot &other)
         impl_->data.timers[name].merge(h);
 }
 
+void
+Registry::mergePrefixed(const RegistrySnapshot &other,
+                        const std::string &prefix)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto &[name, v] : other.counters)
+        impl_->data.counters[prefix + name] += v;
+    for (const auto &[name, v] : other.gauges)
+        impl_->data.gauges[prefix + name] += v;
+    for (const auto &[name, v] : other.peaks) {
+        auto [it, inserted] =
+            impl_->data.peaks.emplace(prefix + name, v);
+        if (!inserted)
+            it->second = std::max(it->second, v);
+    }
+    for (const auto &[name, h] : other.timers)
+        impl_->data.timers[prefix + name].merge(h);
+}
+
 RegistrySnapshot
 Registry::snapshot() const
 {

@@ -77,6 +77,18 @@ class Registry
     void merge(const Registry &other);
     void merge(const RegistrySnapshot &other);
 
+    /**
+     * merge() with every incoming key prepended with `prefix`
+     * verbatim ("fleet/replica.3." + "serve/offered").  Multi-
+     * instance drivers (the fleet simulator's per-replica
+     * registries) fold each instance under its own namespace so
+     * same-named metrics from different instances never collide;
+     * merging a fixed sequence of (snapshot, prefix) pairs in a
+     * fixed order stays deterministic bit-for-bit.
+     */
+    void mergePrefixed(const RegistrySnapshot &other,
+                       const std::string &prefix);
+
     /** Copy out the current contents.  Idempotent: snapshotting is
      *  a read and never perturbs the registry. */
     RegistrySnapshot snapshot() const;

@@ -272,6 +272,21 @@ ServeSimulator::drainRunning(ServeSession &s) const
     return drained;
 }
 
+std::vector<Request>
+ServeSimulator::drainQueued(ServeSession &s) const
+{
+    std::vector<Request> drained;
+    drained.reserve(s.queue.size()
+                    + (s.pending.size() - s.next));
+    for (const Request &r : s.queue)
+        drained.push_back(r);
+    s.queue.clear();
+    for (std::size_t i = s.next; i < s.pending.size(); ++i)
+        drained.push_back(s.pending[i]);
+    s.pending.resize(s.next);
+    return drained;
+}
+
 void
 ServeSimulator::injectRequests(ServeSession &s,
                                std::vector<Request> arrivals) const

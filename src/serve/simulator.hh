@@ -146,6 +146,25 @@ struct ServeSession
         return next < pending.size() || !queue.empty()
             || !running.empty();
     }
+
+    /**
+     * Requests this session still owes an answer for: the unpulled
+     * pending tail, the arrival queue, and the running batch.  The
+     * load signal a fleet router balances on.
+     */
+    std::int64_t outstanding() const
+    {
+        return static_cast<std::int64_t>(pending.size() - next)
+            + static_cast<std::int64_t>(queue.size())
+            + static_cast<std::int64_t>(running.size());
+    }
+
+    /** Unreserved KV words — the headroom a KV-pressure-aware
+     *  router routes toward. */
+    double freeKvWords() const
+    {
+        return cache.capacityWords() - cache.reservedWords();
+    }
 };
 
 /**
@@ -212,6 +231,17 @@ class ServeSimulator
      */
     std::vector<InFlightRequest>
     drainRunning(ServeSession &session) const;
+
+    /**
+     * Remove every not-yet-admitted request from `session` — the
+     * arrival queue first (FIFO order), then the unpulled pending
+     * tail (arrival order) — and return them.  Unlike a shed this
+     * touches no reject counter: the requests are leaving to be
+     * served elsewhere, not refused.  The fleet layer calls this
+     * (paired with drainRunning) when a replica faults, so queued
+     * work fails over instead of dying with the replica.
+     */
+    std::vector<Request> drainQueued(ServeSession &session) const;
 
     /**
      * Merge `arrivals` (sorted by arrival time, e.g. backoff

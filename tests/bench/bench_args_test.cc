@@ -131,5 +131,53 @@ TEST(BenchArgsDeathTest, UnknownFlagsStillExit)
                 testing::ExitedWithCode(2), "unknown argument");
 }
 
+TEST(BenchArgs, FleetFlagsDefaultToASingleReplicaRoundRobin)
+{
+    const auto args = parse({ "bench" });
+    EXPECT_EQ(args.replicas, 1);
+    EXPECT_EQ(args.policy, fleet::PolicyKind::RoundRobin);
+}
+
+TEST(BenchArgs, FleetFlagsParseDetachedAndAttachedForms)
+{
+    const auto detached =
+        parse({ "bench", "--replicas", "8", "--policy",
+                "least-outstanding" });
+    EXPECT_EQ(detached.replicas, 8);
+    EXPECT_EQ(detached.policy, fleet::PolicyKind::LeastOutstanding);
+
+    const auto attached =
+        parse({ "bench", "--replicas=4", "--policy=p2c" });
+    EXPECT_EQ(attached.replicas, 4);
+    EXPECT_EQ(attached.policy, fleet::PolicyKind::PowerOfTwo);
+}
+
+TEST(BenchArgsDeathTest, ZeroReplicasExitsWithUsageError)
+{
+    // A fleet of zero replicas is meaningless: min is 1, like
+    // --chips, not 0 like --faults.
+    EXPECT_EXIT(parse({ "bench", "--replicas", "0" }),
+                testing::ExitedWithCode(2),
+                "--replicas needs a positive integer");
+    EXPECT_EXIT(parse({ "bench", "--replicas=8x" }),
+                testing::ExitedWithCode(2),
+                "--replicas needs a positive integer, got '8x'");
+}
+
+TEST(BenchArgsDeathTest, UnknownPolicyExitsWithTheSpellingList)
+{
+    // The error must name the offender and list every accepted
+    // spelling — the CLI is the only discovery surface.
+    EXPECT_EXIT(parse({ "bench", "--policy", "random" }),
+                testing::ExitedWithCode(2),
+                "unknown policy 'random' \\(expected one of: "
+                ".*round-robin.*\\)");
+    EXPECT_EXIT(parse({ "bench", "--policy=" }),
+                testing::ExitedWithCode(2), "unknown policy ''");
+    EXPECT_EXIT(parse({ "bench", "--policy" }),
+                testing::ExitedWithCode(2),
+                "--policy needs a value");
+}
+
 } // namespace
 } // namespace transfusion::bench

@@ -3,6 +3,8 @@
  * Unit tests for the exact-percentile histogram.
  */
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/histogram.hh"
@@ -85,6 +87,60 @@ TEST(Histogram, MergeIsLossless)
         EXPECT_DOUBLE_EQ(a.percentile(p), both.percentile(p));
     // Addition order differs between the two, so allow rounding.
     EXPECT_NEAR(a.sum(), both.sum(), 1e-12 * both.sum());
+}
+
+TEST(Histogram, MergeIsCommutativeAndAssociative)
+{
+    // The fleet merges per-replica histograms in replica-index
+    // order for determinism, but the *distribution* must not
+    // depend on that order: any grouping or order of lossless
+    // merges is the same sample multiset.
+    Rng rng(23);
+    std::vector<Histogram> parts(4);
+    for (int i = 0; i < 400; ++i)
+        parts[static_cast<std::size_t>(rng.nextBelow(4))].add(
+            rng.nextDouble(0, 10));
+
+    // Commutativity: a+b == b+a.
+    Histogram ab = parts[0];
+    ab.merge(parts[1]);
+    Histogram ba = parts[1];
+    ba.merge(parts[0]);
+    EXPECT_EQ(ab.count(), ba.count());
+    for (double p = 0; p <= 100; p += 5)
+        EXPECT_DOUBLE_EQ(ab.percentile(p), ba.percentile(p));
+    EXPECT_NEAR(ab.sum(), ba.sum(), 1e-12 * ab.sum());
+
+    // Associativity: ((a+b)+c)+d == a+((b+c)+d), and both equal
+    // the flat all-samples histogram.
+    Histogram left = parts[0];
+    left.merge(parts[1]);
+    left.merge(parts[2]);
+    left.merge(parts[3]);
+    Histogram inner = parts[1];
+    inner.merge(parts[2]);
+    inner.merge(parts[3]);
+    Histogram right = parts[0];
+    right.merge(inner);
+    Histogram flat;
+    for (const Histogram &part : parts)
+        flat.merge(part);
+    ASSERT_EQ(left.count(), 400u);
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_EQ(left.count(), flat.count());
+    for (double p = 0; p <= 100; p += 5) {
+        EXPECT_DOUBLE_EQ(left.percentile(p), right.percentile(p));
+        EXPECT_DOUBLE_EQ(left.percentile(p), flat.percentile(p));
+    }
+    EXPECT_DOUBLE_EQ(left.min(), right.min());
+    EXPECT_DOUBLE_EQ(left.max(), right.max());
+
+    // Merging an empty histogram is the identity.
+    Histogram with_empty = parts[0];
+    with_empty.merge(Histogram{});
+    EXPECT_EQ(with_empty.count(), parts[0].count());
+    EXPECT_DOUBLE_EQ(with_empty.percentile(50),
+                     parts[0].percentile(50));
 }
 
 TEST(Histogram, PercentileOrFallsBackOnlyWhenEmpty)

@@ -5,6 +5,8 @@
  * the retry-backoff arithmetic is exact.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
@@ -114,6 +116,47 @@ TEST(FaultSchedule, GeneratorNeverDownsTheLastChip)
     const FaultSchedule s = generateFaultSchedule(o, 1, 5);
     for (const FaultEvent &e : s.events)
         EXPECT_EQ(e.kind, FaultKind::LinkDegrade);
+}
+
+TEST(FaultSchedule, DownSpansCoverEveryUnhealthyInterval)
+{
+    // The fleet routes around a replica exactly while any chip is
+    // down: spans open at the first loss, close when the *last*
+    // down chip recovers, and overlapping outages coalesce.
+    FaultSchedule s;
+    s.events.push_back({ 1.0, FaultKind::ChipLoss, 0 });
+    s.events.push_back({ 2.0, FaultKind::ChipLoss, 1 });  // overlap
+    s.events.push_back({ 3.0, FaultKind::ChipRecovery, 0 });
+    s.events.push_back({ 4.0, FaultKind::ChipRecovery, 1 });
+    s.events.push_back({ 6.0, FaultKind::ChipLoss, 1 });
+    s.events.push_back({ 7.0, FaultKind::ChipRecovery, 1 });
+    const auto spans = s.downSpans(2);
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].start_s, 1.0);
+    EXPECT_EQ(spans[0].end_s, 4.0); // last recovery, not first
+    EXPECT_EQ(spans[1].start_s, 6.0);
+    EXPECT_EQ(spans[1].end_s, 7.0);
+}
+
+TEST(FaultSchedule, DownSpansOpenForeverWithoutRecovery)
+{
+    FaultSchedule s;
+    s.events.push_back({ 2.5, FaultKind::ChipLoss, 1 });
+    const auto spans = s.downSpans(2);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].start_s, 2.5);
+    EXPECT_TRUE(std::isinf(spans[0].end_s));
+}
+
+TEST(FaultSchedule, LinkDegradesNeverOpenADownSpan)
+{
+    // A slower fabric still serves — degrades are the fault
+    // server's replanning domain, not a routing outage.
+    FaultSchedule s;
+    s.events.push_back({ 1.0, FaultKind::LinkDegrade, -1, 0.25 });
+    s.events.push_back({ 5.0, FaultKind::LinkDegrade, -1, 1.0 });
+    EXPECT_TRUE(s.downSpans(2).empty());
+    EXPECT_TRUE(FaultSchedule{}.downSpans(2).empty());
 }
 
 TEST(RetryPolicy, BackoffGrowsGeometricallyAndCaps)

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the hysteresis autoscaler state machine: decisions need
+ * a persistent signal (streaks), every decision opens a cooldown,
+ * streaks keep accumulating through cooldown, and the min/max
+ * bounds clamp what can fire.
+ */
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fleet/autoscaler.hh"
+
+namespace transfusion::fleet
+{
+namespace
+{
+
+AutoscalerOptions
+fastScaling()
+{
+    AutoscalerOptions o;
+    o.enabled = true;
+    o.min_replicas = 1;
+    o.up_queue_depth = 4.0;
+    o.down_queue_depth = 0.5;
+    o.up_after_ticks = 2;
+    o.down_after_ticks = 2;
+    o.cooldown_ticks = 1;
+    return o;
+}
+
+TEST(Autoscaler, UpNeedsAPersistentOverloadStreak)
+{
+    Autoscaler a(fastScaling(), /*pool=*/4);
+    // One overloaded tick is not enough (up_after_ticks = 2).
+    EXPECT_EQ(a.observe(10.0, 0, 1), ScaleDecision::Hold);
+    // An idle tick in between resets the streak.
+    EXPECT_EQ(a.observe(0.0, 0, 1), ScaleDecision::Hold);
+    EXPECT_EQ(a.observe(10.0, 0, 1), ScaleDecision::Hold);
+    EXPECT_EQ(a.observe(10.0, 0, 1), ScaleDecision::Up);
+    EXPECT_EQ(a.scaleUps(), 1);
+    EXPECT_EQ(a.ticks(), 4);
+}
+
+TEST(Autoscaler, CooldownHoldsButStreaksAccumulateUnderneath)
+{
+    Autoscaler a(fastScaling(), /*pool=*/4);
+    EXPECT_EQ(a.observe(10.0, 0, 1), ScaleDecision::Hold);
+    EXPECT_EQ(a.observe(10.0, 0, 1), ScaleDecision::Up);
+    // Cooldown tick: held even though still overloaded...
+    EXPECT_EQ(a.observe(10.0, 0, 2), ScaleDecision::Hold);
+    // ...but the streak kept growing, so the next tick fires
+    // immediately instead of re-counting from zero.
+    EXPECT_EQ(a.observe(10.0, 0, 2), ScaleDecision::Up);
+    EXPECT_EQ(a.scaleUps(), 2);
+}
+
+TEST(Autoscaler, DownNeedsAPersistentIdleStreak)
+{
+    Autoscaler a(fastScaling(), /*pool=*/4);
+    EXPECT_EQ(a.observe(0.0, 0, 3), ScaleDecision::Hold);
+    EXPECT_EQ(a.observe(0.0, 0, 3), ScaleDecision::Down);
+    EXPECT_EQ(a.scaleDowns(), 1);
+    // Mid-band depth (between down and up thresholds) is neither
+    // overloaded nor idle: both streaks reset, nothing ever fires.
+    Autoscaler b(fastScaling(), /*pool=*/4);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(b.observe(2.0, 0, 2), ScaleDecision::Hold);
+    EXPECT_EQ(b.scaleUps() + b.scaleDowns(), 0);
+}
+
+TEST(Autoscaler, BoundsClampWhatCanFire)
+{
+    auto opts = fastScaling();
+    opts.max_replicas = 2;
+    Autoscaler a(opts, /*pool=*/4);
+    // Already serving at max: overload never scales past it.
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(a.observe(10.0, 0, 2), ScaleDecision::Hold);
+    EXPECT_EQ(a.scaleUps(), 0);
+    // Already serving at min: idleness never drains below it.
+    Autoscaler b(fastScaling(), /*pool=*/4);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(b.observe(0.0, 0, 1), ScaleDecision::Hold);
+    EXPECT_EQ(b.scaleDowns(), 0);
+}
+
+TEST(Autoscaler, WaitTriggerFiresIndependentlyOfDepth)
+{
+    auto opts = fastScaling();
+    opts.up_wait_p99_s = 1.0;
+    Autoscaler a(opts, /*pool=*/4);
+    // Depth is idle-low but the p99 wait is over the trigger: the
+    // tick reads as overloaded, not idle.
+    EXPECT_EQ(a.observe(0.0, 5.0, 1), ScaleDecision::Hold);
+    EXPECT_EQ(a.observe(0.0, 5.0, 1), ScaleDecision::Up);
+    EXPECT_EQ(a.scaleUps(), 1);
+    EXPECT_EQ(a.scaleDowns(), 0);
+}
+
+TEST(Autoscaler, InfiniteDepthReadsAsOverload)
+{
+    // serving == 0 with queued work is reported as +inf depth; the
+    // machine must treat it as overload, not NaN-propagate.
+    Autoscaler a(fastScaling(), /*pool=*/4);
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(a.observe(inf, 0, 1), ScaleDecision::Hold);
+    EXPECT_EQ(a.observe(inf, 0, 1), ScaleDecision::Up);
+}
+
+TEST(Autoscaler, OptionDefaultsResolveAgainstThePool)
+{
+    AutoscalerOptions o;
+    EXPECT_EQ(o.maxReplicas(8), 8);
+    EXPECT_EQ(o.initialReplicas(), o.min_replicas);
+    o.max_replicas = 3;
+    o.initial_replicas = 2;
+    EXPECT_EQ(o.maxReplicas(8), 3);
+    EXPECT_EQ(o.initialReplicas(), 2);
+    o.validate(8); // coherent: must not abort
+}
+
+TEST(Autoscaler, IncoherentOptionsAreFatal)
+{
+    AutoscalerOptions o;
+    o.max_replicas = 9;
+    EXPECT_THROW(o.validate(4), FatalError);
+    AutoscalerOptions depth;
+    depth.down_queue_depth = 10.0; // >= up_queue_depth
+    EXPECT_THROW(depth.validate(4), FatalError);
+    AutoscalerOptions ticks;
+    ticks.up_after_ticks = 0;
+    EXPECT_THROW(ticks.validate(4), FatalError);
+    AutoscalerOptions initial;
+    initial.initial_replicas = 9;
+    EXPECT_THROW(initial.validate(4), FatalError);
+}
+
+TEST(Autoscaler, DecisionNamesPrint)
+{
+    EXPECT_EQ(toString(ScaleDecision::Hold), "hold");
+    EXPECT_EQ(toString(ScaleDecision::Up), "up");
+    EXPECT_EQ(toString(ScaleDecision::Down), "down");
+}
+
+} // namespace
+} // namespace transfusion::fleet

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Tests for the fleet simulator: the 1-replica pass-through fleet
+ * reproduces the single-replica fault-tolerant run bit for bit
+ * (metrics and RunReport), failover re-routes a faulted replica's
+ * work with every request accounted, the autoscaler activates
+ * replicas under a burst, held requests are refused when no replica
+ * ever serves, and every policy's fleet replay is bit-identical
+ * across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fault/fault_server.hh"
+#include "fleet/fleet_sim.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
+#include "serve/workload.hh"
+
+namespace transfusion::fleet
+{
+namespace
+{
+
+serve::WorkloadOptions
+smallWorkload()
+{
+    serve::WorkloadOptions wl;
+    wl.arrival_per_s = 2.0;
+    wl.requests = 16;
+    wl.prompt = { 128, 256 };
+    wl.output = { 16, 32 };
+    return wl;
+}
+
+/** Cheap calibration knobs shared with the fault-server tests. */
+serve::ServeOptions
+fastServe()
+{
+    serve::ServeOptions o;
+    o.strategy = schedule::StrategyKind::TransFusion;
+    o.max_batch = 4;
+    o.cost.cache_samples = 3;
+    o.cost.prefill_samples = 3;
+    o.cost.evaluator.mcts.iterations = 32;
+    return o;
+}
+
+FleetOptions
+fastFleet()
+{
+    FleetOptions o;
+    o.serve = fastServe();
+    o.threads = 1;
+    o.plan_threads = 1;
+    return o;
+}
+
+/** Field-wise bitwise equality of two serve ledgers. */
+void
+expectSameServeMetrics(const serve::ServeMetrics &a,
+                       const serve::ServeMetrics &b)
+{
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.generated_tokens, b.generated_tokens);
+    EXPECT_EQ(a.prefill_rounds, b.prefill_rounds);
+    EXPECT_EQ(a.decode_rounds, b.decode_rounds);
+    EXPECT_EQ(a.peak_running, b.peak_running);
+    EXPECT_EQ(a.peak_queue, b.peak_queue);
+    EXPECT_EQ(a.peak_reserved_words, b.peak_reserved_words);
+    EXPECT_EQ(a.kv_capacity_words, b.kv_capacity_words);
+    EXPECT_EQ(a.makespan_s, b.makespan_s); // bitwise
+    EXPECT_EQ(a.tokens_per_second, b.tokens_per_second);
+    EXPECT_EQ(a.ttft_s.count(), b.ttft_s.count());
+    EXPECT_EQ(a.latency_s.count(), b.latency_s.count());
+    if (!a.latency_s.empty() && !b.latency_s.empty()) {
+        EXPECT_EQ(a.latency_s.max(), b.latency_s.max());
+    }
+}
+
+/** Field-wise equality of two fleet replays (bitwise doubles). */
+void
+expectSameFleetMetrics(const FleetMetrics &a, const FleetMetrics &b)
+{
+    ASSERT_EQ(a.replicas.size(), b.replicas.size());
+    for (std::size_t i = 0; i < a.replicas.size(); ++i)
+        expectSameServeMetrics(a.replicas[i], b.replicas[i]);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.generated_tokens, b.generated_tokens);
+    EXPECT_EQ(a.routed, b.routed);
+    EXPECT_EQ(a.held_rejected, b.held_rejected);
+    EXPECT_EQ(a.replica_downs, b.replica_downs);
+    EXPECT_EQ(a.replica_ups, b.replica_ups);
+    EXPECT_EQ(a.failover_drained, b.failover_drained);
+    EXPECT_EQ(a.failover_reroutes, b.failover_reroutes);
+    EXPECT_EQ(a.failover_exhausted, b.failover_exhausted);
+    EXPECT_EQ(a.failover_wasted_tokens, b.failover_wasted_tokens);
+    EXPECT_EQ(a.autoscaler_ticks, b.autoscaler_ticks);
+    EXPECT_EQ(a.scale_ups, b.scale_ups);
+    EXPECT_EQ(a.scale_downs, b.scale_downs);
+    EXPECT_EQ(a.peak_serving, b.peak_serving);
+    EXPECT_EQ(a.makespan_s, b.makespan_s); // bitwise
+    EXPECT_EQ(a.completed_per_second, b.completed_per_second);
+    EXPECT_EQ(a.latency_s.count(), b.latency_s.count());
+    EXPECT_EQ(a.queue_wait_s.count(), b.queue_wait_s.count());
+}
+
+TEST(FleetSim, PassThroughFleetIsBitIdenticalToFaultServer)
+{
+    const auto cluster = multichip::edgeCluster(2);
+    const auto cfg = model::t5Small();
+    const auto wl = smallWorkload();
+    const auto trace = serve::generateWorkload(wl, 7);
+
+    fault::FaultServeOptions fo;
+    fo.serve = fastServe();
+    fo.initial_spec = { 2, 1 };
+    fo.plan_threads = 1;
+    const fault::FaultTolerantServer server(cluster, cfg, wl, fo);
+
+    auto fl = fastFleet();
+    const FleetSimulator fleet(
+        { ReplicaConfig{ cluster, { 2, 1 } } }, cfg, wl, fl);
+
+    obs::Registry fleet_reg;
+    FleetMetrics fm;
+    {
+        obs::ScopedRegistry scope(fleet_reg);
+        FleetRunOptions run;
+        run.policy = PolicyKind::PassThrough;
+        fm = fleet.run(trace, run);
+    }
+    obs::Registry fault_reg;
+    fault::FaultServeMetrics sm;
+    {
+        obs::ScopedRegistry scope(fault_reg);
+        sm = server.run(trace, fault::FaultSchedule{});
+    }
+
+    // The single replica's ledger IS the fault server's ledger.
+    ASSERT_EQ(fm.replicas.size(), 1u);
+    expectSameServeMetrics(fm.replicas[0], sm.serve);
+    EXPECT_EQ(fm.offered, sm.serve.offered);
+    EXPECT_EQ(fm.completed, sm.serve.completed);
+    EXPECT_EQ(fm.rejected, sm.serve.rejected);
+    EXPECT_EQ(fm.makespan_s, sm.serve.makespan_s); // bitwise
+    EXPECT_EQ(fm.routed, fm.offered);
+    EXPECT_EQ(fm.peak_serving, 1);
+    EXPECT_EQ(fm.failover_drained, 0);
+    EXPECT_EQ(fm.replica_downs, 0);
+
+    // And the observable record matches bit for bit: no fleet
+    // counters, no replica prefixes, identical serve attribution.
+    EXPECT_EQ(obs::RunReport::capture(fleet_reg).toString(),
+              obs::RunReport::capture(fault_reg).toString());
+}
+
+TEST(FleetSim, FailoverReroutesAFaultedReplicasWork)
+{
+    const auto cluster = multichip::edgeCluster(1);
+    const auto cfg = model::t5Small();
+    auto wl = smallWorkload();
+    wl.arrival_per_s = 100.0; // saturate: work in flight at the loss
+    const auto trace = serve::generateWorkload(wl, 7);
+
+    const auto fleet =
+        FleetSimulator::uniform(2, cluster, cfg, wl, fastFleet());
+
+    FleetRunOptions healthy_run;
+    healthy_run.policy = PolicyKind::RoundRobin;
+    const auto healthy = fleet.run(trace, healthy_run);
+    ASSERT_GT(healthy.makespan_s, 0);
+    EXPECT_EQ(healthy.completed, healthy.offered);
+    EXPECT_EQ(healthy.failover_drained, 0);
+
+    // Replica 1 loses its only chip mid-trace and never recovers.
+    fault::FaultSchedule outage;
+    outage.events.push_back({ 0.4 * healthy.makespan_s,
+                              fault::FaultKind::ChipLoss, 0 });
+    FleetRunOptions faulted_run = healthy_run;
+    faulted_run.faults.resize(2);
+    faulted_run.faults[1] = outage;
+    const auto m = fleet.run(trace, faulted_run);
+
+    EXPECT_EQ(m.replica_downs, 1);
+    EXPECT_EQ(m.replica_ups, 0);
+    EXPECT_GT(m.failover_drained, 0);
+    EXPECT_EQ(m.failover_reroutes, m.failover_drained);
+    EXPECT_EQ(m.failover_exhausted, 0);
+    // Every drained request finished on the survivor: nothing is
+    // terminally rejected, and the fleet ledger balances.
+    EXPECT_EQ(m.completed, m.offered);
+    EXPECT_EQ(m.rejected, 0);
+    EXPECT_EQ(m.held_rejected, 0);
+    // Re-offers are extra routing decisions on top of the trace.
+    EXPECT_EQ(m.routed, m.offered + m.failover_reroutes);
+    // Per-replica ledgers balance too: the drained requests were
+    // un-counted from replica 1 and completed on replica 0.
+    ASSERT_EQ(m.replicas.size(), 2u);
+    for (const auto &r : m.replicas)
+        EXPECT_EQ(r.offered, r.completed + r.rejected);
+    EXPECT_GT(m.replicas[0].completed, healthy.replicas[0].completed);
+    // One replica for part of the run can only be slower.
+    EXPECT_GE(m.makespan_s, healthy.makespan_s);
+}
+
+TEST(FleetSim, ExhaustedRetryBudgetRejectsForGood)
+{
+    const auto cluster = multichip::edgeCluster(1);
+    const auto cfg = model::t5Small();
+    auto wl = smallWorkload();
+    wl.arrival_per_s = 100.0;
+    const auto trace = serve::generateWorkload(wl, 7);
+
+    auto fl = fastFleet();
+    fl.retry.max_attempts = 0; // no second chances
+    const auto fleet =
+        FleetSimulator::uniform(2, cluster, cfg, wl, fl);
+
+    FleetRunOptions run;
+    run.policy = PolicyKind::RoundRobin;
+    const auto healthy = fleet.run(trace, run);
+    fault::FaultSchedule outage;
+    outage.events.push_back({ 0.4 * healthy.makespan_s,
+                              fault::FaultKind::ChipLoss, 0 });
+    run.faults.resize(2);
+    run.faults[1] = outage;
+    const auto m = fleet.run(trace, run);
+
+    EXPECT_GT(m.failover_drained, 0);
+    EXPECT_EQ(m.failover_reroutes, 0);
+    EXPECT_EQ(m.failover_exhausted, m.failover_drained);
+    EXPECT_EQ(m.rejected, m.failover_exhausted);
+    EXPECT_EQ(m.completed + m.rejected, m.offered);
+}
+
+TEST(FleetSim, HeldRequestsAreRefusedWhenNothingEverServes)
+{
+    const auto cluster = multichip::edgeCluster(1);
+    const auto cfg = model::t5Small();
+    const auto wl = smallWorkload();
+    const auto trace = serve::generateWorkload(wl, 7);
+
+    const auto fleet =
+        FleetSimulator::uniform(1, cluster, cfg, wl, fastFleet());
+
+    // The only replica dies before the first arrival, forever.
+    fault::FaultSchedule outage;
+    outage.events.push_back(
+        { 1e-4, fault::FaultKind::ChipLoss, 0 });
+    FleetRunOptions run;
+    run.policy = PolicyKind::RoundRobin; // not the fast path
+    run.faults = { outage };
+    const auto m = fleet.run(trace, run);
+
+    EXPECT_EQ(m.completed, 0);
+    EXPECT_EQ(m.held_rejected, m.offered);
+    EXPECT_EQ(m.rejected, m.offered);
+    EXPECT_EQ(m.generated_tokens, 0);
+    EXPECT_EQ(m.replica_downs, 1);
+    // The zero-completion summary must render, not abort.
+    EXPECT_NE(m.summary().find("completed=0"), std::string::npos);
+}
+
+TEST(FleetSim, AutoscalerActivatesReplicasUnderABurst)
+{
+    const auto cluster = multichip::edgeCluster(1);
+    const auto cfg = model::t5Small();
+    auto wl = smallWorkload();
+    wl.arrival_per_s = 100.0; // burst: deep queue at t ~ 0
+    wl.requests = 24;
+    const auto trace = serve::generateWorkload(wl, 7);
+
+    auto fl = fastFleet();
+    fl.autoscaler.enabled = true;
+    fl.autoscaler.min_replicas = 1;
+    fl.autoscaler.interval_s = 0.05;
+    fl.autoscaler.up_queue_depth = 2.0;
+    fl.autoscaler.up_after_ticks = 1;
+    fl.autoscaler.cooldown_ticks = 0;
+    const auto fleet =
+        FleetSimulator::uniform(4, cluster, cfg, wl, fl);
+
+    FleetRunOptions run;
+    run.policy = PolicyKind::LeastOutstanding;
+    const auto m = fleet.run(trace, run);
+
+    // The burst trips the depth trigger: replicas activate beyond
+    // the single initial one and absorb the queue.
+    EXPECT_GT(m.autoscaler_ticks, 0);
+    EXPECT_GT(m.scale_ups, 0);
+    EXPECT_GT(m.peak_serving, 1);
+    EXPECT_LE(m.peak_serving, 4);
+    EXPECT_EQ(m.completed, m.offered);
+    // Activated replicas actually served.
+    std::int64_t active_replicas = 0;
+    for (const auto &r : m.replicas)
+        active_replicas += r.completed > 0;
+    EXPECT_GT(active_replicas, 1);
+
+    // Determinism: the autoscaled replay reproduces bit for bit.
+    expectSameFleetMetrics(m, fleet.run(trace, run));
+}
+
+TEST(FleetSim, EveryPolicyIsBitIdenticalAcrossThreadCounts)
+{
+    const auto cluster = multichip::edgeCluster(1);
+    const auto cfg = model::t5Small();
+    auto wl = smallWorkload();
+    wl.arrival_per_s = 50.0;
+    const auto trace = serve::generateWorkload(wl, 7);
+
+    // A mid-run outage with recovery exercises drains, re-offers,
+    // and down/up transitions in the replay being compared.
+    fault::FaultSchedule outage;
+    outage.events.push_back(
+        { 0.2, fault::FaultKind::ChipLoss, 0 });
+    outage.events.push_back(
+        { 1.5, fault::FaultKind::ChipRecovery, 0 });
+
+    auto one = fastFleet();
+    auto four = fastFleet();
+    four.threads = 4;
+    const auto fleet1 =
+        FleetSimulator::uniform(4, cluster, cfg, wl, one);
+    const auto fleet4 =
+        FleetSimulator::uniform(4, cluster, cfg, wl, four);
+
+    for (const PolicyKind policy : allPolicies()) {
+        FleetRunOptions run;
+        run.policy = policy;
+        run.seed = 11;
+        run.faults.resize(3);
+        run.faults[2] = outage;
+
+        obs::Registry reg1;
+        FleetMetrics m1;
+        {
+            obs::ScopedRegistry scope(reg1);
+            m1 = fleet1.run(trace, run);
+        }
+        obs::Registry reg4;
+        FleetMetrics m4;
+        {
+            obs::ScopedRegistry scope(reg4);
+            m4 = fleet4.run(trace, run);
+        }
+        SCOPED_TRACE("policy " + toString(policy));
+        expectSameFleetMetrics(m1, m4);
+        // The full observable record — per-replica prefixed serve
+        // metrics and fleet counters — is bit-identical too.
+        EXPECT_EQ(obs::RunReport::capture(reg1).toString(),
+                  obs::RunReport::capture(reg4).toString());
+    }
+}
+
+TEST(FleetSim, UniformFleetSharesOneCalibratedSimulator)
+{
+    const auto cluster = multichip::edgeCluster(1);
+    const auto cfg = model::t5Small();
+    const auto wl = smallWorkload();
+    const auto fleet =
+        FleetSimulator::uniform(3, cluster, cfg, wl, fastFleet());
+    EXPECT_EQ(fleet.replicaCount(), 3);
+    // One calibration shared by every slot, not three copies.
+    EXPECT_EQ(&fleet.replicaSimulator(0), &fleet.replicaSimulator(1));
+    EXPECT_EQ(&fleet.replicaSimulator(1), &fleet.replicaSimulator(2));
+    EXPECT_EQ(fleet.replicaSpec(0).chips(), cluster.size());
+}
+
+TEST(FleetSim, MalformedRunsAreFatal)
+{
+    const auto cluster = multichip::edgeCluster(1);
+    const auto cfg = model::t5Small();
+    const auto wl = smallWorkload();
+    const auto fleet =
+        FleetSimulator::uniform(2, cluster, cfg, wl, fastFleet());
+
+    // More fault schedules than replicas.
+    FleetRunOptions run;
+    run.faults.resize(3);
+    EXPECT_THROW(fleet.run({}, run), FatalError);
+
+    // Unsorted arrivals.
+    auto trace = serve::generateWorkload(wl, 7);
+    std::swap(trace.front().arrival_s, trace.back().arrival_s);
+    EXPECT_THROW(fleet.run(trace, {}), FatalError);
+
+    // An empty fleet cannot be built.
+    EXPECT_THROW(FleetSimulator({}, cfg, wl, fastFleet()),
+                 FatalError);
+}
+
+} // namespace
+} // namespace transfusion::fleet

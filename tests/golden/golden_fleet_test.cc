@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Golden regression test for the fleet layer: the RunReport of a
+ * 4-replica llama3-8B fleet (2-chip cloud replicas, power-of-two
+ * routing, one replica lost and recovered mid-trace) pins the
+ * per-replica prefixed serve attribution, the routing/failover
+ * counters, and the cross-replica merge order in one reviewable
+ * file.
+ *
+ * Regenerate with scripts/update_golden.sh (or run this binary
+ * with TRANSFUSION_UPDATE_GOLDEN=1) after an intentional change to
+ * the fleet event loop, the router, the serve simulator, or the
+ * cluster presets.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet_sim.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
+#include "serve/workload.hh"
+
+namespace transfusion
+{
+namespace
+{
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(TRANSFUSION_GOLDEN_DIR) + "/" + name
+        + ".txt";
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("TRANSFUSION_UPDATE_GOLDEN");
+    return env != nullptr && std::string(env) == "1";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** 4-replica power-of-two fleet with a mid-trace replica outage. */
+std::string
+fleetReport()
+{
+    serve::WorkloadOptions wl;
+    wl.arrival_per_s = 16.0;
+    wl.requests = 24;
+    wl.prompt = { 256, 1024 };
+    wl.output = { 32, 64 };
+
+    fleet::FleetOptions opts;
+    opts.serve.strategy = schedule::StrategyKind::TransFusion;
+    opts.serve.max_batch = 8;
+    opts.serve.cost.evaluator.mcts.iterations = 128;
+    opts.threads = 1;
+    opts.plan_threads = 1;
+
+    // Replica 1 loses a chip while arrivals are still streaming in
+    // and recovers later: the drain, the backoff re-offers, and the
+    // down/up transitions are all part of the pinned report.
+    fault::FaultSchedule outage;
+    outage.events.push_back(
+        { 1.0, fault::FaultKind::ChipLoss, 0 });
+    outage.events.push_back(
+        { 4.0, fault::FaultKind::ChipRecovery, 0 });
+
+    fleet::FleetRunOptions run;
+    run.policy = fleet::PolicyKind::PowerOfTwo;
+    run.seed = 13;
+    run.faults.resize(2);
+    run.faults[1] = outage;
+
+    obs::Registry local;
+    {
+        obs::ScopedRegistry scope(local);
+        const auto fleet = fleet::FleetSimulator::uniform(
+            4, multichip::cloudCluster(2), model::llama3_8b(), wl,
+            opts);
+        (void)fleet.run(serve::generateWorkload(wl, 13), run);
+    }
+    return obs::RunReport::capture(local).toString();
+}
+
+TEST(GoldenFleet, CloudLlama3FourReplicaP2cWithOutage)
+{
+    if (!TRANSFUSION_OBS_ENABLED)
+        GTEST_SKIP() << "observability disabled "
+                        "(TRANSFUSION_OBS=OFF): no report to pin";
+
+    const std::string actual = fleetReport();
+    ASSERT_FALSE(actual.empty())
+        << "instrumentation produced no metrics";
+    // The fleet layer must actually have reported: the top-level
+    // counters and the per-replica prefixed serve attribution.
+    EXPECT_NE(actual.find("fleet/routed"), std::string::npos);
+    EXPECT_NE(actual.find("fleet/replica.0."), std::string::npos);
+    EXPECT_NE(actual.find("fleet/replica.3."), std::string::npos);
+
+    const std::string path = goldenPath("cloud_llama3_fleet4_p2c");
+    if (updateRequested()) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write golden " << path;
+        out << actual;
+        std::cout << "updated golden " << path << "\n";
+        return;
+    }
+
+    const std::string expected = readFile(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden file " << path
+        << "; run scripts/update_golden.sh to create it";
+    EXPECT_EQ(expected, actual)
+        << "report drifted from " << path << ":\n"
+        << obs::RunReport::diff(expected, actual)
+        << "If the change is intentional, regenerate with "
+           "scripts/update_golden.sh and review the diff.";
+}
+
+TEST(GoldenFleet, FleetReportIsReproducibleWithinProcess)
+{
+    if (!TRANSFUSION_OBS_ENABLED)
+        GTEST_SKIP() << "observability disabled";
+    EXPECT_EQ(fleetReport(), fleetReport());
+}
+
+} // namespace
+} // namespace transfusion

@@ -110,6 +110,46 @@ TEST(Registry, MergeAddsCountersAndGaugesMaxesPeaksMergesTimers)
     EXPECT_EQ(b.snapshot().counters.at("c"), 10);
 }
 
+TEST(Registry, MergePrefixedNamespacesEveryKind)
+{
+    // The fleet folds each replica's registry under a
+    // "fleet/replica.<i>." prefix: every metric kind is renamed,
+    // and distinct prefixes never collide even for identical
+    // source names.
+    Registry replica;
+    replica.counterAdd("serve/offered", 16);
+    replica.gaugeAdd("serve/makespan_s", 2.5);
+    replica.gaugeMax("serve/queue_depth", 7.0);
+    replica.timerRecord("serve/run", 0.125);
+    const RegistrySnapshot snap = replica.snapshot();
+
+    Registry fleet;
+    fleet.counterAdd("fleet/routed", 32);
+    fleet.mergePrefixed(snap, "fleet/replica.0.");
+    fleet.mergePrefixed(snap, "fleet/replica.1.");
+    const RegistrySnapshot merged = fleet.snapshot();
+
+    EXPECT_EQ(merged.counters.at("fleet/routed"), 32);
+    EXPECT_EQ(merged.counters.at("fleet/replica.0.serve/offered"),
+              16);
+    EXPECT_EQ(merged.counters.at("fleet/replica.1.serve/offered"),
+              16);
+    EXPECT_DOUBLE_EQ(
+        merged.gauges.at("fleet/replica.0.serve/makespan_s"), 2.5);
+    EXPECT_DOUBLE_EQ(
+        merged.peaks.at("fleet/replica.1.serve/queue_depth"), 7.0);
+    EXPECT_EQ(merged.timers.at("fleet/replica.0.serve/run").count(),
+              1);
+    // No unprefixed leak: the replica's own names never land raw.
+    EXPECT_EQ(merged.counters.count("serve/offered"), 0u);
+
+    // Prefixing twice with the same prefix accumulates like merge.
+    fleet.mergePrefixed(snap, "fleet/replica.0.");
+    EXPECT_EQ(fleet.snapshot().counters.at(
+                  "fleet/replica.0.serve/offered"),
+              32);
+}
+
 TEST(Registry, ClearDropsEverything)
 {
     Registry reg;
