@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verification, a ThreadSanitizer pass over the threaded
-# layers, and an observability-off build proving the TF_* macros are
-# true no-ops under -Werror.
+# layers, an observability-off build proving the TF_* macros are
+# true no-ops under -Werror, and a line-coverage gate over the
+# simulation hot layers.
 #
 # Test selection is label-based (see tests/CMakeLists.txt):
 #   unit / integration / fuzz / golden  suite tiers
 #   threaded                            TSan surface
+#   perf-smoke                          ~1 s sim-core bench canary
 #
-# Usage: scripts/check.sh [--tier1-only | --tsan-only | --obs-off-only]
+# Usage: scripts/check.sh
+#        [--tier1-only | --tsan-only | --obs-off-only | --coverage-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,10 +27,38 @@ run_tier1() {
     ctest --test-dir build --output-on-failure -j "$jobs" -L golden
     ctest --test-dir build --output-on-failure -j "$jobs" \
         -L integration
+    # One short measurement of every simulation-core scenario; a
+    # hang or crash in the hot loops fails here in ~1 s.
+    ctest --test-dir build --output-on-failure -j "$jobs" \
+        -L perf-smoke
+}
+
+run_coverage() {
+    echo "== coverage: line coverage of src/serve + src/fleet =="
+    if ! command -v gcovr > /dev/null 2>&1; then
+        echo "coverage: gcovr not installed, skipping the gate"
+        return 0
+    fi
+    cmake -B build-cov -S . \
+        -DCMAKE_CXX_FLAGS="--coverage -O0" \
+        -DCMAKE_EXE_LINKER_FLAGS="--coverage"
+    cmake --build build-cov -j "$jobs"
+    ctest --test-dir build-cov --output-on-failure -j "$jobs" \
+        -L 'unit|integration|fuzz'
+    # The simulation hot layers the event-core rework touched; the
+    # differential replay harness plus the unit tiers must keep
+    # both cores' branches exercised.
+    gcovr --root . \
+        --filter 'src/serve/' --filter 'src/fleet/' \
+        build-cov \
+        --print-summary --fail-under-line 80
 }
 
 run_tsan() {
     echo "== TSan: threaded tests =="
+    # Targeted suppressions for races reported entirely inside the
+    # uninstrumented system libstdc++ (see scripts/tsan.supp).
+    export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
     cmake -B build-tsan -S . -DTRANSFUSION_SANITIZE=thread
     cmake --build build-tsan -j "$jobs" \
         --target tf_common_test tf_tileseek_test tf_schedule_test \
@@ -77,12 +108,14 @@ run_obs_off() {
 }
 
 case "$mode" in
-    --tier1-only)   run_tier1 ;;
-    --tsan-only)    run_tsan ;;
-    --obs-off-only) run_obs_off ;;
-    all)            run_tier1; run_tsan; run_obs_off ;;
+    --tier1-only)    run_tier1 ;;
+    --tsan-only)     run_tsan ;;
+    --obs-off-only)  run_obs_off ;;
+    --coverage-only) run_coverage ;;
+    all)             run_tier1; run_tsan; run_obs_off; run_coverage ;;
     *)
-        echo "usage: $0 [--tier1-only | --tsan-only | --obs-off-only]" >&2
+        echo "usage: $0 [--tier1-only | --tsan-only |" \
+            "--obs-off-only | --coverage-only]" >&2
         exit 2
         ;;
 esac

@@ -18,6 +18,20 @@ mkdir -p tests/golden/data
 echo "== regenerating golden reports =="
 TRANSFUSION_UPDATE_GOLDEN=1 ./build/tests/golden/tf_golden_test
 
+# Every pinned layer must actually have written its file — a
+# renamed or filtered-out TEST would otherwise silently drop a
+# golden from the regeneration set.
+for g in cloud_llama3_fault_chiploss cloud_llama3_fleet4_p2c \
+    cloud_llama3_tp2pp2 cloud_llama3_transfusion \
+    cloud_llama3_unfused edge_llama3_transfusion \
+    edge_llama3_unfused; do
+    if [ ! -s "tests/golden/data/$g.txt" ]; then
+        echo "update_golden.sh: missing regenerated golden" \
+            "tests/golden/data/$g.txt" >&2
+        exit 1
+    fi
+done
+
 echo "== verifying regenerated goldens =="
 ctest --test-dir build --output-on-failure -j "$jobs" -L golden
 

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * KeyBuilder implementation.
+ */
+
+#include "cache_key.hh"
+
+#include <cstdio>
+
+namespace transfusion::costmodel
+{
+
+void
+KeyBuilder::label(std::string_view l)
+{
+    key_ += '|';
+    key_.append(l.data(), l.size());
+    key_ += '=';
+}
+
+KeyBuilder &
+KeyBuilder::add(std::string_view l, std::int64_t v)
+{
+    label(l);
+    key_ += std::to_string(v);
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::add(std::string_view l, std::uint64_t v)
+{
+    label(l);
+    key_ += 'u';
+    key_ += std::to_string(v);
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::add(std::string_view l, double v)
+{
+    // Hex floats round-trip every representable double exactly;
+    // two distinct values can never serialize alike.
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    label(l);
+    key_ += buf;
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::add(std::string_view l, std::string_view v)
+{
+    label(l);
+    key_ += std::to_string(v.size());
+    key_ += ':';
+    key_.append(v.data(), v.size());
+    return *this;
+}
+
+} // namespace transfusion::costmodel

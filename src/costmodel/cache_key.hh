@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Canonical cache-key serialization for memoized cost tables.
+ *
+ * A CostTableCache key must be a *total* fingerprint of every input
+ * that can change the cached value: two call sites that produce the
+ * same key string must be guaranteed to build bit-identical tables.
+ * KeyBuilder gives every call site one spelling — labelled fields,
+ * length-prefixed strings (so a name containing a separator cannot
+ * alias another field), and hex-float doubles (every bit of the
+ * value participates; "%.6g"-style rounding could collide two
+ * different bandwidths).
+ */
+
+#ifndef TRANSFUSION_COSTMODEL_CACHE_KEY_HH
+#define TRANSFUSION_COSTMODEL_CACHE_KEY_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace transfusion::costmodel
+{
+
+/** Append-only labelled field serializer for cache keys. */
+class KeyBuilder
+{
+  public:
+    KeyBuilder &add(std::string_view label, std::int64_t v);
+    KeyBuilder &add(std::string_view label, int v)
+    {
+        return add(label, static_cast<std::int64_t>(v));
+    }
+    KeyBuilder &add(std::string_view label, std::uint64_t v);
+    KeyBuilder &add(std::string_view label, bool v)
+    {
+        return add(label, static_cast<std::int64_t>(v ? 1 : 0));
+    }
+    /** Exact: hex-float rendering, every mantissa bit kept. */
+    KeyBuilder &add(std::string_view label, double v);
+    /** Length-prefixed so embedded separators cannot alias. */
+    KeyBuilder &add(std::string_view label, std::string_view v);
+    KeyBuilder &add(std::string_view label, const char *v)
+    {
+        return add(label, std::string_view(v));
+    }
+
+    const std::string &str() const { return key_; }
+
+  private:
+    void label(std::string_view l);
+    std::string key_;
+};
+
+} // namespace transfusion::costmodel
+
+#endif // TRANSFUSION_COSTMODEL_CACHE_KEY_HH

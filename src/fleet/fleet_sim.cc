@@ -12,6 +12,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "fleet/event_queue.hh"
 #include "model/stack.hh"
 #include "multichip/sharded_serve.hh"
 #include "obs/obs.hh"
@@ -231,6 +232,62 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
         return false;
     };
 
+    // Event-core bookkeeping: the queue holds one entry per source
+    // front — the trace front, the re-offer front, and each
+    // replica's next fault boundary — re-pushed whenever its source
+    // changes and validated lazily against the live state at peek
+    // (see fleet/event_queue.hh).  The autoscaler tick is NOT in
+    // the queue: its eligibility is a live predicate over fleet
+    // state (work left, arrivals left, held + activatable), not a
+    // timestamped fact, so it merges as a separate gated candidate
+    // below.  All of this is inert under the legacy core.
+    const bool event_core =
+        options_.core == serve::SimCoreKind::EventHeap;
+    FleetEventQueue queue;
+    const auto pushTraceFront = [&]() {
+        if (event_core && next_trace < requests.size())
+            queue.push({ requests[next_trace].arrival_s,
+                         FleetEventKind::Arrival, -1,
+                         requests[next_trace].id });
+    };
+    const auto pushReofferFront = [&]() {
+        if (event_core && !reoffers.empty())
+            queue.push({ reoffers.front().arrival_s,
+                         FleetEventKind::Arrival, -1,
+                         reoffers.front().id });
+    };
+    const auto pushFaultBoundary = [&](int i) {
+        if (!event_core)
+            return;
+        const ReplicaState &st = at(i);
+        const auto &sp = spans[static_cast<std::size_t>(i)];
+        if (st.span_ix < sp.size())
+            queue.push({ st.in_span ? sp[st.span_ix].end_s
+                                    : sp[st.span_ix].start_s,
+                         FleetEventKind::Fault, i, -1 });
+    };
+    const auto eventValid = [&](const FleetEvent &e) {
+        if (e.kind == FleetEventKind::Fault) {
+            const ReplicaState &st = at(e.replica);
+            const auto &sp =
+                spans[static_cast<std::size_t>(e.replica)];
+            if (st.span_ix >= sp.size())
+                return false;
+            // Boundaries strictly increase within a replica, so a
+            // time match identifies the current boundary exactly.
+            return e.time
+                == (st.in_span ? sp[st.span_ix].end_s
+                               : sp[st.span_ix].start_s);
+        }
+        if (next_trace < requests.size()
+            && e.time == requests[next_trace].arrival_s
+            && e.request_id == requests[next_trace].id)
+            return true;
+        return !reoffers.empty()
+            && e.time == reoffers.front().arrival_s
+            && e.request_id == reoffers.front().id;
+    };
+
     /**
      * Advance every live session to the shared horizon, in
      * parallel: sessions are independent, advance() emits no
@@ -240,13 +297,43 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
      * overload); the audit log is cleared to bound memory.
      */
     const auto advanceAll = [&](double horizon) {
-        parallelMap(advance_pool, indices, [&](const int &i) {
-            ReplicaState &st = at(i);
-            if (st.session)
-                sims_[static_cast<std::size_t>(i)]->advance(
-                    *st.session, horizon);
-            return 0;
-        });
+        if (event_core) {
+            // advance() is a strict no-op for a session with no
+            // work left or a clock already at the horizon, so only
+            // the needy sessions are dispatched — and a lone needy
+            // session skips the pool fan-out entirely.
+            std::vector<int> needy;
+            for (int i = 0; i < pool; ++i) {
+                const ReplicaState &st = at(i);
+                if (st.session && st.session->workLeft()
+                    && st.session->now < horizon)
+                    needy.push_back(i);
+            }
+            if (needy.size() == 1 || options_.threads == 1) {
+                // One session — or a one-worker pool, where the
+                // fan-out would serialize anyway and only add two
+                // futex round-trips per session: advance inline.
+                for (const int i : needy)
+                    sims_[static_cast<std::size_t>(i)]->advance(
+                        *at(i).session, horizon);
+            } else if (!needy.empty()) {
+                parallelMap(advance_pool, needy,
+                            [&](const int &i) {
+                                sims_[static_cast<std::size_t>(i)]
+                                    ->advance(*at(i).session,
+                                              horizon);
+                                return 0;
+                            });
+            }
+        } else {
+            parallelMap(advance_pool, indices, [&](const int &i) {
+                ReplicaState &st = at(i);
+                if (st.session)
+                    sims_[static_cast<std::size_t>(i)]->advance(
+                        *st.session, horizon);
+                return 0;
+            });
+        }
         for (ReplicaState &st : states)
             if (st.session)
                 st.session->shed_log.clear();
@@ -319,6 +406,7 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
             fm.failover_reroutes += 1;
         }
         std::sort(reoffers.begin(), reoffers.end(), arrivesBefore);
+        pushReofferFront();
     };
 
     /** Apply every boundary up to `t`, replica-index order. */
@@ -326,6 +414,8 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
         for (int i = 0; i < pool; ++i) {
             ReplicaState &st = at(i);
             const auto &sp = spans[static_cast<std::size_t>(i)];
+            const std::size_t span_ix0 = st.span_ix;
+            const bool in_span0 = st.in_span;
             while (st.span_ix < sp.size()) {
                 if (!st.in_span && sp[st.span_ix].start_s <= t) {
                     st.in_span = true;
@@ -342,6 +432,8 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
                     break;
                 }
             }
+            if (st.span_ix != span_ix0 || st.in_span != in_span0)
+                pushFaultBoundary(i);
         }
     };
 
@@ -368,6 +460,7 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
     const auto routeArrivals = [&](double t) {
         std::vector<serve::Request> batch;
         batch.swap(held);
+        const std::size_t trace0 = next_trace;
         while (next_trace < requests.size()
                && requests[next_trace].arrival_s <= t)
             batch.push_back(requests[next_trace++]);
@@ -381,6 +474,10 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
         reoffers.erase(reoffers.begin(),
                        reoffers.begin()
                            + static_cast<std::ptrdiff_t>(due));
+        if (next_trace != trace0)
+            pushTraceFront();
+        if (due > 0)
+            pushReofferFront();
         std::sort(batch.begin(), batch.end(), arrivesBefore);
         for (const serve::Request &r : batch) {
             // Views rebuild per decision: outstanding counts and
@@ -469,6 +566,12 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
             scaleDown();
     };
 
+    if (event_core) {
+        pushTraceFront();
+        pushReofferFront();
+        for (int i = 0; i < pool; ++i)
+            pushFaultBoundary(i);
+    }
     fm.peak_serving = servingCount();
     while (true) {
         const bool arrivals_left =
@@ -476,21 +579,28 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
         const bool swork = sessionWork();
         if (!arrivals_left && !swork && held.empty())
             break;
-        const double tA = [&]() {
+        // Earliest arrival-or-fault boundary.  The event core reads
+        // it off the heap (sources re-arm on every front change);
+        // legacy rescans both sources.  Both compute the same
+        // minimum — see fleet/event_queue.hh for the argument.
+        const double tAF = [&]() {
+            if (event_core) {
+                const auto top = queue.peek(eventValid);
+                return top ? top->time : kInf;
+            }
             double t = kInf;
             if (next_trace < requests.size())
                 t = requests[next_trace].arrival_s;
             if (!reoffers.empty())
                 t = std::min(t, reoffers.front().arrival_s);
-            return t;
+            return std::min(t, nextFaultBoundary());
         }();
-        const double tF = nextFaultBoundary();
         const double tT = scaling
                 && (swork || arrivals_left
                     || (!held.empty() && canActivate()))
             ? next_tick
             : kInf;
-        const double t = std::min(tA, std::min(tF, tT));
+        const double t = std::min(tAF, tT);
         if (t == kInf) {
             if (swork) {
                 // Nothing left to schedule: let every session run

@@ -72,6 +72,16 @@ struct FleetOptions
     int threads = 1;
     /** Worker threads for shard planning; <= 0 = all hardware. */
     int plan_threads = 0;
+    /**
+     * Which implementation drives the shared-clock loop; replica
+     * sessions follow `serve.core` independently.  Legacy rescans
+     * every source per iteration (fault boundaries, session work);
+     * EventHeap keeps boundaries in a deterministic min-heap (see
+     * fleet/event_queue.hh) and only advances sessions that have
+     * work behind the horizon.  Bit-identical by contract — the
+     * differential replay harness pins it.
+     */
+    serve::SimCoreKind core = serve::SimCoreKind::EventHeap;
 };
 
 /** Per-run (not per-fleet) knobs: cheap to sweep. */

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/arch.hh"
+#include "costmodel/cache_key.hh"
 
 namespace transfusion::multichip
 {
@@ -91,6 +92,14 @@ ClusterConfig edgeCluster(int n);
 
 /** Preset lookup by name ("cloud", "edge"); fatal on unknown. */
 ClusterConfig clusterByName(const std::string &name, int n);
+
+/**
+ * CostTableCache key fingerprint: every chip field-complete (via
+ * serve::appendCacheKey on each ArchConfig) plus the link model
+ * and topology.  See serve/cost_model.hh for the key contract.
+ */
+costmodel::KeyBuilder &appendCacheKey(costmodel::KeyBuilder &k,
+                                      const ClusterConfig &cluster);
 
 } // namespace transfusion::multichip
 

@@ -9,7 +9,9 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "costmodel/cost_table_cache.hh"
 #include "obs/obs.hh"
+#include "serve/cost_model.hh"
 
 namespace transfusion::multichip
 {
@@ -34,15 +36,16 @@ feasibleSpecs(const model::TransformerConfig &cfg,
     return specs;
 }
 
-ShardPlan
-planShards(const ClusterConfig &cluster,
-           const model::StackConfig &stack, std::int64_t src_len,
-           std::int64_t tgt_len, schedule::StrategyKind strategy,
-           const ShardPlanOptions &options)
+namespace
 {
-    TF_SPAN("multichip.plan_shards");
-    cluster.validate();
-    stack.validate();
+
+ShardPlan
+planShardsUncached(const ClusterConfig &cluster,
+                   const model::StackConfig &stack,
+                   std::int64_t src_len, std::int64_t tgt_len,
+                   schedule::StrategyKind strategy,
+                   const ShardPlanOptions &options)
+{
     const std::int64_t total_layers =
         stack.encoder_layers + stack.decoder_layers;
     const std::vector<ShardSpec> specs = feasibleSpecs(
@@ -92,6 +95,53 @@ planShards(const ClusterConfig &cluster,
     }
     TF_COUNT("multichip.shard_plans", 1);
     return plan;
+}
+
+} // namespace
+
+costmodel::KeyBuilder &
+appendCacheKey(costmodel::KeyBuilder &k,
+               const model::StackConfig &stack)
+{
+    k.add("stack.name", stack.name);
+    serve::appendCacheKey(k, stack.block);
+    return k.add("stack.encoder_layers", stack.encoder_layers)
+        .add("stack.decoder_layers", stack.decoder_layers)
+        .add("stack.decoder_cross_attention",
+             stack.decoder_cross_attention);
+}
+
+ShardPlan
+planShards(const ClusterConfig &cluster,
+           const model::StackConfig &stack, std::int64_t src_len,
+           std::int64_t tgt_len, schedule::StrategyKind strategy,
+           const ShardPlanOptions &options)
+{
+    TF_SPAN("multichip.plan_shards");
+    cluster.validate();
+    stack.validate();
+    // Memoized per full input fingerprint.  `options.threads` is
+    // deliberately NOT in the key: the sweep's result and its
+    // registry deltas are thread-invariant (input-order collection,
+    // grid-order merge — the determinism contract the threads-1v4
+    // replay tests pin), so every fan-out width shares one entry.
+    costmodel::KeyBuilder k;
+    k.add("kind", "shard-plan");
+    appendCacheKey(k, cluster);
+    appendCacheKey(k, stack);
+    k.add("src_len", src_len)
+        .add("tgt_len", tgt_len)
+        .add("strategy", schedule::toString(strategy))
+        .add("rank_by_steady_state", options.rank_by_steady_state);
+    serve::appendCacheKey(k, options.evaluator);
+    const auto plan =
+        costmodel::CostTableCache::instance()
+            .getOrBuild<ShardPlan>(k.str(), [&] {
+                return planShardsUncached(cluster, stack, src_len,
+                                          tgt_len, strategy,
+                                          options);
+            });
+    return *plan;
 }
 
 } // namespace transfusion::multichip

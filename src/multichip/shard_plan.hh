@@ -78,6 +78,10 @@ ShardPlan planShards(const ClusterConfig &cluster,
                      schedule::StrategyKind strategy,
                      const ShardPlanOptions &options = {});
 
+/** CostTableCache key fingerprint of a whole-stack description. */
+costmodel::KeyBuilder &appendCacheKey(costmodel::KeyBuilder &k,
+                                      const model::StackConfig &stack);
+
 } // namespace transfusion::multichip
 
 #endif // TRANSFUSION_MULTICHIP_SHARD_PLAN_HH

@@ -6,6 +6,7 @@
 #include "sharded_serve.hh"
 
 #include "common/logging.hh"
+#include "costmodel/cost_table_cache.hh"
 #include "model/stack.hh"
 #include "obs/obs.hh"
 #include "serve/kv_cache.hh"
@@ -27,6 +28,12 @@ checkSpec(const ClusterConfig &cluster,
                  spec.chips(), " chips but cluster '", cluster.name,
                  "' has ", cluster.size());
 }
+
+serve::ServeCostModel shardedServeCostModelUncached(
+    const ClusterConfig &cluster,
+    const model::TransformerConfig &cfg, ShardSpec spec,
+    const serve::WorkloadOptions &workload,
+    const serve::ServeOptions &options);
 
 } // namespace
 
@@ -99,6 +106,42 @@ shardedServeCostModel(const ClusterConfig &cluster,
 {
     checkSpec(cluster, cfg, spec);
     workload.validate();
+    // Memoized per (cluster, model, tp, pp, workload extents,
+    // strategy, calibration options): fleet uniform() construction
+    // and fault re-carves over the same surviving cluster stop
+    // recomputing identical sharded tables.  The cache replays the
+    // calibration's registry deltas on a hit (see
+    // costmodel/cost_table_cache.hh), keeping cached construction
+    // observably bit-identical.
+    costmodel::KeyBuilder k;
+    k.add("kind", "sharded-serve-cost-model");
+    appendCacheKey(k, cluster);
+    serve::appendCacheKey(k, cfg);
+    k.add("spec.tp", spec.tp).add("spec.pp", spec.pp);
+    k.add("strategy", schedule::toString(options.strategy));
+    k.add("max_batch", options.max_batch);
+    k.add("max_context", workload.maxContext());
+    k.add("max_prompt", workload.prompt.hi);
+    serve::appendCacheKey(k, options.cost);
+    const auto table =
+        costmodel::CostTableCache::instance()
+            .getOrBuild<serve::ServeCostModel>(k.str(), [&] {
+                return shardedServeCostModelUncached(
+                    cluster, cfg, spec, workload, options);
+            });
+    return *table;
+}
+
+namespace
+{
+
+serve::ServeCostModel
+shardedServeCostModelUncached(
+    const ClusterConfig &cluster,
+    const model::TransformerConfig &cfg, ShardSpec spec,
+    const serve::WorkloadOptions &workload,
+    const serve::ServeOptions &options)
+{
     const std::int64_t max_context = workload.maxContext();
     const std::int64_t max_prompt = workload.prompt.hi;
 
@@ -134,6 +177,8 @@ shardedServeCostModel(const ClusterConfig &cluster,
                                  max_prompt, options.cost,
                                  decode_step, prefill);
 }
+
+} // namespace
 
 serve::ServeSimulator
 shardedSimulator(const ClusterConfig &cluster,

@@ -176,6 +176,44 @@ ServeCostModel::decodeStepSeconds(std::int64_t batch,
         static_cast<double>(batch),
         static_cast<double>(batches_.front()),
         static_cast<double>(batches_.back()));
+    // Bilinear interpolation, bracket-only: the batch-axis interp
+    // reads at most the two rows bracketing `b`, so only those two
+    // cache-axis interps are evaluated.  The arithmetic is the
+    // full-scan version's verbatim (same interp(), same operand
+    // order), so the result is bit-identical to
+    // decodeStepSecondsFullScan — the differential replay harness
+    // holds both cores to that.
+    const auto at = [&](std::size_t i) {
+        return interp(cache_lens_, step_s_[i], mean_cache_len);
+    };
+    if (batches_.size() == 1)
+        return at(0);
+    if (b <= static_cast<double>(batches_.front()))
+        return at(0);
+    if (b >= static_cast<double>(batches_.back()))
+        return at(batches_.size() - 1);
+    std::size_t hi = 1;
+    while (hi + 1 < batches_.size()
+           && b > static_cast<double>(batches_[hi]))
+        ++hi;
+    const auto x0 = static_cast<double>(batches_[hi - 1]);
+    const auto x1 = static_cast<double>(batches_[hi]);
+    const double frac = (b - x0) / (x1 - x0);
+    const double y0 = at(hi - 1);
+    const double y1 = at(hi);
+    return y0 + frac * (y1 - y0);
+}
+
+double
+ServeCostModel::decodeStepSecondsFullScan(
+    std::int64_t batch, double mean_cache_len) const
+{
+    if (batch <= 0)
+        tf_fatal("decode batch must be positive, got ", batch);
+    const double b = std::clamp(
+        static_cast<double>(batch),
+        static_cast<double>(batches_.front()),
+        static_cast<double>(batches_.back()));
     // Interpolate along the cache axis per calibrated batch, then
     // along the batch axis.
     std::vector<double> at_len;
@@ -192,6 +230,82 @@ ServeCostModel::prefillSeconds(std::int64_t prompt_len) const
         tf_fatal("prompt length must be positive, got ", prompt_len);
     return interp(prompt_lens_, prefill_s_,
                   static_cast<double>(prompt_len));
+}
+
+costmodel::KeyBuilder &
+appendCacheKey(costmodel::KeyBuilder &k,
+               const arch::ArchConfig &arch)
+{
+    return k.add("arch.name", arch.name)
+        .add("arch.pe2d.rows", arch.pe2d.rows)
+        .add("arch.pe2d.cols", arch.pe2d.cols)
+        .add("arch.pe1d", arch.pe1d)
+        .add("arch.buffer_bytes", arch.buffer_bytes)
+        .add("arch.dram_bps", arch.dram_bytes_per_sec)
+        .add("arch.clock_hz", arch.clock_hz)
+        .add("arch.element_bytes", arch.element_bytes)
+        .add("arch.energy.mac_pj", arch.energy.mac_pj)
+        .add("arch.energy.reg_pj", arch.energy.reg_pj)
+        .add("arch.energy.buffer_pj", arch.energy.buffer_pj)
+        .add("arch.energy.dram_pj_per_byte",
+             arch.energy.dram_pj_per_byte);
+}
+
+costmodel::KeyBuilder &
+appendCacheKey(costmodel::KeyBuilder &k,
+               const model::TransformerConfig &cfg)
+{
+    return k.add("model.name", cfg.name)
+        .add("model.layers", cfg.layers)
+        .add("model.d_model", cfg.d_model)
+        .add("model.heads", cfg.heads)
+        .add("model.head_dim", cfg.head_dim)
+        .add("model.ffn_hidden", cfg.ffn_hidden)
+        .add("model.activation",
+             static_cast<std::int64_t>(cfg.activation))
+        .add("model.batch", cfg.batch)
+        .add("model.d_input", cfg.d_input);
+}
+
+costmodel::KeyBuilder &
+appendCacheKey(costmodel::KeyBuilder &k,
+               const schedule::EvaluatorOptions &options)
+{
+    return k
+        .add("eval.pipeline.max_orders",
+             static_cast<std::uint64_t>(
+                 options.pipeline.max_orders))
+        .add("eval.pipeline.vector_on_2d_max_lanes",
+             options.pipeline.latency.vector_on_2d_max_lanes)
+        .add("eval.pipeline.matrix_on_1d_efficiency",
+             options.pipeline.latency.matrix_on_1d_efficiency)
+        .add("eval.pipeline.native_efficiency",
+             options.pipeline.latency.native_efficiency)
+        .add("eval.pipeline.static_exp_on_2d",
+             options.pipeline.static_exp_on_2d)
+        .add("eval.mcts.iterations", options.mcts.iterations)
+        .add("eval.mcts.ucb_c", options.mcts.ucb_c)
+        .add("eval.mcts.seed", options.mcts.seed)
+        .add("eval.mcts.threads", options.mcts.threads)
+        .add("eval.softmax_extra_words",
+             options.softmax_extra_words)
+        .add("eval.rf_forward_fused", options.rf_forward_fused)
+        .add("eval.unfused_reread_factor",
+             options.unfused_reread_factor)
+        .add("eval.use_tileseek", options.use_tileseek)
+        .add("eval.overlap_dram", options.overlap_dram);
+}
+
+costmodel::KeyBuilder &
+appendCacheKey(costmodel::KeyBuilder &k,
+               const ServeCostOptions &options)
+{
+    k.add("cost.batches.n", options.batches.size());
+    for (std::size_t i = 0; i < options.batches.size(); ++i)
+        k.add("cost.batches", options.batches[i]);
+    k.add("cost.cache_samples", options.cache_samples)
+        .add("cost.prefill_samples", options.prefill_samples);
+    return appendCacheKey(k, options.evaluator);
 }
 
 } // namespace transfusion::serve

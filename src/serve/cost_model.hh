@@ -24,8 +24,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "costmodel/cache_key.hh"
 #include "schedule/decode.hh"
 
 namespace transfusion::serve
@@ -107,6 +109,19 @@ class ServeCostModel
                              double mean_cache_len) const;
 
     /**
+     * The original decode pricing: interpolate along the cache
+     * axis for *every* calibrated batch row, then along the batch
+     * axis.  Bit-identical to decodeStepSeconds (the batch-axis
+     * interp only ever reads the two bracketing rows) but O(grid)
+     * with an allocation per call.  Kept as the reference the
+     * legacy simulation core prices with, so bench/perf_sim_core
+     * measures the true before/after and the differential harness
+     * pins the equivalence.
+     */
+    double decodeStepSecondsFullScan(std::int64_t batch,
+                                     double mean_cache_len) const;
+
+    /**
      * Seconds to prefill one request's prompt (causal
      * self-attention, batch 1).  Piecewise-linear in the prompt
      * length over the calibrated grid, clamped at the grid
@@ -125,6 +140,31 @@ class ServeCostModel
     std::vector<std::int64_t> prompt_lens_;
     std::vector<double> prefill_s_;
 };
+
+/**
+ * @name CostTableCache key serialization
+ *
+ * Field-complete fingerprints of the configuration structs that
+ * parameterize cost-table construction, for costmodel::KeyBuilder
+ * keys.  Every field that can change a calibrated value is
+ * serialized — including fields that usually sit at their defaults
+ * (energy constants, evaluator knobs, `mcts.threads`, which alters
+ * the merged search result) — so two call sites can only collide
+ * on a key when their tables are guaranteed bit-identical.
+ */
+/// @{
+costmodel::KeyBuilder &appendCacheKey(costmodel::KeyBuilder &k,
+                                      const arch::ArchConfig &arch);
+costmodel::KeyBuilder &
+appendCacheKey(costmodel::KeyBuilder &k,
+               const model::TransformerConfig &cfg);
+costmodel::KeyBuilder &
+appendCacheKey(costmodel::KeyBuilder &k,
+               const schedule::EvaluatorOptions &options);
+costmodel::KeyBuilder &
+appendCacheKey(costmodel::KeyBuilder &k,
+               const ServeCostOptions &options);
+/// @}
 
 } // namespace transfusion::serve
 

@@ -7,12 +7,16 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/math_utils.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "costmodel/cache_key.hh"
+#include "costmodel/cost_table_cache.hh"
 #include "obs/obs.hh"
 
 namespace transfusion::serve
@@ -24,7 +28,51 @@ namespace
 constexpr double kNoHorizon =
     std::numeric_limits<double>::infinity();
 
+/**
+ * Calibrate (or fetch memoized) cost tables for the arch-based
+ * constructor.  The key fingerprints every construction input; the
+ * cache replays the calibration's registry deltas on a hit, so a
+ * cached simulator is observably identical to a fresh one.
+ */
+ServeCostModel
+calibratedCostModel(const arch::ArchConfig &arch,
+                    const model::TransformerConfig &cfg,
+                    const WorkloadOptions &workload,
+                    const ServeOptions &options)
+{
+    costmodel::KeyBuilder k;
+    k.add("kind", "serve-cost-model");
+    appendCacheKey(k, arch);
+    appendCacheKey(k, cfg);
+    k.add("strategy", schedule::toString(options.strategy));
+    k.add("max_batch", options.max_batch);
+    k.add("max_context", workload.maxContext());
+    k.add("max_prompt", workload.prompt.hi);
+    appendCacheKey(k, options.cost);
+    const auto table =
+        costmodel::CostTableCache::instance()
+            .getOrBuild<ServeCostModel>(k.str(), [&] {
+                return ServeCostModel(
+                    arch, cfg, options.strategy,
+                    options.max_batch, workload.maxContext(),
+                    workload.prompt.hi, options.cost);
+            });
+    return *table;
+}
+
 } // namespace
+
+const char *
+toString(SimCoreKind core)
+{
+    switch (core) {
+    case SimCoreKind::Legacy:
+        return "legacy";
+    case SimCoreKind::EventHeap:
+        return "event-heap";
+    }
+    tf_panic("unknown SimCoreKind ", static_cast<int>(core));
+}
 
 std::string
 ServeMetrics::summary() const
@@ -52,9 +100,7 @@ ServeSimulator::ServeSimulator(arch::ArchConfig arch,
                                const WorkloadOptions &workload,
                                ServeOptions options)
     : ServeSimulator(
-          ServeCostModel(arch, cfg, options.strategy,
-                         options.max_batch, workload.maxContext(),
-                         workload.prompt.hi, options.cost),
+          calibratedCostModel(arch, cfg, workload, options),
           kvWordsPerToken(cfg),
           kvCapacityWords(arch, cfg, options.dram_capacity_bytes),
           workload, options)
@@ -110,6 +156,16 @@ ServeSimulator::startSession(std::vector<Request> requests) const
 
 void
 ServeSimulator::advance(ServeSession &s, double horizon_s) const
+{
+    if (options_.core == SimCoreKind::Legacy)
+        advanceLegacy(s, horizon_s);
+    else
+        advanceEvent(s, horizon_s);
+}
+
+void
+ServeSimulator::advanceLegacy(ServeSession &s,
+                              double horizon_s) const
 {
     ServeMetrics &m = s.metrics;
 
@@ -217,7 +273,7 @@ ServeSimulator::advance(ServeSession &s, double horizon_s) const
                                            + r.generated);
             const auto batch =
                 static_cast<std::int64_t>(s.running.size());
-            s.now += cost_.decodeStepSeconds(
+            s.now += cost_.decodeStepSecondsFullScan(
                 batch, ctx / static_cast<double>(batch));
             m.decode_rounds += 1;
             std::vector<InFlightRequest> still;
@@ -258,6 +314,222 @@ ServeSimulator::advance(ServeSession &s, double horizon_s) const
                  ", rejected ", m.rejected, " of ", m.offered,
                  ")");
     }
+}
+
+void
+ServeSimulator::advanceEvent(ServeSession &s,
+                             double horizon_s) const
+{
+    ServeMetrics &m = s.metrics;
+
+    // Transient event-state, rebuilt from the session's canonical
+    // `running` vector on entry and materialized back on every
+    // exit.  The session struct itself stays plain round-boundary
+    // data, so drains/injections between epochs need no knowledge
+    // of the core that ran the last epoch.
+    //
+    // Slot order is admission order (legacy `running` order).  A
+    // request admitted with `g` tokens already generated while
+    // `m.decode_rounds` rounds have run finishes in the round that
+    // brings decode_rounds to m.decode_rounds + (output_len - g):
+    // every decode round hands exactly one token to every running
+    // request and prefill rounds never touch them.
+    struct Slot
+    {
+        Request req;
+        double first_token_s = 0;
+        std::int64_t finish_round = 0;
+        bool alive = true;
+    };
+    std::vector<Slot> slots;
+    slots.reserve(s.running.size());
+    // Min-heap of (finish_round, slot index): pops finishers of one
+    // round in admission order — exactly the order the legacy
+    // compaction walks them.
+    using HeapEntry = std::pair<std::int64_t, std::size_t>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        finishers;
+    // Sum of (prompt_len + generated) over live slots.  Integer
+    // sums below 2^53 are exact in doubles regardless of
+    // association, so tracking the sum incrementally as int64 is
+    // bit-identical to the legacy per-round double accumulation.
+    std::int64_t ctx_active = 0;
+    std::int64_t alive = 0;
+
+    for (const InFlightRequest &r : s.running) {
+        Slot slot;
+        slot.req = r.req;
+        slot.first_token_s = r.first_token_s;
+        slot.finish_round =
+            m.decode_rounds + (r.req.output_len - r.generated);
+        ctx_active += r.req.prompt_len + r.generated;
+        finishers.emplace(slot.finish_round, slots.size());
+        slots.push_back(std::move(slot));
+        alive += 1;
+    }
+    s.running.clear();
+
+    const auto reservation = [&](const Request &r) {
+        return words_per_token_
+            * static_cast<double>(r.peakContext());
+    };
+    const auto finish = [&](const Request &req,
+                            double first_token_s, double now) {
+        m.completed += 1;
+        m.latency_s.add(now - req.arrival_s);
+        if (req.output_len > 1)
+            m.tpot_s.add((now - first_token_s)
+                         / static_cast<double>(req.output_len
+                                               - 1));
+        s.cache.release(reservation(req));
+    };
+    // Rebuild `running` for the caller: live slots in admission
+    // order, each with `generated` recovered from its remaining
+    // rounds (finish_round - decode_rounds more tokens to go).
+    const auto materialize = [&]() {
+        for (const Slot &slot : slots) {
+            if (!slot.alive)
+                continue;
+            InFlightRequest r;
+            r.req = slot.req;
+            r.first_token_s = slot.first_token_s;
+            r.generated = slot.req.output_len
+                - (slot.finish_round - m.decode_rounds);
+            s.running.push_back(r);
+        }
+    };
+
+    while (s.next < s.pending.size() || !s.queue.empty()
+           || alive > 0) {
+        if (s.now >= horizon_s) {
+            materialize();
+            return;
+        }
+
+        // Arrival pull: verbatim legacy.
+        while (s.next < s.pending.size()
+               && s.pending[s.next].arrival_s <= s.now) {
+            if (static_cast<std::int64_t>(s.queue.size())
+                >= options_.max_queue) {
+                m.rejected += 1;
+                s.shed_log.push_back(
+                    { s.pending[s.next], s.now });
+            } else {
+                s.queue.push_back(s.pending[s.next]);
+                m.peak_queue = std::max(
+                    m.peak_queue,
+                    static_cast<std::int64_t>(s.queue.size()));
+            }
+            ++s.next;
+        }
+
+        // FIFO admission: verbatim legacy, with `alive` standing in
+        // for running.size().
+        std::vector<InFlightRequest> admitted;
+        while (!s.queue.empty()
+               && alive + static_cast<std::int64_t>(
+                      admitted.size())
+                   < options_.max_batch) {
+            const Request &head = s.queue.front();
+            const double words = reservation(head);
+            if (!s.cache.fitsAlone(words)) {
+                m.rejected += 1;
+                s.shed_log.push_back({ head, s.now });
+                s.queue.pop_front();
+                continue;
+            }
+            if (!s.cache.tryReserve(words))
+                break;
+            m.queue_wait_s.add(s.now - head.arrival_s);
+            InFlightRequest r;
+            r.req = head;
+            admitted.push_back(r);
+            s.queue.pop_front();
+        }
+
+        if (!admitted.empty()) {
+            // Prefill round: pricing and per-request metric order
+            // verbatim legacy; survivors enter the finish heap
+            // instead of the scan vector.
+            double dt = 0;
+            for (const InFlightRequest &r : admitted)
+                dt += cost_.prefillSeconds(r.req.prompt_len);
+            s.now += dt;
+            m.prefill_rounds += 1;
+            for (InFlightRequest &r : admitted) {
+                r.first_token_s = s.now;
+                r.generated = 1;
+                m.generated_tokens += 1;
+                m.ttft_s.add(s.now - r.req.arrival_s);
+                if (r.generated >= r.req.output_len) {
+                    finish(r.req, r.first_token_s, s.now);
+                } else {
+                    Slot slot;
+                    slot.req = r.req;
+                    slot.first_token_s = r.first_token_s;
+                    slot.finish_round = m.decode_rounds
+                        + (r.req.output_len - r.generated);
+                    ctx_active +=
+                        slot.req.prompt_len + r.generated;
+                    finishers.emplace(slot.finish_round,
+                                      slots.size());
+                    slots.push_back(std::move(slot));
+                    alive += 1;
+                }
+            }
+            m.peak_running = std::max(m.peak_running, alive);
+            continue;
+        }
+
+        if (alive > 0) {
+            // Decode round, event form: the batch context sum and
+            // the finisher set are already known, so the round is
+            // O(1) plus O(log n) per finisher.
+            const std::int64_t batch = alive;
+            s.now += cost_.decodeStepSeconds(
+                batch,
+                static_cast<double>(ctx_active)
+                    / static_cast<double>(batch));
+            m.decode_rounds += 1;
+            m.generated_tokens += batch;
+            // Every running request gained one token; finishers
+            // then leave with their full context.
+            ctx_active += batch;
+            while (!finishers.empty()
+                   && finishers.top().first == m.decode_rounds) {
+                const std::size_t ix = finishers.top().second;
+                finishers.pop();
+                Slot &slot = slots[ix];
+                finish(slot.req, slot.first_token_s, s.now);
+                ctx_active -=
+                    slot.req.prompt_len + slot.req.output_len;
+                slot.alive = false;
+                alive -= 1;
+            }
+            continue;
+        }
+
+        // Idle: verbatim legacy.
+        if (s.next < s.pending.size()) {
+            const double arrival = s.pending[s.next].arrival_s;
+            if (arrival >= horizon_s) {
+                s.now = std::max(s.now, horizon_s);
+                materialize();
+                return;
+            }
+            s.now = std::max(s.now, arrival);
+            continue;
+        }
+        if (s.queue.empty())
+            continue;
+        materialize();
+        tf_fatal("serve loop wedged with ", s.queue.size(),
+                 " queued requests (completed ", m.completed,
+                 ", rejected ", m.rejected, " of ", m.offered,
+                 ")");
+    }
+    materialize();
 }
 
 std::vector<InFlightRequest>

@@ -39,11 +39,41 @@
 namespace transfusion::serve
 {
 
+/**
+ * Which implementation of the (identical) simulation semantics the
+ * event loop runs.  Both cores are bit-identical by contract — the
+ * differential replay harness (tests/integration/replay_diff_test)
+ * holds them to it — so the choice is purely about speed:
+ *
+ *   Legacy    — the original per-round linear scans: every decode
+ *               round walks the whole running batch (context sum,
+ *               token bump, compaction) and prices the step off the
+ *               full interpolation grid.  Kept as the reference
+ *               implementation and bench baseline.
+ *   EventHeap — event-driven core: finish times are precomputed
+ *               (every running request emits exactly one token per
+ *               decode round, so its finish round is known at
+ *               admission) and kept in a min-heap keyed
+ *               (finish_round, admission_seq); the batch context
+ *               sum is maintained incrementally as exact integer
+ *               arithmetic.  Decode rounds cost O(1) + O(log n) per
+ *               finisher instead of O(batch).
+ */
+enum class SimCoreKind
+{
+    Legacy,
+    EventHeap,
+};
+
+const char *toString(SimCoreKind core);
+
 /** Serving-system configuration. */
 struct ServeOptions
 {
     schedule::StrategyKind strategy =
         schedule::StrategyKind::TransFusion;
+    /** Event-loop implementation (semantics are core-invariant). */
+    SimCoreKind core = SimCoreKind::EventHeap;
     /** Decode lanes: most requests co-scheduled per step. */
     std::int64_t max_batch = 32;
     /**
@@ -268,6 +298,13 @@ class ServeSimulator
     double kvCapacityWordsUsed() const { return capacity_words_; }
 
   private:
+    /** The original per-round scanning loop (reference core). */
+    void advanceLegacy(ServeSession &session,
+                       double horizon_s) const;
+    /** The finish-heap core; bit-identical to advanceLegacy. */
+    void advanceEvent(ServeSession &session,
+                      double horizon_s) const;
+
     ServeOptions options_;
     ServeCostModel cost_;
     double words_per_token_ = 0;

@@ -39,6 +39,27 @@ TEST(Histogram, SingleSampleIsEveryPercentile)
     EXPECT_DOUBLE_EQ(h.max(), 3.5);
 }
 
+TEST(Histogram, OneSamplePercentileIsExactAtEveryP)
+{
+    // With one sample there is nothing to interpolate between:
+    // the order-statistic interpolation must collapse to the
+    // sample bit-for-bit at *every* p, including the fractional
+    // ones that exercise the interpolation arithmetic — and
+    // percentileOr must ignore its fallback entirely.
+    Histogram h;
+    const double v = 0.1; // not exactly representable: any stray
+                          // arithmetic would perturb the bits
+    h.add(v);
+    for (const double p :
+         { 0.0, 12.5, 37.5, 50.0, 63.2, 99.0, 99.9, 100.0 }) {
+        EXPECT_EQ(h.percentile(p), v) << "p" << p;
+        EXPECT_EQ(h.percentileOr(p, -7.0), v) << "p" << p;
+    }
+    // Out-of-range p stays a caller bug even at one sample.
+    EXPECT_THROW(h.percentile(-0.5), FatalError);
+    EXPECT_THROW(h.percentileOr(100.5, 0.0), FatalError);
+}
+
 TEST(Histogram, PercentilesInterpolateOrderStatistics)
 {
     Histogram h;

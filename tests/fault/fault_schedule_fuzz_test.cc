@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Randomized invariants of the fault-schedule generator and of
+ * downSpans, swept over ten thousand seeds: every generated trace
+ * must validate, keep its timestamps sorted, pair every loss with
+ * a later recovery of the same chip, and never down the last
+ * healthy chip; and the downSpans view must round-trip against an
+ * independent replay of the raw event list.
+ *
+ * Own binary under the `fuzz` label: the sweep is cheap per seed
+ * but 10k-deep, so it stays out of the unit tier's latency budget.
+ */
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_schedule.hh"
+
+namespace transfusion::fault
+{
+namespace
+{
+
+constexpr int kSeeds = 10000;
+
+FaultScheduleOptions
+fuzzOptions(std::uint64_t seed)
+{
+    // Vary the shape with the seed so the sweep covers sparse and
+    // dense schedules, long and short outages, and both link-heavy
+    // and loss-heavy mixes.
+    FaultScheduleOptions o;
+    o.incidents = 1 + static_cast<int>(seed % 7);
+    o.horizon_s = 10.0 + static_cast<double>(seed % 5) * 25.0;
+    o.mean_outage_s = 0.5 + static_cast<double>(seed % 3) * 4.0;
+    o.link_degrade_prob =
+        static_cast<double>(seed % 4) * 0.25; // 0, .25, .5, .75
+    o.min_factor = 0.25;
+    return o;
+}
+
+/** Chip up/down replay of the raw event list. */
+struct Replay
+{
+    std::vector<bool> down;
+    int down_count = 0;
+
+    explicit Replay(int cluster_size)
+        : down(static_cast<std::size_t>(cluster_size), false)
+    {}
+
+    void apply(const FaultEvent &e)
+    {
+        if (e.kind == FaultKind::ChipLoss) {
+            down[static_cast<std::size_t>(e.chip)] = true;
+            down_count += 1;
+        } else if (e.kind == FaultKind::ChipRecovery) {
+            down[static_cast<std::size_t>(e.chip)] = false;
+            down_count -= 1;
+        }
+    }
+};
+
+TEST(FaultScheduleFuzz, GeneratedSchedulesKeepTheirInvariants)
+{
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const int cluster = 2 + static_cast<int>(seed % 7);
+        const auto opts = fuzzOptions(seed);
+        const FaultSchedule s =
+            generateFaultSchedule(opts, cluster, seed);
+
+        // Valid by construction (validate is fatal otherwise), and
+        // a pure function of (options, cluster, seed).
+        s.validate(cluster);
+        const FaultSchedule again =
+            generateFaultSchedule(opts, cluster, seed);
+        ASSERT_EQ(s.events.size(), again.events.size())
+            << "seed " << seed;
+
+        int losses = 0;
+        int recoveries = 0;
+        Replay replay(cluster);
+        double prev = 0;
+        for (std::size_t i = 0; i < s.events.size(); ++i) {
+            const FaultEvent &e = s.events[i];
+            // Sorted, non-negative timestamps.
+            ASSERT_GE(e.time_s, prev)
+                << "seed " << seed << " event " << i;
+            prev = e.time_s;
+            if (e.kind == FaultKind::LinkDegrade) {
+                ASSERT_GE(e.factor, opts.min_factor)
+                    << "seed " << seed;
+                ASSERT_LE(e.factor, 1.0) << "seed " << seed;
+                continue;
+            }
+            losses += e.kind == FaultKind::ChipLoss;
+            recoveries += e.kind == FaultKind::ChipRecovery;
+            replay.apply(e);
+            // Last-chip protection: the generator never downs the
+            // final healthy chip, so at least one always serves.
+            ASSERT_LT(replay.down_count, cluster)
+                << "seed " << seed << " event " << i;
+        }
+        // Every loss pairs with a recovery: the replay ends fully
+        // healthy and the counts match exactly.
+        EXPECT_EQ(losses, recoveries) << "seed " << seed;
+        EXPECT_EQ(replay.down_count, 0) << "seed " << seed;
+    }
+}
+
+TEST(FaultScheduleFuzz, DownSpansRoundTripTheRawEventList)
+{
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const int cluster = 2 + static_cast<int>(seed % 7);
+        const FaultSchedule s =
+            generateFaultSchedule(fuzzOptions(seed), cluster, seed);
+        const std::vector<DownSpan> spans = s.downSpans(cluster);
+
+        // Rebuild the spans from the raw events: a span opens when
+        // the first chip goes down and closes when the last one
+        // recovers.
+        std::vector<DownSpan> expected;
+        Replay replay(cluster);
+        for (const FaultEvent &e : s.events) {
+            const int before = replay.down_count;
+            replay.apply(e);
+            if (before == 0 && replay.down_count > 0)
+                expected.push_back({ e.time_s, kInf });
+            else if (before > 0 && replay.down_count == 0)
+                expected.back().end_s = e.time_s;
+        }
+
+        ASSERT_EQ(spans.size(), expected.size())
+            << "seed " << seed << ": " << s.toString();
+        double prev_end = -1;
+        for (std::size_t i = 0; i < spans.size(); ++i) {
+            EXPECT_EQ(spans[i].start_s, expected[i].start_s)
+                << "seed " << seed << " span " << i;
+            EXPECT_EQ(spans[i].end_s, expected[i].end_s)
+                << "seed " << seed << " span " << i;
+            // Merged and in time order: spans never touch or
+            // overlap, and only the final span may be unbounded.
+            ASSERT_GT(spans[i].start_s, prev_end)
+                << "seed " << seed << " span " << i;
+            ASSERT_GT(spans[i].end_s, spans[i].start_s)
+                << "seed " << seed << " span " << i;
+            prev_end = spans[i].end_s;
+            if (std::isinf(spans[i].end_s))
+                ASSERT_EQ(i, spans.size() - 1) << "seed " << seed;
+        }
+    }
+}
+
+} // namespace
+} // namespace transfusion::fault

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
+#include "common/rng.hh"
 #include "fleet/router.hh"
 
 namespace transfusion::fleet
@@ -144,6 +146,91 @@ TEST(Router, PowerOfTwoNeverPicksTheMoreLoadedOfItsPair)
     // Only the (0, 0) pair can pick replica 0 — replica 1 must win
     // every mixed draw, hence a strict majority over 64 decisions.
     EXPECT_GT(picked_idle, 32);
+}
+
+TEST(Router, EveryPolicyPicksOnlyFromTheEligibleSet)
+{
+    // Property: whatever the loads, the pick is the index of some
+    // view in the list — the router can never name an unroutable
+    // replica, because it never sees one.  Sweep random view lists
+    // (sorted by index, as the fleet builds them) per policy.
+    Rng gen(99);
+    for (const PolicyKind policy : allPolicies()) {
+        SCOPED_TRACE(toString(policy));
+        Router r(policy, 17);
+        for (int round = 0; round < 200; ++round) {
+            std::vector<ReplicaView> v;
+            int index = static_cast<int>(gen.nextBelow(3));
+            const int n = 1 + static_cast<int>(gen.nextBelow(6));
+            for (int i = 0; i < n; ++i) {
+                v.push_back(
+                    { index,
+                      static_cast<std::int64_t>(gen.nextBelow(50)),
+                      static_cast<double>(gen.nextBelow(1000)) });
+                index += 1 + static_cast<int>(gen.nextBelow(3));
+            }
+            const int pick = r.pick(v);
+            bool member = false;
+            for (const ReplicaView &view : v)
+                member = member || view.index == pick;
+            ASSERT_TRUE(member)
+                << "round " << round << ": picked " << pick
+                << " from " << v.size() << " views";
+        }
+    }
+}
+
+TEST(Router, LoadPoliciesAreInvariantUnderIndexRelabeling)
+{
+    // Property: least-outstanding and kv-pressure decide on load
+    // alone, so relabeling the replica indices of *equally loaded*
+    // views never moves the pick off the lowest label — the
+    // position in the list carries no weight.
+    const std::vector<std::vector<int>> labelings = {
+        { 0, 1, 2, 3 }, { 7, 9, 11, 42 }, { 3, 4, 5, 6 }
+    };
+    for (const PolicyKind policy : { PolicyKind::LeastOutstanding,
+                                     PolicyKind::KvPressure }) {
+        SCOPED_TRACE(toString(policy));
+        for (const auto &labels : labelings) {
+            Router r(policy, 1);
+            std::vector<ReplicaView> v;
+            for (const int ix : labels)
+                v.push_back({ ix, 5, 100.0 }); // equal loads
+            EXPECT_EQ(r.pick(v), labels.front());
+        }
+        // And with one strictly better view, the pick follows the
+        // load to whichever label carries it.
+        for (std::size_t winner = 0; winner < 4; ++winner) {
+            Router r(policy, 1);
+            std::vector<ReplicaView> v;
+            for (std::size_t i = 0; i < 4; ++i) {
+                const bool best = i == winner;
+                v.push_back({ static_cast<int>(2 * i + 1),
+                              best ? 1 : 8,
+                              best ? 900.0 : 50.0 });
+            }
+            EXPECT_EQ(r.pick(v), static_cast<int>(2 * winner + 1));
+        }
+    }
+}
+
+TEST(Router, EmptyEligibleSetIsFatalAndConsumesNoDraws)
+{
+    // The empty-set edge of the two-draws-per-decision contract: a
+    // refused pick is not a decision, so it must burn neither the
+    // decision count nor any Rng stream position — a router that
+    // survived the assert stays in lockstep with a twin that never
+    // saw the empty call.
+    const auto four =
+        views({ { 0, 9 }, { 1, 2 }, { 2, 5 }, { 3, 2 } });
+    Router hit(PolicyKind::PowerOfTwo, 21);
+    Router twin(PolicyKind::PowerOfTwo, 21);
+    EXPECT_EQ(hit.pick(four), twin.pick(four));
+    EXPECT_THROW(hit.pick({}), PanicError);
+    EXPECT_EQ(hit.decisions(), twin.decisions());
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(hit.pick(four), twin.pick(four));
 }
 
 } // namespace

@@ -150,6 +150,43 @@ TEST(Registry, MergePrefixedNamespacesEveryKind)
               32);
 }
 
+TEST(Registry, MergePrefixedCollidingPrefixesAccumulate)
+{
+    // A prefixed name can collide with a pre-existing metric of
+    // the same full name — whether written raw or folded in under
+    // the same prefix earlier.  Collisions must behave exactly
+    // like merge: counters and gauges add, peaks take the max,
+    // timers pool their samples.  Nothing is dropped or shadowed.
+    Registry src_a;
+    src_a.counterAdd("offered", 3);
+    src_a.gaugeAdd("makespan_s", 1.5);
+    src_a.gaugeMax("queue_depth", 9.0);
+    src_a.timerRecord("run", 0.25);
+    Registry src_b;
+    src_b.counterAdd("offered", 4);
+    src_b.gaugeAdd("makespan_s", 2.0);
+    src_b.gaugeMax("queue_depth", 5.0);
+    src_b.timerRecord("run", 0.75);
+
+    Registry sink;
+    // The raw name the prefix will collide with.
+    sink.counterAdd("replica.offered", 10);
+    sink.mergePrefixed(src_a.snapshot(), "replica.");
+    sink.mergePrefixed(src_b.snapshot(), "replica.");
+    const RegistrySnapshot merged = sink.snapshot();
+
+    EXPECT_EQ(merged.counters.at("replica.offered"), 10 + 3 + 4);
+    EXPECT_DOUBLE_EQ(merged.gauges.at("replica.makespan_s"), 3.5);
+    // Peaks under a colliding prefix max, never overwrite: the
+    // later, smaller peak must not clobber the earlier high-water.
+    EXPECT_DOUBLE_EQ(merged.peaks.at("replica.queue_depth"), 9.0);
+    EXPECT_EQ(merged.timers.at("replica.run").count(), 2u);
+    EXPECT_DOUBLE_EQ(merged.timers.at("replica.run").sum(), 1.0);
+    // Exactly one name per kind: the collision folded, not forked.
+    EXPECT_EQ(merged.counters.size(), 1u);
+    EXPECT_EQ(merged.gauges.size(), 1u);
+}
+
 TEST(Registry, ClearDropsEverything)
 {
     Registry reg;
