@@ -6,6 +6,7 @@
 #include "bench_util.hh"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -28,7 +29,8 @@ printUsage(std::ostream &os, const char *prog)
        << " [--threads N] [--seed N] [--csv]"
           " [--trace FILE] [--report FILE]"
           " [--chips N] [--tp N] [--pp N] [--faults N]"
-          " [--replicas N] [--policy NAME]\n"
+          " [--replicas N] [--policy NAME]"
+          " [--slo-p99-ms X] [--budget-chips N]\n"
        << "  --threads N  worker threads (default: all cores)\n"
        << "  --seed N     base RNG seed (default: 1)\n"
        << "  --csv        emit tables as CSV\n"
@@ -45,7 +47,11 @@ printUsage(std::ostream &os, const char *prog)
        << "  --replicas N replica count for fleet benches"
           " (default: 1)\n"
        << "  --policy NAME fleet load-balancing policy, one of: "
-       << fleet::policyNames() << " (default: round-robin)\n";
+       << fleet::policyNames() << " (default: round-robin)\n"
+       << "  --slo-p99-ms X p99 latency SLO for the capacity"
+          " planner, in milliseconds (default: 2000)\n"
+       << "  --budget-chips N chip budget for the capacity"
+          " planner's search (default: 0 = unlimited)\n";
 }
 
 /** Exit-time artifact destinations; set once by parseBenchArgs. */
@@ -135,6 +141,31 @@ parseCount(const char *prog, const std::string &flag,
     return static_cast<int>(parsed);
 }
 
+/**
+ * Strictly parse a finite positive real: the whole string must be
+ * a number, > 0 and finite, else usage + exit(2).  As unforgiving
+ * as parseCount — an SLO of '2000x' or 'inf' is a typo, not a
+ * bound.
+ */
+double
+parsePositiveReal(const char *prog, const std::string &flag,
+                  const std::string &value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == nullptr || *end != '\0'
+        || errno == ERANGE || !std::isfinite(parsed)
+        || parsed <= 0) {
+        std::cerr << prog << ": " << flag
+                  << " needs a finite positive number, got '"
+                  << value << "'\n";
+        printUsage(std::cerr, prog);
+        std::exit(2);
+    }
+    return parsed;
+}
+
 } // namespace
 
 BenchArgs
@@ -180,6 +211,14 @@ parseBenchArgs(int argc, char **argv)
                 std::exit(2);
             }
             args.policy = *parsed;
+        } else if (flagValue(argc, argv, i, "--slo-p99-ms",
+                             value)) {
+            args.slo_p99_ms =
+                parsePositiveReal(argv[0], "--slo-p99-ms", value);
+        } else if (flagValue(argc, argv, i, "--budget-chips",
+                             value)) {
+            args.budget_chips = parseCount(
+                argv[0], "--budget-chips", value, /*min_value=*/0);
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "'\n";

@@ -54,19 +54,28 @@ struct BenchArgs
     int replicas = 1;
     /** Fleet load-balancing policy (default: round-robin). */
     fleet::PolicyKind policy = fleet::PolicyKind::RoundRobin;
+    /** p99 end-to-end latency SLO for the capacity planner, in
+     *  milliseconds (must be > 0). */
+    double slo_p99_ms = 2000.0;
+    /** Chip budget for the capacity planner's search space
+     *  (0 = unlimited). */
+    int budget_chips = 0;
 };
 
 /**
  * Parse `--threads N`, `--seed N`, `--csv`, `--trace FILE`,
  * `--report FILE`, `--chips N`, `--tp N`, `--pp N`, `--faults N`,
- * `--replicas N` and `--policy NAME` (plus `--help`).  Unknown
- * flags print usage to stderr and exit(2); `--help` prints it to
- * stdout and exit(0).  Count flags are parsed strictly: a
- * non-numeric value, trailing garbage (`--chips 4x`), an
- * out-of-range count or an int64-overflowing literal
- * (`--chips 99999999999999999999`) exits(2); `--faults` alone
- * accepts 0 (fault-free).  `--policy` takes a
+ * `--replicas N`, `--policy NAME`, `--slo-p99-ms X` and
+ * `--budget-chips N` (plus `--help`).  Unknown flags print usage
+ * to stderr and exit(2); `--help` prints it to stdout and exit(0).
+ * Count flags are parsed strictly: a non-numeric value, trailing
+ * garbage (`--chips 4x`), an out-of-range count or an
+ * int64-overflowing literal (`--chips 99999999999999999999`)
+ * exits(2); `--faults` and `--budget-chips` alone accept 0
+ * (fault-free / unlimited).  `--policy` takes a
  * fleet::parsePolicy name; an unknown name exits(2).
+ * `--slo-p99-ms` is parsed just as strictly as a finite positive
+ * real (trailing garbage, zero, negative, inf/nan all exit(2)).
  *
  * `--trace` starts the global obs::TraceSession immediately;
  * `--trace`/`--report` artifacts are written by an atexit hook, so

@@ -93,7 +93,8 @@ main(int argc, char **argv)
               << wl.arrival_per_s << " req/s\n\n";
 
     Table t({ "replicas", "policy", "completed", "rejected",
-              "completed/s", "tok/s", "wait p99", "lat p99" });
+              "completed/s", "tok/s", "energy J", "chip-s",
+              "wait p99", "lat p99" });
     for (int n = 1; n <= args.replicas; n *= 2) {
         // Calibrate once per size; the policy is a run-time knob.
         const auto fleet = fleet::FleetSimulator::uniform(
@@ -117,6 +118,8 @@ main(int argc, char **argv)
                               / m.makespan_s,
                           1)
                     : std::string("-"),
+                Table::cell(m.energy_j, 2),
+                Table::cell(m.chip_seconds, 2),
                 pct(m.queue_wait_s, 99),
                 pct(m.latency_s, 99),
             });

@@ -100,9 +100,9 @@ main(int argc, char **argv)
                   << ", ~saturation "
                   << Table::cell(sat_req_per_s, 2) << " req/s]\n";
 
-        Table t({ "system", "load", "req/s", "tok/s", "TTFT p50",
-                  "lat p50", "lat p99", "wait p99", "peak batch",
-                  "peak q", "rejected" });
+        Table t({ "system", "load", "req/s", "tok/s", "J/tok",
+                  "TTFT p50", "lat p50", "lat p99", "wait p99",
+                  "peak batch", "peak q", "rejected" });
         for (auto kind : strategies) {
             std::vector<serve::ServeScenario> scenarios;
             for (double f : load_factors) {
@@ -123,6 +123,13 @@ main(int argc, char **argv)
                         scenarios[i].workload.arrival_per_s, 2),
                     r.makespan_s > 0
                         ? Table::cell(r.tokens_per_second, 1)
+                        : "-",
+                    r.generated_tokens > 0
+                        ? Table::cell(
+                              r.energyJoules()
+                                  / static_cast<double>(
+                                      r.generated_tokens),
+                              4)
                         : "-",
                     r.ttft_s.empty()
                         ? "-"

@@ -7,6 +7,7 @@
 # Test selection is label-based (see tests/CMakeLists.txt):
 #   unit / integration / fuzz / golden  suite tiers
 #   threaded                            TSan surface
+#   plan                                capacity-planner subsystem
 #   perf-smoke                          ~1 s sim-core bench canary
 #
 # Usage: scripts/check.sh
@@ -63,9 +64,9 @@ run_tsan() {
     cmake --build build-tsan -j "$jobs" \
         --target tf_common_test tf_tileseek_test tf_schedule_test \
         tf_serve_test tf_obs_test tf_multichip_test tf_fault_test \
-        tf_fleet_test \
+        tf_fleet_test tf_plan_test \
         ext_multichip_scaling ext_fault_degradation \
-        ext_fleet_scaling
+        ext_fleet_scaling ext_capacity_planner
     # The threaded surfaces: pool unit tests, parallel sweeps, the
     # root-parallel MCTS determinism suite, the serve-replay
     # scenario fan-out, the obs registry/trace concurrency tests,
@@ -92,6 +93,13 @@ run_tsan() {
     # TSan so the parallel advance + prefix-merge path is raced.
     echo "== TSan: fleet scaling bench =="
     ./build-tsan/bench/ext_fleet_scaling --replicas 8 \
+        --threads "$jobs" > /dev/null
+    # The capacity planner fans candidate evaluations (each a full
+    # fleet replay) across the pool and prefix-merges per-candidate
+    # registries; drive the planner sweep under TSan so the
+    # outermost parallel layer is raced too.
+    echo "== TSan: capacity planner bench =="
+    ./build-tsan/bench/ext_capacity_planner \
         --threads "$jobs" > /dev/null
 }
 

@@ -83,6 +83,19 @@ FleetSimulator::uniform(int replicas,
                         serve::WorkloadOptions workload,
                         FleetOptions options)
 {
+    return uniform(replicas, std::move(cluster),
+                   multichip::ShardSpec{ 0, 0 }, std::move(cfg),
+                   workload, std::move(options));
+}
+
+FleetSimulator
+FleetSimulator::uniform(int replicas,
+                        multichip::ClusterConfig cluster,
+                        multichip::ShardSpec spec,
+                        model::TransformerConfig cfg,
+                        serve::WorkloadOptions workload,
+                        FleetOptions options)
+{
     if (replicas < 1)
         tf_fatal("a fleet needs at least one replica, got ",
                  replicas);
@@ -96,7 +109,8 @@ FleetSimulator::uniform(int replicas,
     if (fleet.options_.autoscaler.enabled)
         fleet.options_.autoscaler.validate(replicas);
     cluster.validate();
-    const multichip::ShardSpec spec = fleet.planSpec(cluster);
+    if (spec.tp <= 0 || spec.pp <= 0)
+        spec = fleet.planSpec(cluster);
     // Calibrate once, share everywhere: sessions never touch the
     // simulator's (immutable) tables, so identical replicas can
     // alias one instance.
@@ -169,6 +183,8 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
             fm.completed_per_second =
                 static_cast<double>(fm.completed) / fm.makespan_s;
         fm.peak_serving = 1;
+        fm.energy_j = m.energyJoules();
+        fm.chip_seconds = m.chip_seconds;
         fm.ttft_s.merge(m.ttft_s);
         fm.tpot_s.merge(m.tpot_s);
         fm.latency_s.merge(m.latency_s);
@@ -657,6 +673,8 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
         fm.completed += m.completed;
         fm.rejected += m.rejected;
         fm.generated_tokens += m.generated_tokens;
+        fm.energy_j += m.energyJoules();
+        fm.chip_seconds += m.chip_seconds;
         fm.makespan_s = std::max(fm.makespan_s, m.makespan_s);
         fm.ttft_s.merge(m.ttft_s);
         fm.tpot_s.merge(m.tpot_s);
@@ -695,6 +713,10 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
     TF_GAUGE_MAX("fleet/peak_serving",
                  static_cast<double>(fm.peak_serving));
     TF_GAUGE_ADD("fleet/makespan_s", fm.makespan_s);
+    // Fleet totals; the per-replica split is already in the merged
+    // registry under fleet/replica.<i>.serve/energy.*.
+    TF_GAUGE_ADD("fleet/energy.total_j", fm.energy_j);
+    TF_GAUGE_ADD("fleet/chip_seconds", fm.chip_seconds);
     return fm;
 }
 

@@ -125,6 +125,20 @@ class FleetSimulator
                                   FleetOptions options = {});
 
     /**
+     * Homogeneous fleet with an explicit sharding: skips the
+     * planShards search entirely (the capacity planner enumerates
+     * (tp, pp) itself and must not pay — or observe — a plan sweep
+     * per candidate).  `spec` with tp or pp <= 0 falls back to
+     * planning, making the plain overload the spec{0,0} case.
+     */
+    static FleetSimulator uniform(int replicas,
+                                  multichip::ClusterConfig cluster,
+                                  multichip::ShardSpec spec,
+                                  model::TransformerConfig cfg,
+                                  serve::WorkloadOptions workload,
+                                  FleetOptions options = {});
+
+    /**
      * Replay `requests` (sorted by arrival, positive lengths)
      * across the fleet.  Asserts the fleet ledger offered ==
      * completed + rejected, with rejected = replica sheds +

@@ -330,8 +330,8 @@ ShardedStackEvaluator::evaluate(
     return res;
 }
 
-double
-ShardedStackEvaluator::decodeStepSeconds(
+ShardedStackEvaluator::DecodeStepCost
+ShardedStackEvaluator::decodeStepCost(
     std::int64_t cache_len, schedule::StrategyKind strategy) const
 {
     if (stack_.encoder_layers > 0)
@@ -345,7 +345,9 @@ ShardedStackEvaluator::decodeStepSeconds(
         const schedule::DecodeEvaluator deval(
             stageArch(0), stack_.block,
             { /*prompt_len=*/1, /*generate_tokens=*/0 }, opts_);
-        return deval.stepMetrics(cache_len, strategy).latency_s;
+        const schedule::LayerMetrics m =
+            deval.stepMetrics(cache_len, strategy);
+        return { m.latency_s, m.energy.total() };
     }
 
     // Per-step TileSeek would dwarf the step itself (the same
@@ -359,7 +361,12 @@ ShardedStackEvaluator::decodeStepSeconds(
         const schedule::LayerMetrics m = oneLayer(
             step, strategy, 0, /*include_ffn=*/true, nullptr,
             opts);
-        return m.latency_s * static_cast<double>(layers);
+        // All tp chips of the single stage do symmetric work, so
+        // the cluster draw is the per-chip layer energy (TP link
+        // share included) times tp, over the whole depth.
+        return { m.latency_s * static_cast<double>(layers),
+                 m.energy.total() * static_cast<double>(layers)
+                     * static_cast<double>(spec_.tp) };
     }
 
     // Decode pipeline: the token flows through every stage in
@@ -372,33 +379,52 @@ ShardedStackEvaluator::decodeStepSeconds(
         * static_cast<double>(stack_.block.d_model) * eb;
     std::vector<PipelineLayer> units;
     units.reserve(static_cast<std::size_t>(layers));
-    std::vector<double> per_stage(
-        static_cast<std::size_t>(spec_.pp), -1.0);
+    std::vector<schedule::LayerMetrics> per_stage(
+        static_cast<std::size_t>(spec_.pp));
+    std::vector<bool> filled(
+        static_cast<std::size_t>(spec_.pp), false);
     for (std::int64_t i = 0; i < layers; ++i) {
         PipelineLayer u;
         for (int s = 0; s < spec_.pp; ++s) {
-            double &lat = per_stage[static_cast<std::size_t>(s)];
-            if (lat < 0) {
+            schedule::LayerMetrics &sm =
+                per_stage[static_cast<std::size_t>(s)];
+            if (!filled[static_cast<std::size_t>(s)]) {
                 for (int t = 0; t < s; ++t)
-                    if (stageArch(t) == stageArch(s)) {
-                        lat = per_stage[static_cast<std::size_t>(
+                    if (filled[static_cast<std::size_t>(t)]
+                        && stageArch(t) == stageArch(s)) {
+                        sm = per_stage[static_cast<std::size_t>(
                             t)];
+                        filled[static_cast<std::size_t>(s)] =
+                            true;
                         break;
                     }
-                if (lat < 0)
-                    lat = oneLayer(step, strategy, s,
-                                   /*include_ffn=*/true, nullptr,
-                                   opts)
-                              .latency_s;
+                if (!filled[static_cast<std::size_t>(s)]) {
+                    sm = oneLayer(step, strategy, s,
+                                  /*include_ffn=*/true, nullptr,
+                                  opts);
+                    filled[static_cast<std::size_t>(s)] = true;
+                }
             }
-            u.latency_per_stage.push_back(lat);
+            u.latency_per_stage.push_back(sm.latency_s);
         }
         u.activation_bytes = act_bytes;
         units.push_back(std::move(u));
     }
     const PipelinePartition part =
         partitionLayers(units, spec_.pp, cluster_.link);
-    return part.total_s;
+    // Each layer runs on its assigned stage's TP group; add the
+    // inter-stage hop energy the placement charged.
+    double joules = part.transfers.energy_j;
+    for (int s = 0; s < spec_.pp; ++s) {
+        const std::int64_t assigned =
+            part.first_layer[static_cast<std::size_t>(s) + 1]
+            - part.first_layer[static_cast<std::size_t>(s)];
+        joules += per_stage[static_cast<std::size_t>(s)]
+                      .energy.total()
+            * static_cast<double>(assigned)
+            * static_cast<double>(spec_.tp);
+    }
+    return { part.total_s, joules };
 }
 
 } // namespace transfusion::multichip

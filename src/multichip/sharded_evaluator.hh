@@ -90,8 +90,15 @@ class ShardedStackEvaluator
     /** Evaluate one strategy over the whole sharded stack. */
     ShardedStackResult evaluate(schedule::StrategyKind strategy) const;
 
+    /** Latency + whole-cluster energy of one decode iteration. */
+    struct DecodeStepCost
+    {
+        double seconds = 0;
+        double joules = 0;
+    };
+
     /**
-     * Seconds of ONE decode iteration (query_len = 1 per batch
+     * Cost of ONE decode iteration (query_len = 1 per batch
      * lane, all decoder layers) against a KV cache of `cache_len`
      * positions.  Decoder-only stacks; decode steps serialize
      * across pipeline stages (a token cannot enter stage k + 1
@@ -101,9 +108,21 @@ class ShardedStackEvaluator
      * schedule::DecodeEvaluator::stepMetrics, and at tp = pp = 1
      * delegates to it outright so serving calibration stays
      * bit-compatible with the single-chip path.
+     *
+     * `joules` follows the evaluate() convention: per-chip energy
+     * (TP link share included) times tp, plus inter-stage transfer
+     * energy when pp > 1 — the whole cluster's draw for the step.
      */
+    DecodeStepCost
+    decodeStepCost(std::int64_t cache_len,
+                   schedule::StrategyKind strategy) const;
+
+    /** The latency component of decodeStepCost. */
     double decodeStepSeconds(std::int64_t cache_len,
-                             schedule::StrategyKind strategy) const;
+                             schedule::StrategyKind strategy) const
+    {
+        return decodeStepCost(cache_len, strategy).seconds;
+    }
 
     const ClusterConfig &cluster() const { return cluster_; }
     const model::StackConfig &stack() const { return stack_; }

@@ -162,7 +162,9 @@ shardedServeCostModelUncached(
             cluster, model::decoderOnly(bcfg), /*src_len=*/0,
             /*tgt_len=*/max_context, spec,
             options.cost.evaluator);
-        return eval.decodeStepSeconds(cache_len, options.strategy);
+        const ShardedStackEvaluator::DecodeStepCost c =
+            eval.decodeStepCost(cache_len, options.strategy);
+        return serve::StepCost{ c.seconds, c.joules };
     };
     const auto prefill = [&](std::int64_t prompt_len) {
         model::TransformerConfig one = cfg;
@@ -170,7 +172,9 @@ shardedServeCostModelUncached(
         const ShardedStackEvaluator eval(
             cluster, model::decoderOnly(one), /*src_len=*/0,
             /*tgt_len=*/prompt_len, spec, options.cost.evaluator);
-        return eval.evaluate(options.strategy).latency_s;
+        const ShardedStackResult r =
+            eval.evaluate(options.strategy);
+        return serve::StepCost{ r.latency_s, r.cluster_energy_j };
     };
     return serve::ServeCostModel(options.strategy,
                                  options.max_batch, max_context,
@@ -187,6 +191,9 @@ shardedSimulator(const ClusterConfig &cluster,
                  const serve::WorkloadOptions &workload,
                  serve::ServeOptions options)
 {
+    // The replica occupies the whole cluster for its makespan, so
+    // chip-seconds accounting bills every chip.
+    options.chips = cluster.size();
     return serve::ServeSimulator(
         shardedServeCostModel(cluster, cfg, spec, workload,
                               options),

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Dominance test and O(n^2) frontier extraction.  Candidate counts
+ * are bench-sweep sized (tens to a few hundred), so the quadratic
+ * scan is both the simplest and the fastest-in-practice choice.
+ */
+
+#include "frontier.hh"
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace transfusion::plan
+{
+
+std::string
+Objectives::toString() const
+{
+    std::ostringstream os;
+    os << "cost=" << Table::cell(cost, 3)
+       << ", p99=" << Table::cell(p99_latency_s, 4)
+       << "s, rps=" << Table::cell(throughput_rps, 3);
+    return os.str();
+}
+
+bool
+dominates(const Objectives &a, const Objectives &b)
+{
+    if (a.cost > b.cost || a.p99_latency_s > b.p99_latency_s
+        || a.throughput_rps < b.throughput_rps)
+        return false;
+    return a.cost < b.cost || a.p99_latency_s < b.p99_latency_s
+        || a.throughput_rps > b.throughput_rps;
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<Objectives> &points)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated;
+             ++j)
+            dominated = j != i && dominates(points[j], points[i]);
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    return frontier;
+}
+
+} // namespace transfusion::plan

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pareto machinery for the capacity planner's three deployment
+ * objectives: cost (chip-seconds plus priced energy, minimized),
+ * p99 end-to-end latency (minimized) and completed throughput
+ * (maximized).  Kept free of planner types so property tests can
+ * hammer dominance and frontier extraction on synthetic points.
+ */
+
+#ifndef TRANSFUSION_PLAN_FRONTIER_HH
+#define TRANSFUSION_PLAN_FRONTIER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace transfusion::plan
+{
+
+/** One candidate deployment's objective triple. */
+struct Objectives
+{
+    /** Deployment cost proxy (lower is better). */
+    double cost = 0;
+    /** p99 request latency in virtual seconds (lower is better). */
+    double p99_latency_s = 0;
+    /** Completed requests per virtual second (higher is better). */
+    double throughput_rps = 0;
+
+    /** "cost=..., p99=..., rps=..." one-liner. */
+    std::string toString() const;
+};
+
+/**
+ * Whether `a` Pareto-dominates `b`: no worse on every objective
+ * and strictly better on at least one.  Equal triples dominate in
+ * neither direction, so duplicates of a frontier point all stay on
+ * the frontier.
+ */
+bool dominates(const Objectives &a, const Objectives &b);
+
+/**
+ * Indices of the non-dominated points of `points`, ascending.
+ * A point dominated by any other is excluded; ties (bit-equal
+ * triples) are all kept.  The result is a pure function of the
+ * point *set*: permuting the input permutes the returned indices
+ * but never changes which points are on the frontier — the
+ * insertion-order-invariance property the plan tests pin.
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<Objectives> &points);
+
+} // namespace transfusion::plan
+
+#endif // TRANSFUSION_PLAN_FRONTIER_HH

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * SLO-driven deployment capacity planner: search the joint
+ * (cluster preset x chips x (tp, pp) x replicas x router policy x
+ * autoscaler) space for the cheapest deployment that meets an SLO,
+ * and report the full cost / p99-latency / throughput Pareto
+ * frontier alongside it.
+ *
+ * Every candidate is priced by actually replaying the workload
+ * trace through the existing fleet simulator (one sharded
+ * serve::ServeSimulator per replica behind a router), so "meets
+ * the SLO" means the same thing here as it does everywhere else in
+ * the stack — re-simulating the returned best spec reproduces its
+ * feasibility bit-for-bit.  Two layers keep the search affordable:
+ *
+ *   - Cost tables are memoized: candidates sharing a (cluster,
+ *     chips, tp, pp) calibration hit the process-wide
+ *     CostTableCache, which replays the build's registry deltas on
+ *     hit so cached and fresh construction are observably
+ *     identical.
+ *   - An analytic feasibility bound prunes hopeless candidates
+ *     before their fleet replay: a replica's decode throughput can
+ *     never exceed max over the calibrated batch grid of
+ *     batch / decodeStepSeconds(batch, minimum cache length)
+ *     (steps are monotone in cache length, and batch/seconds is
+ *     monotone within each piecewise-linear segment, so the
+ *     grid-point maximum is the true maximum).  When even
+ *     replicas x that optimistic ceiling cannot cover the trace's
+ *     required completed-token rate, the candidate is recorded as
+ *     Pruned — it could only ever have been Infeasible, so
+ *     pruning can change the frontier in no way, only the cost of
+ *     computing it.
+ *
+ * Determinism contract: plan() is bit-identical for any
+ * `threads` — candidates evaluate in per-task registries collected
+ * in enumeration order and merged under "plan/candidate.<i>."
+ * prefixes, the trace is generated once from (workload, seed), and
+ * every inner fleet replay runs single-threaded sessions (replica
+ * fan-out inside a candidate would nest pools without helping: the
+ * outer sweep already saturates the machine).
+ */
+
+#ifndef TRANSFUSION_PLAN_PLANNER_HH
+#define TRANSFUSION_PLAN_PLANNER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_sim.hh"
+#include "plan/frontier.hh"
+#include "plan/spec.hh"
+
+namespace transfusion::plan
+{
+
+/** Search and pricing knobs. */
+struct PlannerOptions
+{
+    /** Per-replica simulator knobs (max_batch, queue bound,
+     *  calibration grids, sim core).  `serve.chips` is overridden
+     *  per candidate by the replica's cluster size. */
+    serve::ServeOptions serve;
+    /** Failover backoff budget for the faulted re-runs. */
+    fault::RetryPolicy retry;
+    /** Autoscaler shape used by candidates with autoscaler = true
+     *  (`enabled` is overridden per candidate). */
+    fleet::AutoscalerOptions autoscaler;
+    /** Candidate-level worker threads; <= 0 = all hardware. */
+    int threads = 0;
+    /** Master switch for the analytic feasibility pruning. */
+    bool prune = true;
+    /**
+     * Safety factor on the prune test: a candidate is pruned only
+     * when replicas x analytic ceiling < margin x required rate.
+     * The ceiling is already a true upper bound, so any margin
+     * <= 1 keeps pruning sound; below 1 it only makes the test
+     * more conservative (prunes less).
+     */
+    double prune_margin = 0.9;
+    /** Cost of occupying one chip for one virtual second. */
+    double chip_second_cost = 1.0;
+    /** Cost of one metered joule. */
+    double joule_cost = 1e-3;
+
+    /** Fatal unless margins/prices are in range. */
+    void validate() const;
+};
+
+/** What happened to one enumerated candidate. */
+enum class CandidateStatus
+{
+    /** A chip cannot hold its weight shard plus KV headroom. */
+    MemoryUnfit,
+    /** Skipped by the analytic bound: provably under-provisioned. */
+    Pruned,
+    /** Simulated and failed the SLO (or the faulted re-run). */
+    Infeasible,
+    /** Simulated and met every SLO bound. */
+    Feasible,
+};
+
+/** Printable name ("memory-unfit", "pruned", ...). */
+const char *toString(CandidateStatus s);
+
+/** One candidate's full evaluation record. */
+struct CandidateOutcome
+{
+    DeploymentSpec spec;
+    CandidateStatus status = CandidateStatus::Pruned;
+    /** Valid when `simulated`; default elsewhere. */
+    Objectives objectives;
+    /** rejected / offered of the healthy run (when simulated). */
+    double reject_rate = 0;
+    /** rejected / offered of the faulted re-run; -1 when the SLO
+     *  has no fault scenario or the candidate never reached it. */
+    double fault_reject_rate = -1;
+    /** Optimistic per-deployment completed-token rate ceiling
+     *  (replicas x per-replica analytic bound); 0 for
+     *  MemoryUnfit. */
+    double analytic_tokens_per_s = 0;
+    /** Completed-token rate the trace demands of any feasible
+     *  deployment (shared by all candidates). */
+    double required_tokens_per_s = 0;
+    /** Whether a fleet replay actually ran. */
+    bool simulated = false;
+    /** Human-readable reason for any non-Feasible status. */
+    std::string why;
+};
+
+/** Everything one plan() call decided. */
+struct PlanResult
+{
+    /** Every enumerated candidate, in enumeration order. */
+    std::vector<CandidateOutcome> candidates;
+    /**
+     * Indices (into `candidates`, ascending) of the Pareto-optimal
+     * *feasible* candidates over (cost, p99 latency, throughput).
+     * Only feasible candidates compete: an SLO-violating point is
+     * not a deployment option, however cheap.
+     */
+    std::vector<std::size_t> frontier;
+    /**
+     * Index of the cheapest feasible candidate (ties: lower p99,
+     * then higher throughput, then lower index — lexicographically
+     * optimal, so it is always a member of `frontier`); nullopt
+     * when nothing is feasible.
+     */
+    std::optional<std::size_t> best;
+
+    std::int64_t enumerated = 0;
+    std::int64_t memory_unfit = 0;
+    std::int64_t pruned = 0;
+    std::int64_t simulated = 0;
+    std::int64_t feasible = 0;
+
+    const CandidateOutcome &bestOutcome() const;
+
+    /** One-line search ledger. */
+    std::string summary() const;
+};
+
+/**
+ * Optimistic upper bound on one replica's completed-token rate:
+ * max over the calibrated batch grid of batch / step seconds at
+ * the smallest calibrated cache length.  Real steps serve caches
+ * at least that long (seconds are monotone in cache length) and
+ * prefill work only subtracts, so no replay of any trace can
+ * sustain more.  Within each piecewise-linear segment of the batch
+ * axis, batch / seconds is monotone, so scanning the grid points
+ * finds the true maximum.
+ */
+double
+decodeThroughputBound(const serve::ServeCostModel &cost);
+
+/**
+ * The completed-token rate any SLO-meeting deployment must
+ * sustain on `trace`: the smallest total output tokens a
+ * conforming run can carry (sheddable requests and the over-p99
+ * straggler allowance both discounted as the *largest* outputs —
+ * maximally favorable to the deployment) divided by the last
+ * arrival time plus the p99 latency bound (when the run must be
+ * done with them).  A true lower bound, so a candidate whose
+ * optimistic ceiling sits below it is infeasible with certainty.
+ */
+double
+requiredTokensPerSecond(const std::vector<serve::Request> &trace,
+                        const SloSpec &slo);
+
+/**
+ * The planner.  Construction is cheap (plain data); all
+ * calibration and simulation happens inside plan(), memoized
+ * across candidates and across plan() calls by the process-wide
+ * CostTableCache.
+ */
+class CapacityPlanner
+{
+  public:
+    CapacityPlanner(model::TransformerConfig cfg,
+                    serve::WorkloadOptions workload, SloSpec slo,
+                    PlannerOptions options = {});
+
+    /**
+     * Enumerate `space`, evaluate every candidate against the
+     * trace generated from (workload, seed), and return the full
+     * record: per-candidate outcomes, the feasible Pareto
+     * frontier, and the cheapest feasible spec.  Deterministic
+     * bit-for-bit per (space, seed) for any `options.threads`.
+     */
+    PlanResult plan(const SearchSpace &space,
+                    std::uint64_t seed) const;
+
+    const SloSpec &slo() const { return slo_; }
+    const PlannerOptions &options() const { return options_; }
+
+  private:
+    CandidateOutcome
+    evaluate(const DeploymentSpec &spec,
+             const std::vector<serve::Request> &trace,
+             double required_tokens_per_s,
+             std::uint64_t seed) const;
+
+    model::TransformerConfig cfg_;
+    serve::WorkloadOptions workload_;
+    SloSpec slo_;
+    PlannerOptions options_;
+};
+
+} // namespace transfusion::plan
+
+#endif // TRANSFUSION_PLAN_PLANNER_HH

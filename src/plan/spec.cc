@@ -1,0 +1,116 @@
+/**
+ * @file
+ * SLO/spec validation, rendering, and search-space enumeration.
+ */
+
+#include "spec.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "multichip/cluster.hh"
+#include "multichip/shard_plan.hh"
+
+namespace transfusion::plan
+{
+
+void
+SloSpec::validate() const
+{
+    if (p99_latency_s <= 0)
+        tf_fatal("slo p99_latency_s must be > 0, got ",
+                 p99_latency_s);
+    if (max_reject_rate < 0 || max_reject_rate >= 1)
+        tf_fatal("slo max_reject_rate must be in [0, 1), got ",
+                 max_reject_rate);
+    if (max_fault_reject_rate < 0 || max_fault_reject_rate >= 1)
+        tf_fatal("slo max_fault_reject_rate must be in [0, 1), "
+                 "got ",
+                 max_fault_reject_rate);
+}
+
+std::string
+SloSpec::toString() const
+{
+    std::ostringstream os;
+    os << "p99<=" << p99_latency_s << "s, reject<="
+       << max_reject_rate;
+    if (!faults.empty())
+        os << ", faulted reject<=" << max_fault_reject_rate << " ("
+           << faults.events.size() << " events)";
+    return os.str();
+}
+
+std::string
+DeploymentSpec::toString() const
+{
+    std::ostringstream os;
+    os << cluster << " x" << chips << " " << shard.toString()
+       << " r" << replicas << " " << fleet::toString(policy);
+    if (autoscaler)
+        os << " [+as]";
+    return os.str();
+}
+
+void
+SearchSpace::validate() const
+{
+    if (clusters.empty())
+        tf_fatal("search space needs at least one cluster preset");
+    for (const std::string &name : clusters)
+        multichip::clusterByName(name, 1); // fatal on unknown
+    if (chip_counts.empty())
+        tf_fatal("search space needs at least one chip count");
+    for (const int chips : chip_counts)
+        if (chips < 1)
+            tf_fatal("chip counts must be >= 1, got ", chips);
+    if (replica_counts.empty())
+        tf_fatal("search space needs at least one replica count");
+    for (const int replicas : replica_counts)
+        if (replicas < 1)
+            tf_fatal("replica counts must be >= 1, got ", replicas);
+    if (policies.empty())
+        tf_fatal("search space needs at least one router policy");
+    if (budget_chips < 0)
+        tf_fatal("budget_chips must be >= 0 (0 = unlimited), got ",
+                 budget_chips);
+}
+
+std::vector<DeploymentSpec>
+SearchSpace::enumerate(const model::TransformerConfig &cfg) const
+{
+    validate();
+    cfg.validate();
+    std::vector<DeploymentSpec> out;
+    for (const std::string &cluster : clusters) {
+        for (const int chips : chip_counts) {
+            const auto shards = multichip::feasibleSpecs(
+                cfg, cfg.layers, chips);
+            for (const multichip::ShardSpec &shard : shards) {
+                for (const int replicas : replica_counts) {
+                    if (budget_chips > 0
+                        && chips * replicas > budget_chips)
+                        continue;
+                    for (const fleet::PolicyKind policy :
+                         policies) {
+                        DeploymentSpec spec;
+                        spec.cluster = cluster;
+                        spec.chips = chips;
+                        spec.shard = shard;
+                        spec.replicas = replicas;
+                        spec.policy = policy;
+                        spec.autoscaler = false;
+                        out.push_back(spec);
+                        if (try_autoscaler && replicas > 1) {
+                            spec.autoscaler = true;
+                            out.push_back(spec);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace transfusion::plan

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The capacity planner's vocabulary: the SLO a deployment must
+ * meet, one fully-specified candidate deployment, and the joint
+ * search space the planner enumerates.  All plain data — the
+ * search itself lives in plan/planner.hh.
+ */
+
+#ifndef TRANSFUSION_PLAN_SPEC_HH
+#define TRANSFUSION_PLAN_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_schedule.hh"
+#include "fleet/policy.hh"
+#include "model/transformer.hh"
+#include "multichip/sharded_evaluator.hh"
+
+namespace transfusion::plan
+{
+
+/** What a deployment must deliver to count as feasible. */
+struct SloSpec
+{
+    /** p99 end-to-end request latency bound (virtual seconds). */
+    double p99_latency_s = 10.0;
+    /** Largest tolerated rejected / offered ratio in [0, 1). */
+    double max_reject_rate = 0.0;
+    /**
+     * Optional availability scenario: when non-empty, every
+     * SLO-feasible candidate is re-simulated with this schedule
+     * applied to replica 0 (the planner's convention — one
+     * replica's chips fault, the rest stay healthy and absorb the
+     * failover) and must keep its reject rate at or below
+     * `max_fault_reject_rate`.  Chip indices must be valid for the
+     * smallest per-replica chip count in the search space.
+     */
+    fault::FaultSchedule faults;
+    /** Reject-rate bound for the faulted re-run, in [0, 1). */
+    double max_fault_reject_rate = 0.05;
+
+    /** Fatal unless bounds are positive/within range. */
+    void validate() const;
+
+    /** "p99<=..., reject<=..." one-liner. */
+    std::string toString() const;
+};
+
+/** One fully-determined candidate deployment. */
+struct DeploymentSpec
+{
+    /** Cluster preset name ("cloud", "edge"). */
+    std::string cluster = "cloud";
+    /** Chips per replica. */
+    int chips = 1;
+    /** How each replica shards the model over its chips. */
+    multichip::ShardSpec shard{ 1, 1 };
+    /** Provisioned replica count. */
+    int replicas = 1;
+    /** Router policy spreading requests over the replicas. */
+    fleet::PolicyKind policy = fleet::PolicyKind::PassThrough;
+    /** Whether the hysteresis autoscaler manages the pool. */
+    bool autoscaler = false;
+
+    /** Chips the deployment occupies across all replicas. */
+    int totalChips() const { return chips * replicas; }
+
+    /** "cloud x4 tp2pp2 r3 round-robin [+as]" one-liner. */
+    std::string toString() const;
+};
+
+/**
+ * The joint space the planner searches, enumerated in a fixed
+ * nested order: cluster, then chips per replica, then every
+ * feasible (tp, pp) of that chip count, then replicas, then
+ * policy, then autoscaler off/on.  The order is part of the
+ * determinism contract — candidate indices are stable across runs
+ * and thread counts, and tie-breaks resolve toward lower indices.
+ */
+struct SearchSpace
+{
+    std::vector<std::string> clusters{ "cloud" };
+    std::vector<int> chip_counts{ 1, 2, 4 };
+    std::vector<int> replica_counts{ 1, 2, 4 };
+    std::vector<fleet::PolicyKind> policies{
+        fleet::PolicyKind::RoundRobin
+    };
+    /** Also try each multi-replica candidate with the autoscaler
+     *  enabled (a 1-replica pool cannot scale, so no duplicate is
+     *  enumerated there). */
+    bool try_autoscaler = false;
+    /**
+     * Hard ceiling on totalChips(); 0 means unlimited.  Candidates
+     * over budget are never enumerated (they don't show up as
+     * infeasible — they are outside the space).
+     */
+    int budget_chips = 0;
+
+    /** Fatal unless the space is non-empty and well-formed. */
+    void validate() const;
+
+    /**
+     * Every candidate of the space for `cfg`, in the fixed nested
+     * order above.  Chip counts with no feasible (tp, pp) for
+     * `cfg` contribute nothing.  Model-dependent because tensor
+     * parallelism must divide the head and FFN widths.
+     */
+    std::vector<DeploymentSpec>
+    enumerate(const model::TransformerConfig &cfg) const;
+};
+
+} // namespace transfusion::plan
+
+#endif // TRANSFUSION_PLAN_SPEC_HH

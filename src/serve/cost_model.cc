@@ -97,8 +97,9 @@ ServeCostModel::ServeCostModel(arch::ArchConfig arch,
                       options.evaluator);
                   cached_batch = batch;
               }
-              return cache->stepMetrics(cache_len, strategy)
-                  .latency_s;
+              const schedule::LayerMetrics m =
+                  cache->stepMetrics(cache_len, strategy);
+              return StepCost{ m.latency_s, m.energy.total() };
           },
           [&arch, &cfg, strategy, &options](
               std::int64_t prompt_len) {
@@ -109,7 +110,10 @@ ServeCostModel::ServeCostModel(arch::ArchConfig arch,
                   schedule::Workload::causalSelfAttention(
                       prompt_len),
                   options.evaluator);
-              return eval.evaluate(strategy).total.latency_s;
+              const schedule::LayerMetrics total =
+                  eval.evaluate(strategy).total;
+              return StepCost{ total.latency_s,
+                               total.energy.total() };
           })
 {
     cfg.validate();
@@ -148,13 +152,20 @@ ServeCostModel::ServeCostModel(schedule::StrategyKind strategy,
     cache_lens_ = geometricGrid(cache_lo, max_context,
                                 options.cache_samples);
 
-    // Decode tables: batch-major over the cache-length grid.
+    // Decode tables: batch-major over the cache-length grid.  One
+    // sample fills both the seconds and joules rows.
     for (std::int64_t b : batches_) {
-        std::vector<double> row;
-        row.reserve(cache_lens_.size());
-        for (std::int64_t len : cache_lens_)
-            row.push_back(decode_step(b, len));
-        step_s_.push_back(std::move(row));
+        std::vector<double> row_s;
+        std::vector<double> row_j;
+        row_s.reserve(cache_lens_.size());
+        row_j.reserve(cache_lens_.size());
+        for (std::int64_t len : cache_lens_) {
+            const StepCost c = decode_step(b, len);
+            row_s.push_back(c.seconds);
+            row_j.push_back(c.joules);
+        }
+        step_s_.push_back(std::move(row_s));
+        step_j_.push_back(std::move(row_j));
     }
 
     // Prefill table: single requests at geometric prompt lengths.
@@ -162,13 +173,17 @@ ServeCostModel::ServeCostModel(schedule::StrategyKind strategy,
         64, max_prompt);
     prompt_lens_ = geometricGrid(prompt_lo, max_prompt,
                                  options.prefill_samples);
-    for (std::int64_t p : prompt_lens_)
-        prefill_s_.push_back(prefill(p));
+    for (std::int64_t p : prompt_lens_) {
+        const StepCost c = prefill(p);
+        prefill_s_.push_back(c.seconds);
+        prefill_j_.push_back(c.joules);
+    }
 }
 
 double
-ServeCostModel::decodeStepSeconds(std::int64_t batch,
-                                  double mean_cache_len) const
+ServeCostModel::decodeLookup(
+    const std::vector<std::vector<double>> &table,
+    std::int64_t batch, double mean_cache_len) const
 {
     if (batch <= 0)
         tf_fatal("decode batch must be positive, got ", batch);
@@ -180,11 +195,11 @@ ServeCostModel::decodeStepSeconds(std::int64_t batch,
     // reads at most the two rows bracketing `b`, so only those two
     // cache-axis interps are evaluated.  The arithmetic is the
     // full-scan version's verbatim (same interp(), same operand
-    // order), so the result is bit-identical to
+    // order), so the seconds table's result is bit-identical to
     // decodeStepSecondsFullScan — the differential replay harness
     // holds both cores to that.
     const auto at = [&](std::size_t i) {
-        return interp(cache_lens_, step_s_[i], mean_cache_len);
+        return interp(cache_lens_, table[i], mean_cache_len);
     };
     if (batches_.size() == 1)
         return at(0);
@@ -202,6 +217,20 @@ ServeCostModel::decodeStepSeconds(std::int64_t batch,
     const double y0 = at(hi - 1);
     const double y1 = at(hi);
     return y0 + frac * (y1 - y0);
+}
+
+double
+ServeCostModel::decodeStepSeconds(std::int64_t batch,
+                                  double mean_cache_len) const
+{
+    return decodeLookup(step_s_, batch, mean_cache_len);
+}
+
+double
+ServeCostModel::decodeStepJoules(std::int64_t batch,
+                                 double mean_cache_len) const
+{
+    return decodeLookup(step_j_, batch, mean_cache_len);
 }
 
 double
@@ -229,6 +258,15 @@ ServeCostModel::prefillSeconds(std::int64_t prompt_len) const
     if (prompt_len <= 0)
         tf_fatal("prompt length must be positive, got ", prompt_len);
     return interp(prompt_lens_, prefill_s_,
+                  static_cast<double>(prompt_len));
+}
+
+double
+ServeCostModel::prefillJoules(std::int64_t prompt_len) const
+{
+    if (prompt_len <= 0)
+        tf_fatal("prompt length must be positive, got ", prompt_len);
+    return interp(prompt_lens_, prefill_j_,
                   static_cast<double>(prompt_len));
 }
 

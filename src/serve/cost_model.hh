@@ -49,7 +49,19 @@ struct ServeCostOptions
     schedule::EvaluatorOptions evaluator;
 };
 
-/** Interpolating (batch, cache length) -> step seconds tables. */
+/**
+ * One calibration sample: the virtual-time cost and the energy of
+ * a single priced unit (one decode iteration, or one prompt
+ * prefill).  Both values come from the same evaluator call, so
+ * adding energy never perturbs the latency tables.
+ */
+struct StepCost
+{
+    double seconds = 0;
+    double joules = 0;
+};
+
+/** Interpolating (batch, cache length) -> step cost tables. */
 class ServeCostModel
 {
   public:
@@ -75,10 +87,11 @@ class ServeCostModel
 
     /** Prices one decode iteration of `batch` requests. */
     using DecodeStepFn =
-        std::function<double(std::int64_t batch,
-                             std::int64_t cache_len)>;
+        std::function<StepCost(std::int64_t batch,
+                               std::int64_t cache_len)>;
     /** Prices one request's prompt prefill. */
-    using PrefillFn = std::function<double(std::int64_t prompt_len)>;
+    using PrefillFn =
+        std::function<StepCost(std::int64_t prompt_len)>;
 
     /**
      * Calibrate from injected pricing functions instead of a local
@@ -129,16 +142,53 @@ class ServeCostModel
      */
     double prefillSeconds(std::int64_t prompt_len) const;
 
+    /**
+     * Joules of one decode iteration, interpolated on the same
+     * (batch, cache length) grid as decodeStepSeconds (bracket
+     * bilinear, endpoint clamp).  Calibrated from the same
+     * evaluator calls that priced the latency, so a simulator can
+     * meter energy without re-running anything.
+     */
+    double decodeStepJoules(std::int64_t batch,
+                            double mean_cache_len) const;
+
+    /** Joules of one request's prompt prefill (batch 1),
+     *  piecewise-linear over the prefill grid like
+     *  prefillSeconds. */
+    double prefillJoules(std::int64_t prompt_len) const;
+
     schedule::StrategyKind strategy() const { return strategy_; }
 
+    /**
+     * The decode batch grid the tables were calibrated on
+     * (ascending).  The capacity planner's analytic throughput
+     * bound maximizes batch / decodeStepSeconds(batch) over these:
+     * seconds are piecewise-linear in batch between grid points, so
+     * b / s(b) is monotone within each segment and the grid-point
+     * maximum is the true maximum over the whole batch range.
+     */
+    const std::vector<std::int64_t> &calibratedBatches() const
+    {
+        return batches_;
+    }
+
   private:
+    /** Bracket bilinear lookup shared by the seconds and joules
+     *  decode tables (identical arithmetic for both). */
+    double decodeLookup(
+        const std::vector<std::vector<double>> &table,
+        std::int64_t batch, double mean_cache_len) const;
+
     schedule::StrategyKind strategy_;
     std::vector<std::int64_t> batches_;
     std::vector<std::int64_t> cache_lens_;
     /** step_s_[batch index][cache index] in seconds. */
     std::vector<std::vector<double>> step_s_;
+    /** step_j_[batch index][cache index] in joules. */
+    std::vector<std::vector<double>> step_j_;
     std::vector<std::int64_t> prompt_lens_;
     std::vector<double> prefill_s_;
+    std::vector<double> prefill_j_;
 };
 
 /**

@@ -128,6 +128,8 @@ ServeSimulator::ServeSimulator(ServeCostModel cost,
     if (options_.max_queue <= 0)
         tf_fatal("max_queue must be positive, got ",
                  options_.max_queue);
+    if (options_.chips <= 0)
+        tf_fatal("chips must be positive, got ", options_.chips);
     if (!(words_per_token_ > 0))
         tf_fatal("words_per_token must be positive, got ",
                  words_per_token_);
@@ -243,8 +245,11 @@ ServeSimulator::advanceLegacy(ServeSession &s,
             // pricing is the conservative model); each produces its
             // request's first token.
             double dt = 0;
-            for (const InFlightRequest &r : admitted)
+            for (const InFlightRequest &r : admitted) {
                 dt += cost_.prefillSeconds(r.req.prompt_len);
+                m.prefill_energy_j +=
+                    cost_.prefillJoules(r.req.prompt_len);
+            }
             s.now += dt;
             m.prefill_rounds += 1;
             for (InFlightRequest &r : admitted) {
@@ -274,6 +279,12 @@ ServeSimulator::advanceLegacy(ServeSession &s,
             const auto batch =
                 static_cast<std::int64_t>(s.running.size());
             s.now += cost_.decodeStepSecondsFullScan(
+                batch, ctx / static_cast<double>(batch));
+            // Same (batch, mean) arguments price the step's energy
+            // off the joules table — decodeStepJoules is the one
+            // lookup both cores share, so metered energy is
+            // core-invariant.
+            m.decode_energy_j += cost_.decodeStepJoules(
                 batch, ctx / static_cast<double>(batch));
             m.decode_rounds += 1;
             std::vector<InFlightRequest> still;
@@ -453,8 +464,11 @@ ServeSimulator::advanceEvent(ServeSession &s,
             // verbatim legacy; survivors enter the finish heap
             // instead of the scan vector.
             double dt = 0;
-            for (const InFlightRequest &r : admitted)
+            for (const InFlightRequest &r : admitted) {
                 dt += cost_.prefillSeconds(r.req.prompt_len);
+                m.prefill_energy_j +=
+                    cost_.prefillJoules(r.req.prompt_len);
+            }
             s.now += dt;
             m.prefill_rounds += 1;
             for (InFlightRequest &r : admitted) {
@@ -488,6 +502,10 @@ ServeSimulator::advanceEvent(ServeSession &s,
             // O(1) plus O(log n) per finisher.
             const std::int64_t batch = alive;
             s.now += cost_.decodeStepSeconds(
+                batch,
+                static_cast<double>(ctx_active)
+                    / static_cast<double>(batch));
+            m.decode_energy_j += cost_.decodeStepJoules(
                 batch,
                 static_cast<double>(ctx_active)
                     / static_cast<double>(batch));
@@ -597,6 +615,8 @@ ServeSimulator::finishSession(ServeSession &s) const
         m.tokens_per_second =
             static_cast<double>(m.generated_tokens)
             / m.makespan_s;
+    m.chip_seconds =
+        static_cast<double>(options_.chips) * m.makespan_s;
 
     // Replay attribution, recorded once per run on the replaying
     // thread so runScenarios' per-task registries capture it.  At
@@ -619,6 +639,10 @@ ServeSimulator::finishSession(ServeSession &s) const
                  static_cast<double>(m.peak_queue));
     TF_GAUGE_MAX("serve/kv_reserved_words", m.peak_reserved_words);
     TF_GAUGE_ADD("serve/makespan_s", m.makespan_s);
+    TF_GAUGE_ADD("serve/energy.prefill_j", m.prefill_energy_j);
+    TF_GAUGE_ADD("serve/energy.decode_j", m.decode_energy_j);
+    TF_GAUGE_ADD("serve/energy.total_j", m.energyJoules());
+    TF_GAUGE_ADD("serve/chip_seconds", m.chip_seconds);
     return std::move(m);
 }
 

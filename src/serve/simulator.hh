@@ -83,6 +83,12 @@ struct ServeOptions
     std::int64_t max_queue = 256;
     /** DRAM stack size; <= 0 means defaultDramCapacityBytes. */
     double dram_capacity_bytes = 0;
+    /**
+     * Chips this simulator occupies (a sharded replica sets its
+     * cluster size).  Pure accounting: chip_seconds = chips *
+     * makespan — it never changes the simulated schedule.
+     */
+    int chips = 1;
     /** Cost-table calibration knobs. */
     ServeCostOptions cost;
 };
@@ -103,6 +109,24 @@ struct ServeMetrics
     double makespan_s = 0; ///< clock when the last request finishes
     /** Generated tokens per virtual second over the makespan. */
     double tokens_per_second = 0;
+
+    /**
+     * Metered energy, priced per round from the calibrated energy
+     * tables (the same evaluator calls that priced the latency):
+     * every prefill round adds each admitted prompt's prefill
+     * joules, every decode round adds the step's interpolated
+     * (batch, mean cache length) joules.
+     */
+    double prefill_energy_j = 0;
+    double decode_energy_j = 0;
+    /** Occupancy cost: options.chips * makespan_s. */
+    double chip_seconds = 0;
+
+    /** Total metered joules over the replay. */
+    double energyJoules() const
+    {
+        return prefill_energy_j + decode_energy_j;
+    }
 
     Histogram ttft_s;       ///< arrival -> first token
     Histogram tpot_s;       ///< mean inter-token time per request

@@ -179,5 +179,72 @@ TEST(BenchArgsDeathTest, UnknownPolicyExitsWithTheSpellingList)
                 "--policy needs a value");
 }
 
+TEST(BenchArgs, PlannerFlagsDefaultAndParseBothForms)
+{
+    const auto args = parse({ "bench" });
+    EXPECT_DOUBLE_EQ(args.slo_p99_ms, 2000.0);
+    EXPECT_EQ(args.budget_chips, 0);
+
+    const auto detached = parse(
+        { "bench", "--slo-p99-ms", "350.5", "--budget-chips",
+          "16" });
+    EXPECT_DOUBLE_EQ(detached.slo_p99_ms, 350.5);
+    EXPECT_EQ(detached.budget_chips, 16);
+
+    const auto attached =
+        parse({ "bench", "--slo-p99-ms=1e3", "--budget-chips=0" });
+    EXPECT_DOUBLE_EQ(attached.slo_p99_ms, 1000.0);
+    EXPECT_EQ(attached.budget_chips, 0);
+}
+
+TEST(BenchArgsDeathTest, SloBoundRejectsNonPositiveValues)
+{
+    // An SLO of zero (or negative) milliseconds bounds nothing.
+    EXPECT_EXIT(parse({ "bench", "--slo-p99-ms", "0" }),
+                testing::ExitedWithCode(2),
+                "--slo-p99-ms needs a finite positive number");
+    EXPECT_EXIT(parse({ "bench", "--slo-p99-ms=-5" }),
+                testing::ExitedWithCode(2),
+                "--slo-p99-ms needs a finite positive number, "
+                "got '-5'");
+}
+
+TEST(BenchArgsDeathTest, SloBoundRejectsGarbageAndNonFinite)
+{
+    // "2000x" must not strtod-truncate to 2000, and inf/nan are
+    // parseable doubles but meaningless latency bounds.
+    EXPECT_EXIT(parse({ "bench", "--slo-p99-ms", "2000x" }),
+                testing::ExitedWithCode(2),
+                "--slo-p99-ms needs a finite positive number, "
+                "got '2000x'");
+    EXPECT_EXIT(parse({ "bench", "--slo-p99-ms=inf" }),
+                testing::ExitedWithCode(2),
+                "--slo-p99-ms needs a finite positive number");
+    EXPECT_EXIT(parse({ "bench", "--slo-p99-ms=nan" }),
+                testing::ExitedWithCode(2),
+                "--slo-p99-ms needs a finite positive number");
+    EXPECT_EXIT(parse({ "bench", "--slo-p99-ms=" }),
+                testing::ExitedWithCode(2),
+                "--slo-p99-ms needs a finite positive number");
+    EXPECT_EXIT(parse({ "bench", "--slo-p99-ms" }),
+                testing::ExitedWithCode(2),
+                "--slo-p99-ms needs a value");
+}
+
+TEST(BenchArgsDeathTest, ChipBudgetAcceptsZeroButNotGarbage)
+{
+    // Zero means "unlimited" (like --faults, min 0); anything
+    // non-numeric or negative is a usage error.
+    EXPECT_EQ(parse({ "bench", "--budget-chips=0" }).budget_chips,
+              0);
+    EXPECT_EXIT(parse({ "bench", "--budget-chips", "-4" }),
+                testing::ExitedWithCode(2),
+                "--budget-chips needs a non-negative integer");
+    EXPECT_EXIT(parse({ "bench", "--budget-chips", "4x" }),
+                testing::ExitedWithCode(2),
+                "--budget-chips needs a non-negative integer, "
+                "got '4x'");
+}
+
 } // namespace
 } // namespace transfusion::bench

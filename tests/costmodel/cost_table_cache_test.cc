@@ -59,8 +59,9 @@ TEST(CacheKey, DoublesFingerprintExactBits)
     KeyBuilder c;
     c.add("v", 0.1);
     EXPECT_EQ(a.str(), c.str());
-    if (0.1 != 0.1 + 1e-17)
+    if (0.1 != 0.1 + 1e-17) {
         EXPECT_NE(a.str(), b.str());
+    }
 }
 
 TEST(CostTableCache, HitReturnsTheFirstBuildAndCountsIt)

@@ -149,8 +149,9 @@ TEST(FaultScheduleFuzz, DownSpansRoundTripTheRawEventList)
             ASSERT_GT(spans[i].end_s, spans[i].start_s)
                 << "seed " << seed << " span " << i;
             prev_end = spans[i].end_s;
-            if (std::isinf(spans[i].end_s))
+            if (std::isinf(spans[i].end_s)) {
                 ASSERT_EQ(i, spans.size() - 1) << "seed " << seed;
+            }
         }
     }
 }

@@ -36,6 +36,32 @@ TEST(Policy, NamesRoundTripThroughParse)
     }
 }
 
+TEST(Policy, EveryAdvertisedNameParsesBack)
+{
+    // The reverse direction of the round-trip: split the usage
+    // string on its separator and parse every token, so a name can
+    // neither be advertised without parsing nor renamed in only
+    // one place.
+    const std::string names = policyNames();
+    const std::string sep = ", ";
+    std::size_t parsed = 0;
+    std::size_t start = 0;
+    while (start <= names.size()) {
+        std::size_t end = names.find(sep, start);
+        if (end == std::string::npos)
+            end = names.size();
+        const std::string token =
+            names.substr(start, end - start);
+        ASSERT_FALSE(token.empty())
+            << "empty token in policyNames(): '" << names << "'";
+        EXPECT_TRUE(parsePolicy(token).has_value())
+            << "advertised name '" << token << "' does not parse";
+        ++parsed;
+        start = end + sep.size();
+    }
+    EXPECT_EQ(parsed, allPolicies().size());
+}
+
 TEST(Policy, PowerOfTwoAcceptsTheShorthand)
 {
     ASSERT_TRUE(parsePolicy("p2c").has_value());

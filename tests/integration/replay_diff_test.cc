@@ -131,6 +131,9 @@ expectSameServeMetrics(const serve::ServeMetrics &a,
     EXPECT_EQ(a.kv_capacity_words, b.kv_capacity_words);
     EXPECT_EQ(a.makespan_s, b.makespan_s);
     EXPECT_EQ(a.tokens_per_second, b.tokens_per_second);
+    EXPECT_EQ(a.prefill_energy_j, b.prefill_energy_j);
+    EXPECT_EQ(a.decode_energy_j, b.decode_energy_j);
+    EXPECT_EQ(a.chip_seconds, b.chip_seconds);
     expectSameHistogram(a.ttft_s, b.ttft_s, "ttft");
     expectSameHistogram(a.tpot_s, b.tpot_s, "tpot");
     expectSameHistogram(a.latency_s, b.latency_s, "latency");
@@ -160,6 +163,8 @@ expectSameFleetMetrics(const fleet::FleetMetrics &a,
     EXPECT_EQ(a.peak_serving, b.peak_serving);
     EXPECT_EQ(a.makespan_s, b.makespan_s);
     EXPECT_EQ(a.completed_per_second, b.completed_per_second);
+    EXPECT_EQ(a.energy_j, b.energy_j);
+    EXPECT_EQ(a.chip_seconds, b.chip_seconds);
     expectSameHistogram(a.ttft_s, b.ttft_s, "fleet ttft");
     expectSameHistogram(a.tpot_s, b.tpot_s, "fleet tpot");
     expectSameHistogram(a.latency_s, b.latency_s, "fleet latency");

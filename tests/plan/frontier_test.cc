@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Property tests for the planner's Pareto machinery.
+ */
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "plan/frontier.hh"
+
+namespace transfusion::plan
+{
+namespace
+{
+
+Objectives
+point(double cost, double p99, double rps)
+{
+    Objectives o;
+    o.cost = cost;
+    o.p99_latency_s = p99;
+    o.throughput_rps = rps;
+    return o;
+}
+
+std::vector<Objectives>
+randomPoints(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    std::vector<Objectives> pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // A coarse value grid on purpose: collisions per axis are
+        // common, so the <=/>= edges of dominance get exercised.
+        pts.push_back(point(
+            static_cast<double>(rng.nextBelow(8)),
+            static_cast<double>(rng.nextBelow(8)),
+            static_cast<double>(rng.nextBelow(8))));
+    }
+    return pts;
+}
+
+TEST(Dominates, StrictOnAtLeastOneAxisAndNoWorseElsewhere)
+{
+    const Objectives a = point(1, 1, 10);
+    EXPECT_TRUE(dominates(a, point(2, 1, 10))); // cheaper
+    EXPECT_TRUE(dominates(a, point(1, 2, 10))); // faster tail
+    EXPECT_TRUE(dominates(a, point(1, 1, 5)));  // more throughput
+    EXPECT_TRUE(dominates(a, point(3, 4, 2))); // better everywhere
+    // Trade-offs dominate in neither direction.
+    EXPECT_FALSE(dominates(a, point(0.5, 2, 10)));
+    EXPECT_FALSE(dominates(point(0.5, 2, 10), a));
+    // Equal triples are mutually non-dominating.
+    EXPECT_FALSE(dominates(a, a));
+}
+
+TEST(ParetoFrontier, NoReturnedPointIsDominated)
+{
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto pts = randomPoints(seed, 64);
+        const auto frontier = paretoFrontier(pts);
+        ASSERT_FALSE(frontier.empty());
+        for (const std::size_t i : frontier)
+            for (std::size_t j = 0; j < pts.size(); ++j)
+                EXPECT_FALSE(dominates(pts[j], pts[i]))
+                    << "frontier point " << i
+                    << " is dominated by " << j << " (seed "
+                    << seed << ")";
+    }
+}
+
+TEST(ParetoFrontier, EveryExcludedPointIsDominatedByAFrontierPoint)
+{
+    const auto pts = randomPoints(/*seed=*/11, 64);
+    const auto frontier = paretoFrontier(pts);
+    const std::set<std::size_t> on(frontier.begin(),
+                                   frontier.end());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (on.count(i))
+            continue;
+        bool covered = false;
+        for (const std::size_t f : frontier)
+            covered = covered || dominates(pts[f], pts[i]);
+        EXPECT_TRUE(covered)
+            << "excluded point " << i
+            << " is not dominated by any frontier point";
+    }
+}
+
+TEST(ParetoFrontier, InsertionOrderInvariant)
+{
+    for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+        const auto pts = randomPoints(seed, 48);
+        const auto frontier = paretoFrontier(pts);
+
+        // Shuffle with a seeded Fisher-Yates, recompute, and map
+        // the returned indices back through the permutation: the
+        // *set of points* on the frontier must be unchanged.
+        std::vector<std::size_t> perm(pts.size());
+        for (std::size_t i = 0; i < perm.size(); ++i)
+            perm[i] = i;
+        Rng rng(seed * 977);
+        for (std::size_t i = perm.size(); i > 1; --i)
+            std::swap(perm[i - 1], perm[rng.nextBelow(i)]);
+
+        std::vector<Objectives> shuffled(pts.size());
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            shuffled[i] = pts[perm[i]];
+
+        std::vector<std::size_t> mapped;
+        for (const std::size_t i : paretoFrontier(shuffled))
+            mapped.push_back(perm[i]);
+        std::sort(mapped.begin(), mapped.end());
+
+        std::vector<std::size_t> expected(frontier);
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(mapped, expected) << "seed " << seed;
+    }
+}
+
+TEST(ParetoFrontier, DuplicateOptimaAllSurvive)
+{
+    const std::vector<Objectives> pts = {
+        point(1, 1, 10), point(1, 1, 10), // bit-equal optima
+        point(5, 5, 1),                   // dominated
+    };
+    const std::vector<std::size_t> expected = { 0, 1 };
+    EXPECT_EQ(paretoFrontier(pts), expected);
+}
+
+TEST(ParetoFrontier, IndicesAscendAndSingletonIsTrivial)
+{
+    const auto pts = randomPoints(/*seed=*/31, 40);
+    const auto frontier = paretoFrontier(pts);
+    EXPECT_TRUE(std::is_sorted(frontier.begin(), frontier.end()));
+    EXPECT_EQ(paretoFrontier({ point(3, 2, 1) }),
+              std::vector<std::size_t>{ 0 });
+    EXPECT_TRUE(paretoFrontier({}).empty());
+}
+
+} // namespace
+} // namespace transfusion::plan

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for the capacity planner: the analytic throughput bound,
+ * the required-rate trace summary, search-space enumeration, and
+ * the end-to-end contract — the frontier holds only non-dominated
+ * feasible candidates, the best spec reproduces its feasibility on
+ * an independent re-simulation, pruning never changes the answer,
+ * and plan() is bit-identical across thread counts.
+ */
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hh"
+#include "obs/report.hh"
+#include "plan/planner.hh"
+#include "serve/workload.hh"
+
+namespace transfusion::plan
+{
+namespace
+{
+
+serve::WorkloadOptions
+lightWorkload()
+{
+    serve::WorkloadOptions wl;
+    wl.arrival_per_s = 40.0;
+    wl.requests = 48;
+    wl.prompt = { 128, 256 };
+    wl.output = { 16, 32 };
+    return wl;
+}
+
+/** Calibration kept tiny: the tests exercise the search, not the
+ *  evaluator's fidelity. */
+PlannerOptions
+fastOptions()
+{
+    PlannerOptions o;
+    o.serve.max_batch = 4;
+    o.serve.cost.cache_samples = 3;
+    o.serve.cost.prefill_samples = 3;
+    o.serve.cost.evaluator.mcts.iterations = 32;
+    return o;
+}
+
+SearchSpace
+smallSpace()
+{
+    SearchSpace space;
+    space.clusters = { "edge" };
+    space.chip_counts = { 1, 2 };
+    space.replica_counts = { 1, 2 };
+    space.policies = { fleet::PolicyKind::RoundRobin };
+    return space;
+}
+
+TEST(DecodeThroughputBound, MaximizesOverTheCalibratedGrid)
+{
+    // Injected pricing with constant step seconds: the largest
+    // batch wins, and the grid (powers of two up to max batch 4)
+    // makes the maximum 4 / 1e-3.
+    serve::ServeCostOptions copts;
+    copts.cache_samples = 2;
+    copts.prefill_samples = 2;
+    const auto constant_step = [](std::int64_t, std::int64_t) {
+        return serve::StepCost{ 1e-3, 0.0 };
+    };
+    const auto prefill = [](std::int64_t) {
+        return serve::StepCost{ 1e-3, 0.0 };
+    };
+    const serve::ServeCostModel flat(
+        schedule::StrategyKind::TransFusion, /*max_batch=*/4,
+        /*max_context=*/64, /*max_prompt=*/64, copts,
+        constant_step, prefill);
+    EXPECT_DOUBLE_EQ(decodeThroughputBound(flat), 4.0 / 1e-3);
+
+    // Seconds proportional to batch: batch / seconds is the same
+    // at every grid point, so the bound equals that constant.
+    const auto linear_step = [](std::int64_t batch, std::int64_t) {
+        return serve::StepCost{ 1e-3 * static_cast<double>(batch),
+                                0.0 };
+    };
+    const serve::ServeCostModel linear(
+        schedule::StrategyKind::TransFusion, 4, 64, 64, copts,
+        linear_step, prefill);
+    EXPECT_DOUBLE_EQ(decodeThroughputBound(linear), 1.0 / 1e-3);
+
+    // The bound is reached on the grid: no calibrated batch can
+    // beat it at the cheapest cache length.
+    for (const std::int64_t b : linear.calibratedBatches())
+        EXPECT_LE(static_cast<double>(b)
+                      / linear.decodeStepSeconds(b, 1.0),
+                  decodeThroughputBound(linear) + 1e-12);
+}
+
+TEST(RequiredTokensPerSecond, IsAConservativeTraceSummary)
+{
+    const auto trace =
+        serve::generateWorkload(lightWorkload(), /*seed=*/3);
+    SloSpec tight;
+    tight.p99_latency_s = 1.0;
+    SloSpec loose;
+    loose.p99_latency_s = 100.0;
+
+    const double demanding = requiredTokensPerSecond(trace, tight);
+    const double relaxed = requiredTokensPerSecond(trace, loose);
+    EXPECT_GT(demanding, 0);
+    // A looser latency bound extends the deadline, so the demanded
+    // rate can only fall.
+    EXPECT_LT(relaxed, demanding);
+
+    // A shed budget discounts whole requests, so it too can only
+    // lower the demand.
+    SloSpec shedding = tight;
+    shedding.max_reject_rate = 0.25;
+    EXPECT_LT(requiredTokensPerSecond(trace, shedding), demanding);
+
+    EXPECT_EQ(requiredTokensPerSecond({}, tight), 0);
+}
+
+TEST(SearchSpace, EnumerationOrderBudgetAndAutoscaler)
+{
+    const auto cfg = model::t5Small();
+    SearchSpace space = smallSpace();
+    space.replica_counts = { 1, 2, 4 };
+    const auto specs = space.enumerate(cfg);
+    ASSERT_FALSE(specs.empty());
+
+    // Fixed nested order: chips major, then (tp, pp), then
+    // replicas — so per-replica chip counts are non-decreasing and
+    // replicas ascend within one (chips, shard) block.
+    for (std::size_t i = 1; i < specs.size(); ++i) {
+        EXPECT_GE(specs[i].chips, specs[i - 1].chips);
+        if (specs[i].chips == specs[i - 1].chips
+            && specs[i].shard.tp == specs[i - 1].shard.tp
+            && specs[i].shard.pp == specs[i - 1].shard.pp) {
+            EXPECT_GE(specs[i].replicas, specs[i - 1].replicas);
+        }
+    }
+    for (const DeploymentSpec &s : specs) {
+        EXPECT_EQ(s.shard.chips(), s.chips);
+        EXPECT_FALSE(s.autoscaler);
+    }
+
+    // The chip budget filters totalChips, and every in-budget
+    // candidate survives.
+    SearchSpace capped = space;
+    capped.budget_chips = 4;
+    const auto within = capped.enumerate(cfg);
+    for (const DeploymentSpec &s : within)
+        EXPECT_LE(s.totalChips(), 4);
+    std::size_t in_budget = 0;
+    for (const DeploymentSpec &s : specs)
+        in_budget += s.totalChips() <= 4;
+    EXPECT_EQ(within.size(), in_budget);
+
+    // try_autoscaler duplicates multi-replica candidates only: a
+    // 1-replica pool cannot scale.
+    SearchSpace scaled = space;
+    scaled.try_autoscaler = true;
+    std::size_t multi = 0;
+    for (const DeploymentSpec &s : specs)
+        multi += s.replicas > 1;
+    const auto with_as = scaled.enumerate(cfg);
+    EXPECT_EQ(with_as.size(), specs.size() + multi);
+    for (const DeploymentSpec &s : with_as)
+        if (s.autoscaler) {
+            EXPECT_GT(s.replicas, 1);
+        }
+}
+
+TEST(CapacityPlanner, FrontierIsFeasibleNonDominatedAndBestIsOnIt)
+{
+    SloSpec slo;
+    slo.p99_latency_s = 2.0;
+    const CapacityPlanner planner(model::t5Small(),
+                                  lightWorkload(), slo,
+                                  fastOptions());
+    const PlanResult result = planner.plan(smallSpace(), 7);
+
+    ASSERT_TRUE(result.best.has_value());
+    ASSERT_FALSE(result.frontier.empty());
+    EXPECT_EQ(result.enumerated,
+              static_cast<std::int64_t>(result.candidates.size()));
+
+    const std::set<std::size_t> on(result.frontier.begin(),
+                                   result.frontier.end());
+    for (const std::size_t i : result.frontier) {
+        EXPECT_EQ(result.candidates[i].status,
+                  CandidateStatus::Feasible);
+        for (std::size_t j = 0; j < result.candidates.size();
+             ++j) {
+            if (result.candidates[j].status
+                != CandidateStatus::Feasible)
+                continue;
+            EXPECT_FALSE(
+                dominates(result.candidates[j].objectives,
+                          result.candidates[i].objectives))
+                << "frontier point " << i << " dominated by " << j;
+        }
+    }
+
+    // Best is the cheapest feasible candidate and, being
+    // lexicographically optimal, always sits on the frontier.
+    EXPECT_TRUE(on.count(*result.best));
+    const double best_cost =
+        result.bestOutcome().objectives.cost;
+    for (const CandidateOutcome &c : result.candidates)
+        if (c.status == CandidateStatus::Feasible) {
+            EXPECT_GE(c.objectives.cost, best_cost);
+        }
+}
+
+TEST(CapacityPlanner, BestSpecMeetsTheSloOnIndependentResimulation)
+{
+    SloSpec slo;
+    slo.p99_latency_s = 2.0;
+    const auto wl = lightWorkload();
+    const auto opts = fastOptions();
+    const std::uint64_t seed = 7;
+    const CapacityPlanner planner(model::t5Small(), wl, slo, opts);
+    const PlanResult result = planner.plan(smallSpace(), seed);
+    ASSERT_TRUE(result.best.has_value());
+    const DeploymentSpec &spec = result.bestOutcome().spec;
+
+    // Rebuild the deployment from its spec alone and replay the
+    // same trace: the feasibility claim must reproduce.
+    fleet::FleetOptions fo;
+    fo.serve = opts.serve;
+    const auto fleet = fleet::FleetSimulator::uniform(
+        spec.replicas,
+        multichip::clusterByName(spec.cluster, spec.chips),
+        spec.shard, model::t5Small(), wl, fo);
+    fleet::FleetRunOptions run;
+    run.policy = spec.policy;
+    run.seed = seed;
+    const auto m =
+        fleet.run(serve::generateWorkload(wl, seed), run);
+    EXPECT_LE(m.latency_s.percentileOr(
+                  99, std::numeric_limits<double>::infinity()),
+              slo.p99_latency_s);
+    EXPECT_EQ(m.rejected, 0);
+    // And the planner priced exactly this run.
+    EXPECT_EQ(result.bestOutcome().objectives.throughput_rps,
+              m.completed_per_second);
+}
+
+TEST(CapacityPlanner, PruningSkipsReplaysButNeverChangesTheAnswer)
+{
+    // Heavy enough that small deployments are provably
+    // under-provisioned (the bench uses the same shape).
+    serve::WorkloadOptions wl = lightWorkload();
+    wl.arrival_per_s = 2000.0;
+    wl.requests = 64;
+    wl.output = { 128, 256 };
+    SloSpec slo;
+    slo.p99_latency_s = 2.0;
+
+    SearchSpace space = smallSpace();
+    space.chip_counts = { 1, 2, 4 };
+    space.replica_counts = { 1, 2, 4 };
+
+    PlannerOptions pruned_opts = fastOptions();
+    PlannerOptions full_opts = pruned_opts;
+    full_opts.prune = false;
+
+    const CapacityPlanner pruned(model::t5Small(), wl, slo,
+                                 pruned_opts);
+    const CapacityPlanner full(model::t5Small(), wl, slo,
+                               full_opts);
+    const PlanResult a = pruned.plan(space, 11);
+    const PlanResult b = full.plan(space, 11);
+
+    EXPECT_GT(a.pruned, 0);
+    EXPECT_EQ(b.pruned, 0);
+    EXPECT_LT(a.simulated, b.simulated);
+    // Identical decision surface: every pruned candidate was
+    // indeed infeasible, so frontier and best agree exactly.
+    EXPECT_EQ(a.frontier, b.frontier);
+    EXPECT_EQ(a.best, b.best);
+    EXPECT_EQ(a.feasible, b.feasible);
+    ASSERT_EQ(a.candidates.size(), b.candidates.size());
+    for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+        if (a.candidates[i].status == CandidateStatus::Pruned) {
+            EXPECT_EQ(b.candidates[i].status,
+                      CandidateStatus::Infeasible)
+                << "pruned candidate " << i
+                << " was feasible when simulated";
+            continue;
+        }
+        EXPECT_EQ(a.candidates[i].status, b.candidates[i].status);
+        EXPECT_EQ(a.candidates[i].objectives.cost,
+                  b.candidates[i].objectives.cost);
+    }
+}
+
+TEST(CapacityPlanner, PlanIsBitIdenticalAcrossThreadCounts)
+{
+    SloSpec slo;
+    slo.p99_latency_s = 2.0;
+    const auto wl = lightWorkload();
+    const auto space = smallSpace();
+
+    const auto report = [&](int threads, std::uint64_t seed,
+                            PlanResult &out) {
+        PlannerOptions opts = fastOptions();
+        opts.threads = threads;
+        const CapacityPlanner planner(model::t5Small(), wl, slo,
+                                      opts);
+        obs::Registry local;
+        {
+            obs::ScopedRegistry scope(local);
+            out = planner.plan(space, seed);
+        }
+        return obs::RunReport::capture(local).toString();
+    };
+
+    for (const std::uint64_t seed : { 5ull, 6ull, 7ull }) {
+        PlanResult serial, fanned;
+        const std::string a = report(1, seed, serial);
+        const std::string b = report(4, seed, fanned);
+        EXPECT_EQ(a, b) << "seed " << seed
+                        << ": report drifted across thread counts";
+        EXPECT_EQ(serial.frontier, fanned.frontier);
+        EXPECT_EQ(serial.best, fanned.best);
+        ASSERT_EQ(serial.candidates.size(),
+                  fanned.candidates.size());
+        for (std::size_t i = 0; i < serial.candidates.size();
+             ++i) {
+            const CandidateOutcome &x = serial.candidates[i];
+            const CandidateOutcome &y = fanned.candidates[i];
+            EXPECT_EQ(x.status, y.status);
+            EXPECT_EQ(x.objectives.cost, y.objectives.cost);
+            EXPECT_EQ(x.objectives.p99_latency_s,
+                      y.objectives.p99_latency_s);
+            EXPECT_EQ(x.objectives.throughput_rps,
+                      y.objectives.throughput_rps);
+            EXPECT_EQ(x.why, y.why);
+        }
+    }
+}
+
+TEST(CapacityPlanner, FaultScenarioGatesFeasibility)
+{
+    // The SLO demands surviving a permanent chip loss on replica
+    // 0: a single replica loses everything, a second replica
+    // absorbs the failover.
+    serve::WorkloadOptions wl = lightWorkload();
+    wl.arrival_per_s = 10.0;
+    wl.requests = 24;
+
+    SloSpec slo;
+    slo.p99_latency_s = 30.0;
+    slo.faults.events.push_back(
+        { 0.0, fault::FaultKind::ChipLoss, 0 });
+    slo.max_fault_reject_rate = 0.05;
+
+    SearchSpace space = smallSpace();
+    space.chip_counts = { 1 };
+    space.replica_counts = { 1, 2 };
+
+    const CapacityPlanner planner(model::t5Small(), wl, slo,
+                                  fastOptions());
+    const PlanResult result = planner.plan(space, 13);
+    ASSERT_EQ(result.candidates.size(), 2u);
+
+    const CandidateOutcome &solo = result.candidates[0];
+    EXPECT_EQ(solo.spec.replicas, 1);
+    EXPECT_EQ(solo.status, CandidateStatus::Infeasible);
+    EXPECT_EQ(solo.fault_reject_rate, 1.0)
+        << "a one-replica fleet with its only chip down must "
+           "reject everything";
+    EXPECT_NE(solo.why.find("faulted"), std::string::npos);
+
+    const CandidateOutcome &pair = result.candidates[1];
+    EXPECT_EQ(pair.spec.replicas, 2);
+    EXPECT_EQ(pair.status, CandidateStatus::Feasible);
+    EXPECT_LE(pair.fault_reject_rate, 0.05);
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_EQ(*result.best, 1u);
+}
+
+TEST(CapacityPlanner, MemoryUnfitShortCircuitsBeforeCalibration)
+{
+    // A model far past any preset chip's DRAM: the planner must
+    // classify it without paying for calibration (this test would
+    // take minutes otherwise).
+    model::TransformerConfig giant;
+    giant.name = "giant";
+    giant.layers = 200;
+    giant.d_model = 8192;
+    giant.heads = 64;
+    giant.head_dim = 128;
+    giant.ffn_hidden = 32768;
+
+    SearchSpace space = smallSpace();
+    space.chip_counts = { 1 };
+    space.replica_counts = { 1 };
+
+    SloSpec slo;
+    const CapacityPlanner planner(giant, lightWorkload(), slo,
+                                  fastOptions());
+    const PlanResult result = planner.plan(space, 1);
+    ASSERT_EQ(result.candidates.size(), 1u);
+    EXPECT_EQ(result.candidates[0].status,
+              CandidateStatus::MemoryUnfit);
+    EXPECT_EQ(result.memory_unfit, 1);
+    EXPECT_FALSE(result.best.has_value());
+    EXPECT_TRUE(result.frontier.empty());
+    EXPECT_NE(result.candidates[0].why.find("DRAM"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace transfusion::plan

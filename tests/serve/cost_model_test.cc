@@ -79,10 +79,14 @@ TEST(ServeCostModel, OutOfGridQueriesClampToEndpointValues)
         schedule::StrategyKind::FuseMax, /*max_batch=*/1,
         /*max_context=*/4096, /*max_prompt=*/4096, o,
         [](std::int64_t, std::int64_t len) {
-            return 1e-6 * (static_cast<double>(len) - 60.0);
+            const double v =
+                1e-6 * (static_cast<double>(len) - 60.0);
+            return StepCost{ v, 2.0 * v };
         },
         [](std::int64_t prompt) {
-            return 1e-6 * (static_cast<double>(prompt) - 60.0);
+            const double v =
+                1e-6 * (static_cast<double>(prompt) - 60.0);
+            return StepCost{ v, 2.0 * v };
         });
     // Below the grid: the len=64 endpoint, never an extrapolated
     // negative or zero price.
@@ -92,6 +96,42 @@ TEST(ServeCostModel, OutOfGridQueriesClampToEndpointValues)
     // Above the grid: the max_context endpoint.
     EXPECT_DOUBLE_EQ(cm.decodeStepSeconds(1, 1e9),
                      cm.decodeStepSeconds(1, 4096));
+    // The joules table rides the same grid and clamping; the
+    // injected pricing made energy exactly twice the seconds.
+    EXPECT_DOUBLE_EQ(cm.decodeStepJoules(1, 1.0), 8e-6);
+    EXPECT_DOUBLE_EQ(cm.prefillJoules(1), 8e-6);
+    EXPECT_DOUBLE_EQ(cm.decodeStepJoules(1, 777.0),
+                     2.0 * cm.decodeStepSeconds(1, 777.0));
+    EXPECT_DOUBLE_EQ(cm.prefillJoules(512),
+                     2.0 * cm.prefillSeconds(512));
+}
+
+TEST(ServeCostModel, EnergyTablesMatchTheEvaluatorAtGridPoints)
+{
+    const auto arch = arch::edgeArch();
+    const auto cfg = model::t5Small();
+    const auto kind = schedule::StrategyKind::FuseMax;
+    const auto opts = fastCost();
+    const ServeCostModel cm(arch, cfg, kind, /*max_batch=*/4,
+                            /*max_context=*/2048,
+                            /*max_prompt=*/1024, opts);
+
+    // (batch=2, cache=64) is a calibrated grid node: the joules
+    // lookup must reproduce the evaluator's energy exactly, and
+    // positive energy must survive interpolation everywhere.
+    model::TransformerConfig two = cfg;
+    two.batch = 2;
+    const schedule::DecodeEvaluator deval(arch, two, { 1, 0 },
+                                          opts.evaluator);
+    const double direct =
+        deval.stepMetrics(64, kind).energy.total();
+    EXPECT_NEAR(cm.decodeStepJoules(2, 64.0), direct,
+                1e-12 * direct);
+    EXPECT_GT(cm.decodeStepJoules(1, 300.0), 0.0);
+    EXPECT_GT(cm.prefillJoules(500), 0.0);
+    // Longer caches stream more KV — more energy too.
+    EXPECT_LT(cm.decodeStepJoules(4, 256),
+              cm.decodeStepJoules(4, 2048));
 }
 
 TEST(ServeCostModel, StrategiesPriceDifferently)
