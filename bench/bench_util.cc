@@ -30,7 +30,8 @@ printUsage(std::ostream &os, const char *prog)
           " [--trace FILE] [--report FILE]"
           " [--chips N] [--tp N] [--pp N] [--faults N]"
           " [--replicas N] [--policy NAME]"
-          " [--slo-p99-ms X] [--budget-chips N]\n"
+          " [--slo-p99-ms X] [--budget-chips N]"
+          " [--schedules N]\n"
        << "  --threads N  worker threads (default: all cores)\n"
        << "  --seed N     base RNG seed (default: 1)\n"
        << "  --csv        emit tables as CSV\n"
@@ -51,7 +52,9 @@ printUsage(std::ostream &os, const char *prog)
        << "  --slo-p99-ms X p99 latency SLO for the capacity"
           " planner, in milliseconds (default: 2000)\n"
        << "  --budget-chips N chip budget for the capacity"
-          " planner's search (default: 0 = unlimited)\n";
+          " planner's search (default: 0 = unlimited)\n"
+       << "  --schedules N seeded fault schedules for the chaos"
+          " sweep (default: 32)\n";
 }
 
 /** Exit-time artifact destinations; set once by parseBenchArgs. */
@@ -219,6 +222,10 @@ parseBenchArgs(int argc, char **argv)
                              value)) {
             args.budget_chips = parseCount(
                 argv[0], "--budget-chips", value, /*min_value=*/0);
+        } else if (flagValue(argc, argv, i, "--schedules",
+                             value)) {
+            args.schedules =
+                parseCount(argv[0], "--schedules", value);
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "'\n";

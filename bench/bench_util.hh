@@ -60,13 +60,15 @@ struct BenchArgs
     /** Chip budget for the capacity planner's search space
      *  (0 = unlimited). */
     int budget_chips = 0;
+    /** Seeded fault schedules swept by the chaos harness. */
+    int schedules = 32;
 };
 
 /**
  * Parse `--threads N`, `--seed N`, `--csv`, `--trace FILE`,
  * `--report FILE`, `--chips N`, `--tp N`, `--pp N`, `--faults N`,
- * `--replicas N`, `--policy NAME`, `--slo-p99-ms X` and
- * `--budget-chips N` (plus `--help`).  Unknown flags print usage
+ * `--replicas N`, `--policy NAME`, `--slo-p99-ms X`,
+ * `--budget-chips N` and `--schedules N` (plus `--help`).  Unknown flags print usage
  * to stderr and exit(2); `--help` prints it to stdout and exit(0).
  * Count flags are parsed strictly: a non-numeric value, trailing
  * garbage (`--chips 4x`), an out-of-range count or an

@@ -20,6 +20,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "fault/fault_schedule.hh"
 #include "fleet/fleet_sim.hh"
 #include "serve/workload.hh"
 
@@ -121,6 +122,61 @@ BM_FleetP2c8Replicas(benchmark::State &state)
     state.SetLabel(serve::toString(core));
 }
 BENCHMARK(BM_FleetP2c8Replicas)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The fleet scenario under active gray failures: every replica
+ * carries a generated chip-slowdown schedule, so the replay pays
+ * the fault-boundary machinery (timeline cursors, session
+ * multiplier swaps, extra heap events) while it retires rounds.
+ * Keeps the legacy-vs-event speedup claim honest — a win that
+ * evaporates the moment faults fire would be a fair-weather win.
+ */
+void
+BM_FleetSlowdownFaults(benchmark::State &state)
+{
+    const auto core = coreOf(state);
+    const auto wl = saturatingWorkload(256);
+    fleet::FleetOptions opts;
+    opts.serve = serveOptions(core);
+    opts.core = core;
+    opts.threads = 1;
+    opts.plan_threads = 1;
+    constexpr int kReplicas = 8;
+    const auto fleet = fleet::FleetSimulator::uniform(
+        kReplicas, multichip::edgeCluster(1), model::t5Small(), wl,
+        opts);
+    const auto trace = serve::generateWorkload(wl, 1);
+    fleet::FleetRunOptions run;
+    run.policy = fleet::PolicyKind::PowerOfTwo;
+    run.seed = 1;
+    fault::FaultScheduleOptions fs;
+    fs.incidents = 4;
+    fs.horizon_s = 4.0;
+    fs.link_degrade_prob = 0.0;
+    fs.slowdown_prob = 1.0; // slowdown-only: nothing goes down
+    fs.mean_slowdown_s = 1.0;
+    fs.max_multiplier = 4.0;
+    run.faults.resize(kReplicas);
+    for (int r = 0; r < kReplicas; ++r)
+        run.faults[static_cast<std::size_t>(r)] =
+            fault::generateFaultSchedule(
+                fs, 1, 7 + static_cast<std::uint64_t>(r));
+
+    std::int64_t rounds = 0;
+    for (auto _ : state) {
+        const auto m = fleet.run(trace, run);
+        for (const auto &r : m.replicas)
+            rounds += r.prefill_rounds + r.decode_rounds;
+        benchmark::DoNotOptimize(m.makespan_s);
+    }
+    state.counters["rounds_per_s"] = benchmark::Counter(
+        static_cast<double>(rounds), benchmark::Counter::kIsRate);
+    state.SetLabel(serve::toString(core));
+}
+BENCHMARK(BM_FleetSlowdownFaults)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

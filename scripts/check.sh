@@ -8,10 +8,12 @@
 #   unit / integration / fuzz / golden  suite tiers
 #   threaded                            TSan surface
 #   plan                                capacity-planner subsystem
+#   chaos                               seeded chaos-invariant sweep
 #   perf-smoke                          ~1 s sim-core bench canary
 #
 # Usage: scripts/check.sh
-#        [--tier1-only | --tsan-only | --obs-off-only | --coverage-only]
+#        [--tier1-only | --tsan-only | --obs-off-only |
+#         --coverage-only | --ubsan-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +30,10 @@ run_tier1() {
     ctest --test-dir build --output-on-failure -j "$jobs" -L golden
     ctest --test-dir build --output-on-failure -j "$jobs" \
         -L integration
+    # The seeded chaos sweep: 200+ randomized fault schedules with
+    # conservation / core-agreement / thread-identity / termination
+    # / exact-recovery invariants (tests/chaos).
+    ctest --test-dir build --output-on-failure -j "$jobs" -L chaos
     # One short measurement of every simulation-core scenario; a
     # hang or crash in the hot loops fails here in ~1 s.
     ctest --test-dir build --output-on-failure -j "$jobs" \
@@ -64,7 +70,7 @@ run_tsan() {
     cmake --build build-tsan -j "$jobs" \
         --target tf_common_test tf_tileseek_test tf_schedule_test \
         tf_serve_test tf_obs_test tf_multichip_test tf_fault_test \
-        tf_fleet_test tf_plan_test \
+        tf_fleet_test tf_chaos_test tf_plan_test \
         ext_multichip_scaling ext_fault_degradation \
         ext_fleet_scaling ext_capacity_planner
     # The threaded surfaces: pool unit tests, parallel sweeps, the
@@ -103,6 +109,26 @@ run_tsan() {
         --threads "$jobs" > /dev/null
 }
 
+run_ubsan() {
+    echo "== UBSan: fault/fleet arithmetic =="
+    # The gray-failure layers are arithmetic-heavy (slowdown
+    # multipliers, capped exponential backoff, EWMA health
+    # trackers); -fno-sanitize-recover turns any UB into a test
+    # failure instead of a silently-wrong number.
+    cmake -B build-ubsan -S . -DTRANSFUSION_SANITIZE=undefined
+    cmake --build build-ubsan -j "$jobs" \
+        --target tf_fault_test tf_fleet_test tf_fault_fuzz_test \
+        ext_chaos_sweep
+    ctest --test-dir build-ubsan --output-on-failure -j "$jobs" \
+        -L 'fault|fleet' -E Chaos
+    # A reduced chaos sweep under UBSan: the randomized schedules
+    # push the slowdown/backoff/EWMA arithmetic into corners the
+    # unit tests don't reach.  Exit status is the verdict.
+    echo "== UBSan: reduced chaos sweep =="
+    ./build-ubsan/bench/ext_chaos_sweep --schedules 8 \
+        --threads "$jobs" > /dev/null
+}
+
 run_obs_off() {
     echo "== obs-off: -DTRANSFUSION_OBS=OFF with -Werror =="
     # Proves the TF_* macros compile to true no-ops: the whole tree
@@ -120,10 +146,12 @@ case "$mode" in
     --tsan-only)     run_tsan ;;
     --obs-off-only)  run_obs_off ;;
     --coverage-only) run_coverage ;;
-    all)             run_tier1; run_tsan; run_obs_off; run_coverage ;;
+    --ubsan-only)    run_ubsan ;;
+    all)             run_tier1; run_tsan; run_obs_off; run_coverage
+                     run_ubsan ;;
     *)
         echo "usage: $0 [--tier1-only | --tsan-only |" \
-            "--obs-off-only | --coverage-only]" >&2
+            "--obs-off-only | --coverage-only | --ubsan-only]" >&2
         exit 2
         ;;
 esac

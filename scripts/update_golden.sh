@@ -22,9 +22,10 @@ TRANSFUSION_UPDATE_GOLDEN=1 ./build/tests/golden/tf_golden_test
 # renamed or filtered-out TEST would otherwise silently drop a
 # golden from the regeneration set.
 for g in cloud_llama3_fault_chiploss cloud_llama3_fleet4_p2c \
-    cloud_llama3_tp2pp2 cloud_llama3_transfusion \
-    cloud_llama3_unfused edge_llama3_transfusion \
-    edge_llama3_unfused edge_t5small_plan; do
+    cloud_llama3_slowdown_breaker cloud_llama3_tp2pp2 \
+    cloud_llama3_transfusion cloud_llama3_unfused \
+    edge_llama3_transfusion edge_llama3_unfused \
+    edge_t5small_plan; do
     if [ ! -s "tests/golden/data/$g.txt" ]; then
         echo "update_golden.sh: missing regenerated golden" \
             "tests/golden/data/$g.txt" >&2

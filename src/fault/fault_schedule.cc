@@ -25,6 +25,10 @@ toString(FaultKind k)
         return "chip-recovery";
     case FaultKind::LinkDegrade:
         return "link-degrade";
+    case FaultKind::ChipSlowdown:
+        return "chip-slowdown";
+    case FaultKind::SlowdownRecovery:
+        return "slowdown-recovery";
     }
     tf_panic("unknown FaultKind");
 }
@@ -36,6 +40,8 @@ FaultEvent::toString() const
     os << fault::toString(kind) << "@" << time_s;
     if (kind == FaultKind::LinkDegrade)
         os << "(x" << factor << ")";
+    else if (kind == FaultKind::ChipSlowdown)
+        os << "(chip " << chip << " x" << factor << ")";
     else
         os << "(chip " << chip << ")";
     return os.str();
@@ -48,8 +54,22 @@ FaultSchedule::validate(int cluster_size) const
         tf_fatal("fault schedule needs a positive cluster size, "
                  "got ",
                  cluster_size);
-    std::vector<bool> up(static_cast<std::size_t>(cluster_size),
-                         true);
+    // Per-chip outstanding fault: a chip carries at most one fault
+    // at a time, and each recovery kind only clears its own fault
+    // kind (ChipRecovery <- ChipLoss, SlowdownRecovery <-
+    // ChipSlowdown).
+    enum class Outstanding
+    {
+        None,
+        Loss,
+        Slowdown,
+    };
+    std::vector<Outstanding> state(
+        static_cast<std::size_t>(cluster_size), Outstanding::None);
+    const auto outstandingKind = [](Outstanding o) {
+        return o == Outstanding::Loss ? FaultKind::ChipLoss
+                                      : FaultKind::ChipSlowdown;
+    };
     double prev = 0;
     for (const FaultEvent &e : events) {
         if (e.time_s < 0)
@@ -59,31 +79,61 @@ FaultSchedule::validate(int cluster_size) const
             tf_fatal("fault events must be sorted by time; ",
                      e.toString(), " follows t=", prev);
         prev = e.time_s;
-        switch (e.kind) {
-        case FaultKind::ChipLoss:
-        case FaultKind::ChipRecovery: {
-            if (e.chip < 0 || e.chip >= cluster_size)
-                tf_fatal("fault event chip ", e.chip,
-                         " out of range for a ", cluster_size,
-                         "-chip cluster");
-            const auto i = static_cast<std::size_t>(e.chip);
-            if (e.kind == FaultKind::ChipLoss && !up[i])
-                tf_fatal("chip ", e.chip,
-                         " lost twice without a recovery (",
-                         e.toString(), ")");
-            if (e.kind == FaultKind::ChipRecovery && up[i])
-                tf_fatal("chip ", e.chip,
-                         " recovered while up (", e.toString(),
-                         ")");
-            up[i] = e.kind == FaultKind::ChipRecovery;
-            break;
-        }
-        case FaultKind::LinkDegrade:
+        if (e.kind == FaultKind::LinkDegrade) {
             if (!(e.factor > 0) || e.factor > 1)
                 tf_fatal("link-degrade factor must be in (0, 1], "
                          "got ",
                          e.factor);
+            continue;
+        }
+        if (e.chip < 0 || e.chip >= cluster_size)
+            tf_fatal("fault event chip ", e.chip,
+                     " out of range for a ", cluster_size,
+                     "-chip cluster");
+        const auto i = static_cast<std::size_t>(e.chip);
+        switch (e.kind) {
+        case FaultKind::ChipLoss:
+            if (state[i] != Outstanding::None)
+                tf_fatal("chip ", e.chip, " lost at t=", e.time_s,
+                         " with an outstanding ",
+                         fault::toString(outstandingKind(state[i])),
+                         " (", e.toString(), ")");
+            state[i] = Outstanding::Loss;
             break;
+        case FaultKind::ChipSlowdown:
+            if (!(e.factor > 1))
+                tf_fatal("chip-slowdown multiplier must be > 1, "
+                         "got ",
+                         e.factor, " (", e.toString(), ")");
+            if (state[i] != Outstanding::None)
+                tf_fatal("chip ", e.chip, " slowed at t=", e.time_s,
+                         " with an outstanding ",
+                         fault::toString(outstandingKind(state[i])),
+                         " (", e.toString(), ")");
+            state[i] = Outstanding::Slowdown;
+            break;
+        case FaultKind::ChipRecovery:
+        case FaultKind::SlowdownRecovery: {
+            const Outstanding wants =
+                e.kind == FaultKind::ChipRecovery
+                ? Outstanding::Loss
+                : Outstanding::Slowdown;
+            if (state[i] == Outstanding::None)
+                tf_fatal("chip ", e.chip,
+                         " recovered while healthy (",
+                         e.toString(), ")");
+            if (state[i] != wants)
+                tf_fatal("chip ", e.chip, " has an outstanding ",
+                         fault::toString(outstandingKind(state[i])),
+                         " but t=", e.time_s, " delivers a ",
+                         fault::toString(e.kind),
+                         "; recovery kinds must match the fault "
+                         "they clear");
+            state[i] = Outstanding::None;
+            break;
+        }
+        case FaultKind::LinkDegrade:
+            break; // handled above
         }
     }
 }
@@ -120,9 +170,41 @@ FaultSchedule::downSpans(int cluster_size) const
             break;
         case FaultKind::LinkDegrade:
             break; // a slower fabric still serves
+        case FaultKind::ChipSlowdown:
+        case FaultKind::SlowdownRecovery:
+            break; // a slow chip still serves
         }
     }
     return spans;
+}
+
+std::vector<SlowdownStep>
+FaultSchedule::slowdownTimeline(int cluster_size) const
+{
+    validate(cluster_size);
+    std::vector<SlowdownStep> steps;
+    std::vector<double> mult(
+        static_cast<std::size_t>(cluster_size), 1.0);
+    double effective = 1.0;
+    // Group events sharing a timestamp so a correlated incident
+    // emits one step, then record only actual changes.
+    for (std::size_t i = 0; i < events.size();) {
+        const double t = events[i].time_s;
+        for (; i < events.size() && events[i].time_s == t; ++i) {
+            const FaultEvent &e = events[i];
+            if (e.kind == FaultKind::ChipSlowdown)
+                mult[static_cast<std::size_t>(e.chip)] = e.factor;
+            else if (e.kind == FaultKind::SlowdownRecovery)
+                mult[static_cast<std::size_t>(e.chip)] = 1.0;
+        }
+        const double now =
+            *std::max_element(mult.begin(), mult.end());
+        if (now != effective) {
+            effective = now;
+            steps.push_back({ t, effective });
+        }
+    }
+    return steps;
 }
 
 void
@@ -140,6 +222,22 @@ FaultScheduleOptions::validate() const
                  link_degrade_prob);
     if (!(min_factor > 0) || min_factor > 1)
         tf_fatal("min_factor must be in (0, 1], got ", min_factor);
+    if (slowdown_prob < 0 || slowdown_prob > 1)
+        tf_fatal("slowdown_prob must be in [0, 1], got ",
+                 slowdown_prob);
+    if (link_degrade_prob + slowdown_prob > 1)
+        tf_fatal("link_degrade_prob + slowdown_prob must not "
+                 "exceed 1, got ",
+                 link_degrade_prob + slowdown_prob);
+    if (!(mean_slowdown_s > 0))
+        tf_fatal("mean_slowdown_s must be positive, got ",
+                 mean_slowdown_s);
+    if (!(max_multiplier > 1))
+        tf_fatal("max_multiplier must be > 1, got ",
+                 max_multiplier);
+    if (slowdown_group < 1)
+        tf_fatal("slowdown_group must be at least 1, got ",
+                 slowdown_group);
 }
 
 FaultSchedule
@@ -154,20 +252,28 @@ generateFaultSchedule(const FaultScheduleOptions &options,
 
     Rng rng(seed);
     FaultSchedule schedule;
-    // Recoveries scheduled by earlier losses, flushed in time
-    // order before each later incident.
+    // Recoveries scheduled by earlier incidents, flushed in time
+    // order before each later incident.  `healthy` means "carries
+    // no outstanding fault": a down OR slowed chip takes no new
+    // fault until its recovery lands.
     std::vector<FaultEvent> due;
-    std::vector<bool> up(static_cast<std::size_t>(cluster_size),
-                         true);
+    std::vector<bool> healthy(
+        static_cast<std::size_t>(cluster_size), true);
     const auto flushDue = [&](double until) {
+        // Tie-break equal timestamps by chip so correlated-group
+        // recoveries (which share one instant) flush in a fixed
+        // order regardless of the sort implementation.
         std::sort(due.begin(), due.end(),
                   [](const FaultEvent &a, const FaultEvent &b) {
-                      return a.time_s < b.time_s;
+                      return a.time_s != b.time_s
+                          ? a.time_s < b.time_s
+                          : a.chip < b.chip;
                   });
         std::size_t used = 0;
         for (; used < due.size() && due[used].time_s <= until;
              ++used) {
-            up[static_cast<std::size_t>(due[used].chip)] = true;
+            healthy[static_cast<std::size_t>(due[used].chip)] =
+                true;
             schedule.events.push_back(due[used]);
         }
         due.erase(due.begin(),
@@ -185,16 +291,51 @@ generateFaultSchedule(const FaultScheduleOptions &options,
 
         std::vector<int> candidates;
         for (int c = 0; c < cluster_size; ++c)
-            if (up[static_cast<std::size_t>(c)])
+            if (healthy[static_cast<std::size_t>(c)])
                 candidates.push_back(c);
         // Never down the last healthy chip; fall back to a link
-        // event so the incident count is honored.
-        const bool lose = candidates.size() > 1
-            && rng.nextDouble() >= options.link_degrade_prob;
-        if (lose) {
-            const int chip = candidates[rng.nextBelow(
-                candidates.size())];
-            up[static_cast<std::size_t>(chip)] = false;
+        // event so the incident count is honored.  One draw picks
+        // the incident kind by partitioning [0, 1): with
+        // slowdown_prob = 0 the partition — and therefore the RNG
+        // stream — collapses to the historical link-vs-loss split.
+        const double u =
+            candidates.size() > 1 ? rng.nextDouble() : 0.0;
+        if (candidates.size() <= 1
+            || u < options.link_degrade_prob) {
+            const double factor =
+                rng.nextDouble(options.min_factor, 1.0);
+            schedule.events.push_back(
+                { t, FaultKind::LinkDegrade, -1, factor });
+        } else if (u < options.link_degrade_prob
+                       + options.slowdown_prob) {
+            // Correlated slowdown: a group of chips share one
+            // multiplier and one recovery instant.
+            const double factor = options.max_multiplier
+                - (options.max_multiplier - 1.0)
+                    * rng.nextDouble(); // (1, max_multiplier]
+            const double recover_at = t
+                + options.mean_slowdown_s
+                    * (0.5 + rng.nextDouble());
+            const auto group = std::min(
+                static_cast<std::size_t>(options.slowdown_group),
+                candidates.size());
+            for (std::size_t g = 0; g < group; ++g) {
+                const std::size_t pick =
+                    rng.nextBelow(candidates.size());
+                const int chip = candidates[pick];
+                candidates[pick] = candidates.back();
+                candidates.pop_back();
+                healthy[static_cast<std::size_t>(chip)] = false;
+                schedule.events.push_back(
+                    { t, FaultKind::ChipSlowdown, chip, factor });
+                due.push_back({ recover_at,
+                                FaultKind::SlowdownRecovery, chip,
+                                1.0 });
+            }
+        } else {
+            const int chip =
+                candidates[rng.nextBelow(candidates.size())];
+            healthy[static_cast<std::size_t>(chip)] = false;
             schedule.events.push_back(
                 { t, FaultKind::ChipLoss, chip, 1.0 });
             FaultEvent recovery;
@@ -204,11 +345,6 @@ generateFaultSchedule(const FaultScheduleOptions &options,
             recovery.kind = FaultKind::ChipRecovery;
             recovery.chip = chip;
             due.push_back(recovery);
-        } else {
-            const double factor = rng.nextDouble(
-                options.min_factor, 1.0);
-            schedule.events.push_back(
-                { t, FaultKind::LinkDegrade, -1, factor });
         }
     }
     flushDue(std::numeric_limits<double>::infinity());

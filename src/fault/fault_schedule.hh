@@ -29,9 +29,15 @@ enum class FaultKind
     ChipLoss,     ///< a chip drops out of the cluster
     ChipRecovery, ///< a previously lost chip rejoins
     LinkDegrade,  ///< fabric bandwidth drops to `factor` x pristine
+    /** A gray failure: the chip keeps serving but every compute
+     *  step takes `factor` (> 1) times longer.  Layer-fused
+     *  schedules are bottleneck-bound, so one slow chip gates the
+     *  whole fused pipeline. */
+    ChipSlowdown,
+    SlowdownRecovery, ///< a slowed chip returns to full speed
 };
 
-/** Printable name ("chip-loss" / "chip-recovery" / "link-degrade"). */
+/** Printable name ("chip-loss" / "chip-slowdown" / ...). */
 std::string toString(FaultKind k);
 
 /** One point event in virtual time. */
@@ -39,12 +45,13 @@ struct FaultEvent
 {
     double time_s = 0; ///< virtual timestamp the event lands at
     FaultKind kind = FaultKind::ChipLoss;
-    /** Chip index for loss/recovery; ignored for link events. */
+    /** Chip index for chip events; ignored for link events. */
     int chip = -1;
     /**
      * Link-degrade bandwidth scale in (0, 1], *absolute* against
      * the pristine fabric (not cumulative), so factor = 1 restores
-     * the link.  Ignored for chip events.
+     * the link.  For chip-slowdown events: the compute-time
+     * multiplier, strictly > 1.  Ignored for loss/recovery.
      */
     double factor = 1.0;
 
@@ -59,6 +66,18 @@ struct DownSpan
     double end_s = 0;
 };
 
+/**
+ * One change point of the cluster-wide compute-slowdown multiplier.
+ * The multiplier holds from `time_s` until the next step; before
+ * the first step it is implicitly 1.0.
+ */
+struct SlowdownStep
+{
+    double time_s = 0;
+    /** Max over per-chip active multipliers; 1.0 = full speed. */
+    double multiplier = 1.0;
+};
+
 /** An ordered fault trace against one cluster. */
 struct FaultSchedule
 {
@@ -69,8 +88,12 @@ struct FaultSchedule
     /**
      * Fatal unless the schedule is well-formed for a cluster of
      * `cluster_size` chips: times non-negative and non-decreasing,
-     * chip indices in range, a loss only hits an up chip, a
-     * recovery only revives a down one, degrade factors in (0, 1].
+     * chip indices in range, degrade factors in (0, 1], slowdown
+     * multipliers > 1.  Each chip carries at most one outstanding
+     * fault at a time, and a recovery must match the outstanding
+     * kind — a chip-recovery against an outstanding slowdown (or a
+     * slowdown-recovery against an outstanding loss) is rejected
+     * with a message naming the chip, the timestamp and both kinds.
      * Losing every chip is legal (a total outage the server must
      * survive).
      */
@@ -89,6 +112,21 @@ struct FaultSchedule
      * until full health returns.
      */
     std::vector<DownSpan> downSpans(int cluster_size) const;
+
+    /**
+     * Change points of the cluster-wide compute-slowdown
+     * multiplier, in time order (validates first).  The effective
+     * multiplier at any instant is the max over chips with an
+     * active slowdown — a fused pipeline runs at the pace of its
+     * slowest member — and 1.0 when none is active.  Steps are
+     * coalesced per timestamp and emitted only when the effective
+     * value changes, so consumers can binary-search or walk the
+     * list as a piecewise-constant function.  Loss/recovery and
+     * link events never appear here: a down chip is handled by
+     * downSpans, not by a multiplier.
+     */
+    std::vector<SlowdownStep> slowdownTimeline(
+        int cluster_size) const;
 };
 
 /** Knobs of one generated fault trace. */
@@ -106,6 +144,25 @@ struct FaultScheduleOptions
     double link_degrade_prob = 0.25;
     /** Lower bound of generated degrade factors. */
     double min_factor = 0.25;
+    /**
+     * Probability an incident slows a correlated group of chips
+     * instead of losing one.  Defaults to 0 so pre-existing
+     * (options, seed) pairs reproduce their schedules bit-for-bit;
+     * link_degrade_prob + slowdown_prob must stay <= 1.
+     */
+    double slowdown_prob = 0.0;
+    /** Mean slowdown duration before the paired recovery. */
+    double mean_slowdown_s = 5.0;
+    /** Upper bound of generated slowdown multipliers (> 1);
+     *  draws land in (1, max_multiplier]. */
+    double max_multiplier = 4.0;
+    /**
+     * Chips hit by one slowdown incident: a correlated group drawn
+     * without replacement, sharing one multiplier and one recovery
+     * timestamp (thermal throttling and rack-level gray failures
+     * are correlated in practice).  Clamped to the chips available.
+     */
+    int slowdown_group = 1;
 
     /** Fatal unless counts/durations/probabilities make sense. */
     void validate() const;
@@ -115,9 +172,13 @@ struct FaultScheduleOptions
  * Generate a valid schedule for `cluster_size` chips: incident
  * times spread over the horizon with jittered gaps, each chip loss
  * paired with a recovery `~mean_outage_s` later, link degrades
- * drawn in [min_factor, 1).  The generator never downs the last
- * healthy chip (hand-write a schedule to exercise total outages).
- * Pure function of (options, cluster_size, seed).
+ * drawn in [min_factor, 1), slowdown groups sharing a multiplier
+ * in (1, max_multiplier] and a recovery `~mean_slowdown_s` later.
+ * The generator never downs the last healthy chip (hand-write a
+ * schedule to exercise total outages).  Pure function of
+ * (options, cluster_size, seed); with slowdown_prob = 0 the RNG
+ * stream is identical to the pre-slowdown generator, so existing
+ * seeds reproduce their schedules unchanged.
  */
 FaultSchedule generateFaultSchedule(
     const FaultScheduleOptions &options, int cluster_size,

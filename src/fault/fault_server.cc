@@ -6,6 +6,7 @@
 #include "fault_server.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <set>
@@ -40,23 +41,37 @@ RetryPolicy::delaySeconds(int attempt) const
 {
     tf_assert(attempt >= 1, "retry attempts start at 1");
     // Iterated multiply instead of std::pow: bit-identical on any
-    // libm, and the exponents are tiny.
+    // libm.  Stop as soon as growth can no longer change the
+    // result — the delay reached the cap, or the multiplier is 1
+    // (the historical loop spun attempt-1 no-op multiplies there,
+    // which a retry budget of 1e9 turns into real time) — and
+    // clamp an intermediate overflow to the cap instead of handing
+    // the caller an inf arrival time.
     double d = backoff_s;
-    for (int i = 1; i < attempt && d < cap_s; ++i)
+    for (int i = 1; i < attempt; ++i) {
+        if (d >= cap_s || !(multiplier > 1))
+            break;
         d *= multiplier;
+        if (!std::isfinite(d))
+            return cap_s;
+    }
     return std::min(d, cap_s);
 }
 
 void
 RetryPolicy::validate() const
 {
-    if (!(backoff_s > 0))
-        tf_fatal("retry backoff_s must be positive, got ",
+    if (!(backoff_s > 0) || !std::isfinite(backoff_s))
+        tf_fatal("retry backoff_s must be positive and finite, "
+                 "got ",
                  backoff_s);
-    if (!(multiplier >= 1))
-        tf_fatal("retry multiplier must be >= 1, got ", multiplier);
-    if (!(cap_s >= backoff_s))
-        tf_fatal("retry cap_s must be >= backoff_s, got ", cap_s);
+    if (!(multiplier >= 1) || !std::isfinite(multiplier))
+        tf_fatal("retry multiplier must be >= 1 and finite, got ",
+                 multiplier);
+    if (!(cap_s >= backoff_s) || !std::isfinite(cap_s))
+        tf_fatal("retry cap_s must be finite and >= backoff_s, "
+                 "got ",
+                 cap_s);
     if (max_attempts < 0)
         tf_fatal("retry max_attempts must be non-negative, got ",
                  max_attempts);
@@ -67,7 +82,8 @@ FaultServeMetrics::summary() const
 {
     std::ostringstream os;
     os << serve.summary() << " | faults=" << fault_events
-       << ", losses=" << chip_losses << ", replans=" << replans
+       << ", losses=" << chip_losses << ", slowdowns="
+       << chip_slowdowns << ", replans=" << replans
        << ", evictions=" << evictions << ", retries=" << retries
        << " (completed " << retry_completed << ", exhausted "
        << retry_exhausted << "), wasted_tokens=" << wasted_tokens
@@ -124,6 +140,10 @@ FaultTolerantServer::run(const std::vector<serve::Request> &requests,
 
     const int size = cluster_.size();
     std::vector<bool> healthy(static_cast<std::size_t>(size), true);
+    // Per-chip compute-slowdown multipliers; the session runs at
+    // the max (a fused pipeline paces on its slowest member).
+    std::vector<double> chip_mult(static_cast<std::size_t>(size),
+                                  1.0);
     double link_scale = 1.0;
     bool outage = false;
     multichip::ShardSpec spec = spec_;
@@ -142,8 +162,13 @@ FaultTolerantServer::run(const std::vector<serve::Request> &requests,
         return static_cast<int>(std::count(healthy.begin(),
                                            healthy.end(), true));
     };
+    const auto effectiveSlowdown = [&]() {
+        return *std::max_element(chip_mult.begin(),
+                                 chip_mult.end());
+    };
     const auto degradedNow = [&]() {
-        return healthyChips() < size || link_scale < 1.0;
+        return healthyChips() < size || link_scale < 1.0
+            || effectiveSlowdown() > 1.0;
     };
 
     double window_start = 0;
@@ -155,14 +180,18 @@ FaultTolerantServer::run(const std::vector<serve::Request> &requests,
         w.chips = healthyChips();
         w.spec = outage ? multichip::ShardSpec{ 0, 0 } : spec;
         w.link_scale = link_scale;
+        w.slowdown = effectiveSlowdown();
         w.outage = outage;
         w.tokens =
             session.metrics.generated_tokens - window_token_mark;
         fm.windows.push_back(w);
-        if (outage)
+        if (outage) {
             fm.outage_s += w.durationSeconds();
-        else if (degradedNow())
+        } else if (degradedNow()) {
             fm.degraded_s += w.durationSeconds();
+            if (w.slowdown > 1.0)
+                fm.slowdown_s += w.durationSeconds();
+        }
         window_start = w.end_s;
         window_token_mark = session.metrics.generated_tokens;
     };
@@ -316,8 +345,31 @@ FaultTolerantServer::run(const std::vector<serve::Request> &requests,
             link_scale = e.factor;
             fm.link_degradations += 1;
             break;
+        case FaultKind::ChipSlowdown:
+            chip_mult[static_cast<std::size_t>(e.chip)] = e.factor;
+            fm.chip_slowdowns += 1;
+            break;
+        case FaultKind::SlowdownRecovery:
+            chip_mult[static_cast<std::size_t>(e.chip)] = 1.0;
+            fm.slowdown_recoveries += 1;
+            break;
         }
-        rebuild();
+        // Only structural events change the plan, the tables, or
+        // the KV budget; a slowdown leaves all of them intact (the
+        // chip still serves, just slower), so rebuilding there
+        // would manufacture spurious replans — e.g. a slowdown on
+        // chip A while chip B is down must not re-shard.
+        switch (e.kind) {
+        case FaultKind::ChipLoss:
+        case FaultKind::ChipRecovery:
+        case FaultKind::LinkDegrade:
+            rebuild();
+            break;
+        case FaultKind::ChipSlowdown:
+        case FaultKind::SlowdownRecovery:
+            break;
+        }
+        session.slowdown = effectiveSlowdown();
     };
 
     /** Terminal outage: account every outstanding request. */
@@ -398,6 +450,15 @@ FaultTolerantServer::run(const std::vector<serve::Request> &requests,
     TF_COUNT("fault/wasted_tokens", fm.wasted_tokens);
     TF_GAUGE_ADD("fault/degraded_s", fm.degraded_s);
     TF_GAUGE_ADD("fault/outage_s", fm.outage_s);
+    // Slowdown attribution only when a gray failure actually fired:
+    // loss/link-only schedules keep their registry (and goldens)
+    // byte-identical to the pre-slowdown server.
+    if (fm.chip_slowdowns + fm.slowdown_recoveries > 0) {
+        TF_COUNT("fault/chip_slowdowns", fm.chip_slowdowns);
+        TF_COUNT("fault/slowdown_recoveries",
+                 fm.slowdown_recoveries);
+        TF_GAUGE_ADD("fault/slowdown_s", fm.slowdown_s);
+    }
     TF_OBS_ONLY(for (std::size_t i = 0; i < fm.windows.size();
                      ++i) {
         const FaultWindow &w = fm.windows[i];
@@ -409,6 +470,10 @@ FaultTolerantServer::run(const std::vector<serve::Request> &requests,
         TF_GAUGE_ADD(
             obs::metricKey("fault/window", idx, "duration_s"),
             w.durationSeconds());
+        if (w.slowdown > 1.0)
+            TF_GAUGE_MAX(
+                obs::metricKey("fault/window", idx, "slowdown"),
+                w.slowdown);
     })
     return fm;
 }

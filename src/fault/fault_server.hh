@@ -25,6 +25,12 @@
  *    exact initial plan and cost tables (no re-planning drift);
  *  - link degrade: tables rebuild on the scaled fabric; in-flight
  *    work keeps running.
+ *  - chip slowdown (gray failure): no drain and no replan — the
+ *    chip still serves — but the session runs every round at the
+ *    effective multiplier (max over slowed chips: a fused pipeline
+ *    paces on its slowest member), and sheds during the slowdown
+ *    become retryable exactly like other degraded windows.  The
+ *    paired recovery restores full speed.
  *
  * Determinism contract: run() is a pure function of (requests,
  * schedule) and the construction arguments, bit-identical for any
@@ -60,10 +66,17 @@ struct RetryPolicy
     /** Retries per request before it is rejected for good. */
     int max_attempts = 4;
 
-    /** min(cap, backoff * multiplier^(attempt-1)); attempt >= 1. */
+    /**
+     * min(cap, backoff * multiplier^(attempt-1)); attempt >= 1.
+     * Hardened for huge retry budgets: the iterated multiply stops
+     * the moment the delay reaches the cap (O(log) multiplies, not
+     * O(attempt), even for attempt >= 1e3 or multiplier == 1) and
+     * an intermediate double overflow clamps to cap_s instead of
+     * leaking inf into a retry arrival time.
+     */
     double delaySeconds(int attempt) const;
 
-    /** Fatal unless delays/counts are positive and sane. */
+    /** Fatal unless delays/counts are positive, finite and sane. */
     void validate() const;
 };
 
@@ -94,6 +107,9 @@ struct FaultWindow
     multichip::ShardSpec spec{ 0, 0 };
     /** Pristine-relative link bandwidth scale. */
     double link_scale = 1.0;
+    /** Effective compute-slowdown multiplier (max over chips with
+     *  an active gray failure); 1.0 = full speed. */
+    double slowdown = 1.0;
     /** No feasible plan: the replica served nothing. */
     bool outage = false;
     /** Tokens generated inside the window (throughput-loss
@@ -116,6 +132,8 @@ struct FaultServeMetrics
     std::int64_t chip_losses = 0;
     std::int64_t chip_recoveries = 0;
     std::int64_t link_degradations = 0;
+    std::int64_t chip_slowdowns = 0; ///< gray failures applied
+    std::int64_t slowdown_recoveries = 0;
     std::int64_t replans = 0;   ///< successful re-shardings
     std::int64_t evictions = 0; ///< in-flight requests drained
     std::int64_t retries = 0;   ///< re-offers injected
@@ -125,6 +143,8 @@ struct FaultServeMetrics
     std::int64_t wasted_tokens = 0;
     /** Time served on a degraded (but feasible) cluster. */
     double degraded_s = 0;
+    /** Subset of degraded_s with an active compute slowdown. */
+    double slowdown_s = 0;
     /** Time with no feasible plan at all. */
     double outage_s = 0;
     /** Health windows in time order (first covers t = 0). */

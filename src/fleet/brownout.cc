@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Brownout activation state machine.
+ */
+
+#include "brownout.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::fleet
+{
+
+void
+BrownoutOptions::validate() const
+{
+    if (!(alpha > 0) || alpha > 1)
+        tf_fatal("brownout alpha must be in (0, 1], got ", alpha);
+    if (!(pressure_depth > 0))
+        tf_fatal("brownout pressure_depth must be positive, got ",
+                 pressure_depth);
+    if (release_depth < 0 || release_depth >= pressure_depth)
+        tf_fatal("brownout release_depth must be in [0, "
+                 "pressure_depth), got ",
+                 release_depth, " against pressure ",
+                 pressure_depth);
+    if (pressure_streak < 1)
+        tf_fatal("brownout pressure_streak must be at least 1, "
+                 "got ",
+                 pressure_streak);
+    if (relief_streak < 1)
+        tf_fatal("brownout relief_streak must be at least 1, got ",
+                 relief_streak);
+    if (min_priority <= 0 && shed_output_len <= 0)
+        tf_fatal("an enabled brownout needs a shed criterion: set "
+                 "min_priority or shed_output_len");
+}
+
+BrownoutController::BrownoutController(BrownoutOptions options)
+    : options_(options)
+{
+    if (options_.enabled)
+        options_.validate();
+}
+
+void
+BrownoutController::observe(double now, double depth_per_serving)
+{
+    if (!options_.enabled)
+        return;
+    depth_ewma_ = options_.alpha * depth_per_serving
+        + (1.0 - options_.alpha) * depth_ewma_;
+    if (!active_) {
+        pressure_streak_ = depth_ewma_ >= options_.pressure_depth
+            ? pressure_streak_ + 1
+            : 0;
+        if (pressure_streak_ >= options_.pressure_streak) {
+            active_ = true;
+            activations_ += 1;
+            pressure_streak_ = 0;
+            relief_streak_ = 0;
+            windows_.push_back({ now, now, 0 });
+        }
+    } else {
+        relief_streak_ = depth_ewma_ <= options_.release_depth
+            ? relief_streak_ + 1
+            : 0;
+        if (relief_streak_ >= options_.relief_streak) {
+            active_ = false;
+            relief_streak_ = 0;
+            windows_.back().end_s = now;
+        }
+    }
+}
+
+void
+BrownoutController::recordShed()
+{
+    tf_assert(active_, "brownout shed recorded while inactive");
+    sheds_ += 1;
+    windows_.back().sheds += 1;
+}
+
+void
+BrownoutController::finish(double now)
+{
+    if (active_) {
+        windows_.back().end_s = now;
+        active_ = false;
+    }
+}
+
+} // namespace transfusion::fleet

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Fleet-wide brownout control: under *sustained* pressure, shed the
+ * least valuable work instead of rejecting everything.
+ *
+ * When the fleet degrades (breakers open, replicas slowed or down)
+ * the queues back up and the blunt outcome is indiscriminate
+ * overflow shedding.  The brownout controller makes that triage
+ * deliberate: it watches the fleet's outstanding depth per serving
+ * replica (EWMA-smoothed, streak-confirmed — the same hysteresis
+ * idiom as the Autoscaler and the circuit breaker), and while the
+ * brownout is active the router refuses only the requests below a
+ * priority floor or above an output-length ceiling — the
+ * lowest-priority and longest-generation work — at admission time,
+ * before they consume a replica slot.  Everything else keeps
+ * serving.
+ *
+ * Pure state machine over caller-sampled signals, updated at fixed
+ * points in the fleet event order: fully deterministic per
+ * (trace, seed, threads).
+ */
+
+#ifndef TRANSFUSION_FLEET_BROWNOUT_HH
+#define TRANSFUSION_FLEET_BROWNOUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/workload.hh"
+
+namespace transfusion::fleet
+{
+
+/** Pressure thresholds and shed criteria. */
+struct BrownoutOptions
+{
+    /** Master switch; disabled controllers never activate and the
+     *  fleet sheds nothing (byte-identical to a fleet without
+     *  brownout control). */
+    bool enabled = false;
+    /** EWMA smoothing factor in (0, 1]; 1 = no smoothing. */
+    double alpha = 0.3;
+    /** Pressure: outstanding requests per serving replica at or
+     *  above this count toward activation. */
+    double pressure_depth = 16.0;
+    /** Relief: depth at or below this counts toward release
+     *  (must stay below pressure_depth — hysteresis gap). */
+    double release_depth = 4.0;
+    /** Consecutive pressured updates before the brownout starts. */
+    int pressure_streak = 3;
+    /** Consecutive relieved updates before it ends. */
+    int relief_streak = 3;
+    /** While active: shed requests with priority below this. */
+    int min_priority = 0;
+    /** While active: also shed requests with output_len at or
+     *  above this; <= 0 disables the length criterion. */
+    std::int64_t shed_output_len = 0;
+
+    /** Fatal unless thresholds/streaks are coherent. */
+    void validate() const;
+};
+
+/** One maximal active-brownout span, with shed attribution. */
+struct BrownoutWindow
+{
+    double start_s = 0;
+    /** The run's end when the brownout never released. */
+    double end_s = 0;
+    /** Requests shed inside this window. */
+    std::int64_t sheds = 0;
+
+    double durationSeconds() const { return end_s - start_s; }
+};
+
+/** The pressure-driven shedding state machine. */
+class BrownoutController
+{
+  public:
+    explicit BrownoutController(BrownoutOptions options);
+
+    /**
+     * Record the fleet's outstanding depth per serving replica at
+     * virtual time `now` and step the activation state.  Call at
+     * fixed points in the fleet event order only.
+     */
+    void observe(double now, double depth_per_serving);
+
+    /** Whether shedding is in force right now. */
+    bool active() const { return active_; }
+
+    /** Whether `r` is brownout-sheddable while active: below the
+     *  priority floor, or at/above the output-length ceiling. */
+    bool shouldShed(const serve::Request &r) const
+    {
+        if (!active_)
+            return false;
+        if (r.priority < options_.min_priority)
+            return true;
+        return options_.shed_output_len > 0
+            && r.output_len >= options_.shed_output_len;
+    }
+
+    /** Attribute one shed to the current window. */
+    void recordShed();
+
+    std::int64_t activations() const { return activations_; }
+    std::int64_t sheds() const { return sheds_; }
+    double depthEwma() const { return depth_ewma_; }
+
+    /** Completed windows; finish() closes a dangling one. */
+    const std::vector<BrownoutWindow> &windows() const
+    {
+        return windows_;
+    }
+
+    /** Close the active window (if any) at the run's end. */
+    void finish(double now);
+
+  private:
+    BrownoutOptions options_;
+    bool active_ = false;
+    double depth_ewma_ = 0;
+    int pressure_streak_ = 0;
+    int relief_streak_ = 0;
+    std::int64_t activations_ = 0;
+    std::int64_t sheds_ = 0;
+    std::vector<BrownoutWindow> windows_;
+};
+
+} // namespace transfusion::fleet
+
+#endif // TRANSFUSION_FLEET_BROWNOUT_HH

@@ -29,6 +29,8 @@ FleetMetrics::summary() const
        << ", routed=" << routed << ", failover=" << failover_drained
        << " (rerouted " << failover_reroutes << ", exhausted "
        << failover_exhausted << "), downs=" << replica_downs
+       << ", breaker=" << breaker_opens << "/" << breaker_closes
+       << ", brownout_sheds=" << brownout_sheds
        << ", scale=" << scale_ups << "/" << scale_downs
        << ", peak_serving=" << peak_serving
        << ", lat_p99=" << p(latency_s, 99) << ", wait_p99="

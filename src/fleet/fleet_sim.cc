@@ -43,6 +43,17 @@ struct ReplicaState
     /** Down-spans consumed so far / whether inside spans[ix]. */
     std::size_t span_ix = 0;
     bool in_span = false;
+    /** Slowdown-timeline steps consumed so far. */
+    std::size_t slow_ix = 0;
+    /** Active gray-failure multiplier (1.0 = full speed); applied
+     *  to the session — including one created later by a
+     *  scale-up — so the replica always runs at the schedule's
+     *  current pace. */
+    double mult = 1.0;
+    /** Health-sample bookkeeping: session clock and executed
+     *  rounds at the previous monitor update. */
+    double obs_now = 0;
+    std::int64_t obs_rounds = 0;
 };
 
 } // namespace
@@ -62,6 +73,10 @@ FleetSimulator::FleetSimulator(std::vector<ReplicaConfig> replicas,
     if (options_.autoscaler.enabled)
         options_.autoscaler.validate(
             static_cast<int>(replicas_.size()));
+    if (options_.health.enabled)
+        options_.health.validate();
+    if (options_.brownout.enabled)
+        options_.brownout.validate();
     for (ReplicaConfig &r : replicas_) {
         r.cluster.validate();
         multichip::ShardSpec spec = r.spec;
@@ -108,6 +123,10 @@ FleetSimulator::uniform(int replicas,
     fleet.options_.retry.validate();
     if (fleet.options_.autoscaler.enabled)
         fleet.options_.autoscaler.validate(replicas);
+    if (fleet.options_.health.enabled)
+        fleet.options_.health.validate();
+    if (fleet.options_.brownout.enabled)
+        fleet.options_.brownout.validate();
     cluster.validate();
     if (spec.tp <= 0 || spec.pp <= 0)
         spec = fleet.planSpec(cluster);
@@ -155,18 +174,26 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
         tf_fatal("got ", run.faults.size(),
                  " fault schedules for ", pool, " replicas");
 
-    // Per-replica unroutable windows (validates each schedule).
+    // Per-replica unroutable windows and gray-failure multiplier
+    // timelines (validates each schedule).
     std::vector<std::vector<fault::DownSpan>> spans(
+        static_cast<std::size_t>(pool));
+    std::vector<std::vector<fault::SlowdownStep>> timelines(
         static_cast<std::size_t>(pool));
     bool any_faults = false;
     for (std::size_t i = 0; i < run.faults.size(); ++i) {
         spans[i] = run.faults[i].downSpans(
             replicas_[i].cluster.size());
-        any_faults = any_faults || !spans[i].empty();
+        timelines[i] = run.faults[i].slowdownTimeline(
+            replicas_[i].cluster.size());
+        any_faults = any_faults || !spans[i].empty()
+            || !timelines[i].empty();
     }
 
     if (pool == 1 && run.policy == PolicyKind::PassThrough
-        && !any_faults && !options_.autoscaler.enabled) {
+        && !any_faults && !options_.autoscaler.enabled
+        && !options_.health.enabled
+        && !options_.brownout.enabled) {
         // Delegate outright: the same code path (and the same
         // instrumentation) as the single sharded replica, so the
         // trivial fleet is bit-identical — metrics and RunReport —
@@ -205,6 +232,14 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
         scaler.emplace(options_.autoscaler, pool);
     Router router(run.policy, run.seed);
 
+    const bool health_on = options_.health.enabled;
+    const bool brownout_on = options_.brownout.enabled;
+    std::vector<HealthMonitor> monitors;
+    if (health_on)
+        for (int i = 0; i < pool; ++i)
+            monitors.emplace_back(options_.health);
+    BrownoutController brownout(options_.brownout);
+
     std::vector<ReplicaState> states(
         static_cast<std::size_t>(pool));
     const int initial =
@@ -232,7 +267,13 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
     };
     const auto eligible = [&](int i) {
         const ReplicaState &st = at(i);
-        return st.active && !st.draining && !st.down;
+        if (!(st.active && !st.draining && !st.down))
+            return false;
+        // An Open breaker removes the replica from routing;
+        // half-open stays routable so the probe can observe
+        // recovery.  Without health monitoring this is always true.
+        return !health_on
+            || monitors[static_cast<std::size_t>(i)].routable();
     };
     const auto servingCount = [&]() {
         int n = 0;
@@ -282,9 +323,29 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
                                     : sp[st.span_ix].start_s,
                          FleetEventKind::Fault, i, -1 });
     };
+    // Slowdown transitions ride the Fault event kind with
+    // request_id = -2 marking them apart from down-span
+    // boundaries: same replica, same instant, independent cursors.
+    const auto pushSlowdownBoundary = [&](int i) {
+        if (!event_core)
+            return;
+        const ReplicaState &st = at(i);
+        const auto &tl = timelines[static_cast<std::size_t>(i)];
+        if (st.slow_ix < tl.size())
+            queue.push({ tl[st.slow_ix].time_s,
+                         FleetEventKind::Fault, i, -2 });
+    };
     const auto eventValid = [&](const FleetEvent &e) {
         if (e.kind == FleetEventKind::Fault) {
             const ReplicaState &st = at(e.replica);
+            if (e.request_id == -2) {
+                const auto &tl =
+                    timelines[static_cast<std::size_t>(e.replica)];
+                // Step times strictly increase within a replica,
+                // so a time match identifies the current step.
+                return st.slow_ix < tl.size()
+                    && e.time == tl[st.slow_ix].time_s;
+            }
             const auto &sp =
                 spans[static_cast<std::size_t>(e.replica)];
             if (st.span_ix >= sp.size())
@@ -366,16 +427,19 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
             }
     };
 
-    /** Earliest unconsumed fault boundary over all replicas. */
+    /** Earliest unconsumed fault boundary (down-span edge or
+     *  slowdown step) over all replicas. */
     const auto nextFaultBoundary = [&]() {
         double t = kInf;
         for (int i = 0; i < pool; ++i) {
             const ReplicaState &st = at(i);
             const auto &sp = spans[static_cast<std::size_t>(i)];
-            if (st.span_ix >= sp.size())
-                continue;
-            t = std::min(t, st.in_span ? sp[st.span_ix].end_s
-                                       : sp[st.span_ix].start_s);
+            if (st.span_ix < sp.size())
+                t = std::min(t, st.in_span ? sp[st.span_ix].end_s
+                                           : sp[st.span_ix].start_s);
+            const auto &tl = timelines[static_cast<std::size_t>(i)];
+            if (st.slow_ix < tl.size())
+                t = std::min(t, tl[st.slow_ix].time_s);
         }
         return t;
     };
@@ -450,6 +514,25 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
             }
             if (st.span_ix != span_ix0 || st.in_span != in_span0)
                 pushFaultBoundary(i);
+            // Gray-failure steps: adopt the newest multiplier due
+            // by `t`.  The replica keeps serving (no drain, no
+            // routing change here) — only its session clock slows.
+            const auto &tl = timelines[static_cast<std::size_t>(i)];
+            const std::size_t slow_ix0 = st.slow_ix;
+            while (st.slow_ix < tl.size()
+                   && tl[st.slow_ix].time_s <= t) {
+                st.mult = tl[st.slow_ix].multiplier;
+                st.slow_ix += 1;
+                fm.slowdown_transitions += 1;
+            }
+            if (st.slow_ix != slow_ix0) {
+                pushSlowdownBoundary(i);
+                // A down or draining replica keeps its session;
+                // apply the pace to whatever session exists so it
+                // resumes (or finishes draining) at schedule speed.
+                if (st.session)
+                    st.session->slowdown = st.mult;
+            }
         }
     };
 
@@ -496,6 +579,13 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
             pushReofferFront();
         std::sort(batch.begin(), batch.end(), arrivesBefore);
         for (const serve::Request &r : batch) {
+            if (brownout.shouldShed(r)) {
+                // Active brownout: shed the classes the options
+                // name instead of queueing into the overload.
+                // Terminal — counted straight into rejected.
+                brownout.recordShed();
+                continue;
+            }
             // Views rebuild per decision: outstanding counts and
             // KV headroom change with every injection.
             const std::vector<ReplicaView> views = buildViews();
@@ -535,10 +625,14 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
             ReplicaState &st = at(i);
             if (!st.active && !st.down) {
                 st.active = true;
-                if (!st.session)
+                if (!st.session) {
                     st.session =
                         sims_[static_cast<std::size_t>(i)]
                             ->startSession({});
+                    // Late activation under an in-force slowdown
+                    // still runs at the schedule's pace.
+                    st.session->slowdown = st.mult;
+                }
                 return;
             }
         }
@@ -582,13 +676,85 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
             scaleDown();
     };
 
+    /**
+     * Feed every live replica's monitor one observation, replica-
+     * index order: the mean per-round latency since the previous
+     * update (absent when no round executed — an idle replica must
+     * not look fast) and the current outstanding depth.  The state
+     * machines step on these integer update counts, so the breaker
+     * trajectory is a pure function of the event sequence.
+     */
+    const auto updateHealth = [&](double t) {
+        if (!health_on)
+            return;
+        for (int i = 0; i < pool; ++i) {
+            ReplicaState &st = at(i);
+            if (!st.active || st.down || !st.session)
+                continue;
+            const serve::ServeSession &s = *st.session;
+            const std::int64_t rounds = s.metrics.prefill_rounds
+                + s.metrics.decode_rounds;
+            std::optional<double> sample;
+            if (rounds > st.obs_rounds) {
+                sample = (s.now - st.obs_now)
+                    / static_cast<double>(rounds - st.obs_rounds);
+                st.obs_now = s.now;
+                st.obs_rounds = rounds;
+            }
+            monitors[static_cast<std::size_t>(i)].observe(
+                t, sample,
+                static_cast<double>(s.outstanding()));
+        }
+    };
+
+    /** One fleet-wide pressure observation: outstanding depth per
+     *  serving replica, held requests included (they are exactly
+     *  the pressure no replica is absorbing). */
+    const auto updateBrownout = [&](double t) {
+        if (!brownout_on)
+            return;
+        int serving = 0;
+        double depth = static_cast<double>(held.size());
+        for (int i = 0; i < pool; ++i)
+            if (eligible(i)) {
+                serving += 1;
+                depth += static_cast<double>(
+                    at(i).session->outstanding());
+            }
+        // With nothing serving the total depth *is* the pressure
+        // (dividing by zero would poison the EWMA with inf).
+        brownout.observe(t, serving > 0
+                                ? depth
+                                    / static_cast<double>(serving)
+                                : depth);
+    };
+
+    /** Latest clock any session reached (terminal-phase horizon
+     *  for monitor updates once no timed event remains). */
+    const auto lastSessionClock = [&]() {
+        double t = 0;
+        for (const ReplicaState &st : states)
+            if (st.session)
+                t = std::max(t, st.session->now);
+        return t;
+    };
+
     if (event_core) {
         pushTraceFront();
         pushReofferFront();
-        for (int i = 0; i < pool; ++i)
+        for (int i = 0; i < pool; ++i) {
             pushFaultBoundary(i);
+            pushSlowdownBoundary(i);
+        }
     }
     fm.peak_serving = servingCount();
+    double last_t = 0; ///< latest finite event time processed
+    // Terminal breaker pump budget: once no timed event remains,
+    // held work gets this many extra monitor updates to let an
+    // Open breaker cool down, half-open, and absorb it before the
+    // run refuses it.  Bounded so a permanently-breached fleet
+    // still terminates (the chaos harness pins this).
+    int pump_left = 1024;
     while (true) {
         const bool arrivals_left =
             next_trace < requests.size() || !reoffers.empty();
@@ -625,13 +791,31 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
                 settleDrains();
                 continue;
             }
+            if (health_on && !held.empty() && pump_left > 0) {
+                // No timed event will ever fire again, but an Open
+                // breaker may be mid-cooldown: pump the monitors so
+                // a recovered replica can half-open and take the
+                // held work before it is refused for good.  Routed
+                // work revives the ordinary loop on the next pass.
+                pump_left -= 1;
+                const double tp =
+                    std::max(last_t, lastSessionClock());
+                last_t = tp;
+                updateHealth(tp);
+                updateBrownout(tp);
+                routeArrivals(tp);
+                continue;
+            }
             // Only held requests remain and nothing can ever make
             // a replica eligible again: refuse them below.
             break;
         }
+        last_t = std::max(last_t, t);
         advanceAll(t);
         settleDrains();
         applyFaults(t);
+        updateHealth(t);
+        updateBrownout(t);
         routeArrivals(t);
         if (scaling && t >= next_tick) {
             tick(t);
@@ -682,7 +866,29 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
         fm.queue_wait_s.merge(m.queue_wait_s);
         fm.replicas.push_back(std::move(m));
     }
-    fm.rejected += fm.failover_exhausted + fm.held_rejected;
+    // Close dangling health/brownout windows at the last clock any
+    // part of the run reached, then fold the detector ledgers in.
+    const double fin_t = std::max(fm.makespan_s, last_t);
+    if (health_on)
+        for (int i = 0; i < pool; ++i) {
+            HealthMonitor &mon =
+                monitors[static_cast<std::size_t>(i)];
+            mon.finish(fin_t);
+            fm.breaker_opens += mon.opens();
+            fm.breaker_reopens += mon.reopens();
+            fm.breaker_closes += mon.closes();
+            for (const BreakerWindow &w : mon.windows())
+                fm.breaker_open_s += w.durationSeconds();
+        }
+    if (brownout_on) {
+        brownout.finish(fin_t);
+        fm.brownout_activations = brownout.activations();
+        fm.brownout_sheds = brownout.sheds();
+        for (const BrownoutWindow &w : brownout.windows())
+            fm.brownout_s += w.durationSeconds();
+    }
+    fm.rejected += fm.failover_exhausted + fm.held_rejected
+        + fm.brownout_sheds;
     fm.routed = router.decisions();
     if (scaler) {
         fm.autoscaler_ticks = scaler->ticks();
@@ -710,6 +916,49 @@ FleetSimulator::run(const std::vector<serve::Request> &requests,
     TF_COUNT("fleet/autoscaler.ticks", fm.autoscaler_ticks);
     TF_COUNT("fleet/autoscaler.scale_ups", fm.scale_ups);
     TF_COUNT("fleet/autoscaler.scale_downs", fm.scale_downs);
+    // Gray-failure instrumentation only exists when the feature
+    // fired or was enabled: fault-free runs keep the exact counter
+    // set (and golden RunReports) of the pre-slowdown fleet.
+    if (fm.slowdown_transitions > 0)
+        TF_COUNT("fleet/slowdown.transitions",
+                 fm.slowdown_transitions);
+    if (health_on) {
+        TF_COUNT("fleet/breaker.opens", fm.breaker_opens);
+        TF_COUNT("fleet/breaker.reopens", fm.breaker_reopens);
+        TF_COUNT("fleet/breaker.closes", fm.breaker_closes);
+        TF_GAUGE_ADD("fleet/breaker.open_s", fm.breaker_open_s);
+        for (int i = 0; i < pool; ++i) {
+            const HealthMonitor &mon =
+                monitors[static_cast<std::size_t>(i)];
+            if (mon.opens() + mon.reopens() == 0)
+                continue;
+            TF_COUNT(obs::metricKey("fleet/breaker.replica", i,
+                                    "opens"),
+                     mon.opens() + mon.reopens());
+            double open_s = 0;
+            for (const BreakerWindow &w : mon.windows())
+                open_s += w.durationSeconds();
+            TF_GAUGE_ADD(obs::metricKey("fleet/breaker.replica",
+                                        i, "open_s"),
+                         open_s);
+        }
+    }
+    if (brownout_on) {
+        TF_COUNT("fleet/brownout.activations",
+                 fm.brownout_activations);
+        TF_COUNT("fleet/brownout.sheds", fm.brownout_sheds);
+        TF_GAUGE_ADD("fleet/brownout.active_s", fm.brownout_s);
+        const auto &ws = brownout.windows();
+        for (std::size_t w = 0; w < ws.size(); ++w) {
+            TF_COUNT(obs::metricKey("fleet/brownout.window",
+                                    static_cast<int>(w), "sheds"),
+                     ws[w].sheds);
+            TF_GAUGE_ADD(
+                obs::metricKey("fleet/brownout.window",
+                               static_cast<int>(w), "duration_s"),
+                ws[w].durationSeconds());
+        }
+    }
     TF_GAUGE_MAX("fleet/peak_serving",
                  static_cast<double>(fm.peak_serving));
     TF_GAUGE_ADD("fleet/makespan_s", fm.makespan_s);

@@ -22,15 +22,31 @@
  * Intra-replica degraded replanning is the fault layer's domain;
  * the fleet fails over at replica granularity.
  *
+ * Gray failures: a replica with an active ChipSlowdown keeps
+ * serving — its session runs every round at the schedule's
+ * multiplier — and is *not* removed from routing by the fault
+ * model itself.  Detection is the HealthMonitor's job: when
+ * FleetOptions::health is enabled, each replica's observed step
+ * latency and outstanding depth feed a circuit breaker (updated in
+ * replica-index order at every fleet event boundary, between
+ * applyFaults and routeArrivals), and an Open breaker removes the
+ * replica from the eligible set until its half-open probe
+ * succeeds.  The BrownoutController (FleetOptions::brownout)
+ * watches fleet-wide pressure at the same boundary and, while
+ * active, sheds sub-priority-floor / over-length-ceiling requests
+ * at admission instead of letting the overload reject everything.
+ *
  * Determinism contract: run() is a pure function of (requests,
  * run options) and the construction arguments, bit-identical for
  * any `threads` — sessions advance independently and emit no
- * observability, and per-replica registries merge in replica-index
- * order under a "fleet/replica.<i>." prefix.  A 1-replica fleet
- * under the pass-through policy with no faults and no autoscaler
- * delegates outright to the replica's run(), so its result —
- * metrics and RunReport — is bit-for-bit the single-replica
- * fault-tolerant server's on an empty schedule.
+ * observability, per-replica registries merge in replica-index
+ * order under a "fleet/replica.<i>." prefix, and the health /
+ * brownout state machines step on integer update counts at fixed
+ * points in the event order.  A 1-replica fleet under the
+ * pass-through policy with no faults, no autoscaler, and no
+ * health/brownout control delegates outright to the replica's
+ * run(), so its result — metrics and RunReport — is bit-for-bit
+ * the single-replica fault-tolerant server's on an empty schedule.
  */
 
 #ifndef TRANSFUSION_FLEET_FLEET_SIM_HH
@@ -42,7 +58,9 @@
 
 #include "fault/fault_server.hh"
 #include "fleet/autoscaler.hh"
+#include "fleet/brownout.hh"
 #include "fleet/fleet_metrics.hh"
+#include "fleet/health.hh"
 #include "fleet/policy.hh"
 #include "fleet/router.hh"
 
@@ -67,6 +85,18 @@ struct FleetOptions
     fault::RetryPolicy retry;
     /** Scaling policy; disabled by default (all replicas serve). */
     AutoscalerOptions autoscaler;
+    /**
+     * Per-replica gray-failure detection (EWMA monitor + circuit
+     * breaker); disabled by default.  When enabled, every replica
+     * gets its own monitor, updated in replica-index order at each
+     * fleet event boundary, and an Open breaker removes the
+     * replica from the router's eligible set.
+     */
+    HealthOptions health;
+    /** Fleet-wide pressure-driven shedding; disabled by default.
+     *  While active, the router sheds sub-floor-priority and
+     *  over-ceiling-output requests at admission. */
+    BrownoutOptions brownout;
     /** Worker threads advancing replica sessions; <= 0 = all
      *  hardware.  Results are bit-identical for any value. */
     int threads = 1;
@@ -94,6 +124,11 @@ struct FleetRunOptions
      * Per-replica fault schedules, indexed by replica; shorter
      * than the fleet means the tail replicas never fault.  Each
      * schedule is validated against its replica's cluster size.
+     * Down-spans make the replica unroutable (fail-stop); the
+     * slowdown timeline (gray failures) scales the replica's
+     * session clock at each transition timestamp — the replica
+     * keeps serving, and only the HealthMonitor can route around
+     * it.
      */
     std::vector<fault::FaultSchedule> faults;
 };

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * EWMA health monitor and circuit-breaker state machine.
+ */
+
+#include "health.hh"
+
+#include "common/logging.hh"
+
+namespace transfusion::fleet
+{
+
+void
+HealthOptions::validate() const
+{
+    if (!(alpha > 0) || alpha > 1)
+        tf_fatal("health alpha must be in (0, 1], got ", alpha);
+    if (latency_breach_s <= 0 && depth_breach <= 0)
+        tf_fatal("an enabled health monitor needs at least one "
+                 "trigger: set latency_breach_s or depth_breach");
+    if (breach_streak < 1)
+        tf_fatal("health breach_streak must be at least 1, got ",
+                 breach_streak);
+    if (cooldown_updates < 1)
+        tf_fatal("health cooldown_updates must be at least 1, "
+                 "got ",
+                 cooldown_updates);
+    if (probe_updates < 1)
+        tf_fatal("health probe_updates must be at least 1, got ",
+                 probe_updates);
+}
+
+std::string
+toString(BreakerState s)
+{
+    switch (s) {
+    case BreakerState::Closed:
+        return "closed";
+    case BreakerState::Open:
+        return "open";
+    case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    tf_panic("unknown BreakerState");
+}
+
+HealthMonitor::HealthMonitor(HealthOptions options)
+    : options_(options)
+{
+    if (options_.enabled)
+        options_.validate();
+}
+
+bool
+HealthMonitor::breached() const
+{
+    if (options_.latency_breach_s > 0 && latency_seeded_
+        && latency_ewma_ >= options_.latency_breach_s)
+        return true;
+    return options_.depth_breach > 0
+        && depth_ewma_ >= options_.depth_breach;
+}
+
+void
+HealthMonitor::observe(double now,
+                       std::optional<double> step_latency_s,
+                       double depth)
+{
+    if (!options_.enabled)
+        return;
+    // EWMAs first.  The latency EWMA seeds from its first sample
+    // (an alpha-weighted blend against an arbitrary 0 baseline
+    // would under-read early slowdowns); the depth EWMA seeds from
+    // 0, which *is* the true initial depth.
+    if (step_latency_s) {
+        if (!latency_seeded_) {
+            latency_ewma_ = *step_latency_s;
+            latency_seeded_ = true;
+        } else {
+            latency_ewma_ = options_.alpha * *step_latency_s
+                + (1.0 - options_.alpha) * latency_ewma_;
+        }
+    }
+    depth_ewma_ = options_.alpha * depth
+        + (1.0 - options_.alpha) * depth_ewma_;
+
+    const bool breach = breached();
+    switch (state_) {
+    case BreakerState::Closed:
+        streak_ = breach ? streak_ + 1 : 0;
+        if (streak_ >= options_.breach_streak) {
+            state_ = BreakerState::Open;
+            cooldown_left_ = options_.cooldown_updates;
+            opens_ += 1;
+            streak_ = 0;
+            windows_.push_back({ now, now });
+            window_open_ = true;
+        }
+        break;
+    case BreakerState::Open:
+        cooldown_left_ -= 1;
+        if (cooldown_left_ <= 0) {
+            state_ = BreakerState::HalfOpen;
+            probe_left_ = options_.probe_updates;
+        }
+        break;
+    case BreakerState::HalfOpen:
+        if (breach) {
+            // One breach during the probe re-opens; the cooldown
+            // re-arms in full.
+            state_ = BreakerState::Open;
+            cooldown_left_ = options_.cooldown_updates;
+            reopens_ += 1;
+        } else {
+            probe_left_ -= 1;
+            if (probe_left_ <= 0) {
+                state_ = BreakerState::Closed;
+                closes_ += 1;
+                tf_assert(window_open_,
+                          "breaker closed without an open window");
+                windows_.back().end_s = now;
+                window_open_ = false;
+            }
+        }
+        break;
+    }
+}
+
+void
+HealthMonitor::finish(double now)
+{
+    if (window_open_) {
+        windows_.back().end_s = now;
+        window_open_ = false;
+    }
+}
+
+} // namespace transfusion::fleet

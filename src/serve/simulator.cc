@@ -159,6 +159,9 @@ ServeSimulator::startSession(std::vector<Request> requests) const
 void
 ServeSimulator::advance(ServeSession &s, double horizon_s) const
 {
+    if (!(s.slowdown >= 1.0))
+        tf_fatal("session slowdown must be >= 1, got ",
+                 s.slowdown);
     if (options_.core == SimCoreKind::Legacy)
         advanceLegacy(s, horizon_s);
     else
@@ -250,7 +253,7 @@ ServeSimulator::advanceLegacy(ServeSession &s,
                 m.prefill_energy_j +=
                     cost_.prefillJoules(r.req.prompt_len);
             }
-            s.now += dt;
+            s.now += dt * s.slowdown;
             m.prefill_rounds += 1;
             for (InFlightRequest &r : admitted) {
                 r.first_token_s = s.now;
@@ -279,7 +282,8 @@ ServeSimulator::advanceLegacy(ServeSession &s,
             const auto batch =
                 static_cast<std::int64_t>(s.running.size());
             s.now += cost_.decodeStepSecondsFullScan(
-                batch, ctx / static_cast<double>(batch));
+                           batch, ctx / static_cast<double>(batch))
+                * s.slowdown;
             // Same (batch, mean) arguments price the step's energy
             // off the joules table — decodeStepJoules is the one
             // lookup both cores share, so metered energy is
@@ -337,7 +341,12 @@ ServeSimulator::advanceEvent(ServeSession &s,
     // `running` vector on entry and materialized back on every
     // exit.  The session struct itself stays plain round-boundary
     // data, so drains/injections between epochs need no knowledge
-    // of the core that ran the last epoch.
+    // of the core that ran the last epoch.  This rebuild is also
+    // what re-keys the finish heap across slowdown transitions: a
+    // caller changing `session.slowdown` does so between advance()
+    // calls, the heap is reconstructed from `running` on the next
+    // entry, and finish *rounds* (the heap key) are invariant to
+    // per-round duration anyway — only the clock increments scale.
     //
     // Slot order is admission order (legacy `running` order).  A
     // request admitted with `g` tokens already generated while
@@ -469,7 +478,7 @@ ServeSimulator::advanceEvent(ServeSession &s,
                 m.prefill_energy_j +=
                     cost_.prefillJoules(r.req.prompt_len);
             }
-            s.now += dt;
+            s.now += dt * s.slowdown;
             m.prefill_rounds += 1;
             for (InFlightRequest &r : admitted) {
                 r.first_token_s = s.now;
@@ -502,9 +511,10 @@ ServeSimulator::advanceEvent(ServeSession &s,
             // O(1) plus O(log n) per finisher.
             const std::int64_t batch = alive;
             s.now += cost_.decodeStepSeconds(
-                batch,
-                static_cast<double>(ctx_active)
-                    / static_cast<double>(batch));
+                           batch,
+                           static_cast<double>(ctx_active)
+                               / static_cast<double>(batch))
+                * s.slowdown;
             m.decode_energy_j += cost_.decodeStepJoules(
                 batch,
                 static_cast<double>(ctx_active)

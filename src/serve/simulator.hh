@@ -184,6 +184,16 @@ struct ServeSession
     KvCacheTracker cache;
     /** Virtual clock in seconds. */
     double now = 0;
+    /**
+     * Active compute-slowdown multiplier (>= 1): every prefill and
+     * decode round takes `slowdown` times its calibrated cost while
+     * set.  The fault/fleet layers write it between epochs (a gray
+     * failure — fault_schedule's ChipSlowdown); 1.0 scales by an
+     * exact IEEE no-op, so fault-free replays stay bit-identical to
+     * the pre-slowdown simulator.  Energy is *not* scaled: a slowed
+     * round does the same work, just slower.
+     */
+    double slowdown = 1.0;
     /** Partial metrics, finalized by finishSession. */
     ServeMetrics metrics;
     /**

@@ -47,6 +47,8 @@ Request::toString() const
     std::ostringstream os;
     os << "req#" << id << " @" << arrival_s << "s prompt="
        << prompt_len << " output=" << output_len;
+    if (priority != 0)
+        os << " prio=" << priority;
     return os.str();
 }
 

@@ -28,6 +28,15 @@ struct Request
     double arrival_s = 0;        ///< arrival time (virtual seconds)
     std::int64_t prompt_len = 0; ///< prefill tokens
     std::int64_t output_len = 0; ///< tokens to generate (>= 1)
+    /**
+     * Scheduling class for degraded-mode triage: higher keeps
+     * serving longer.  The serving simulator itself ignores it
+     * (admission stays FIFO); the fleet's BrownoutController sheds
+     * the lowest classes first under sustained pressure.  The
+     * workload generator leaves it 0 — callers classify — so
+     * existing (options, seed) traces are unchanged.
+     */
+    int priority = 0;
 
     /** Peak KV-cache positions this request ever holds. */
     std::int64_t peakContext() const

@@ -11,6 +11,7 @@
  * but 10k-deep, so it stays out of the unit tier's latency budget.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -39,6 +40,15 @@ fuzzOptions(std::uint64_t seed)
     o.link_degrade_prob =
         static_cast<double>(seed % 4) * 0.25; // 0, .25, .5, .75
     o.min_factor = 0.25;
+    // Mixed-kind coverage: a third of the seeds add gray failures
+    // (kept within the probability budget link + slowdown <= 1),
+    // some with correlated groups.
+    if (seed % 3 == 0) {
+        o.slowdown_prob = (1.0 - o.link_degrade_prob) * 0.5;
+        o.mean_slowdown_s = 1.0 + static_cast<double>(seed % 5);
+        o.max_multiplier = 2.0 + static_cast<double>(seed % 4);
+        o.slowdown_group = 1 + static_cast<int>(seed % 3);
+    }
     return o;
 }
 
@@ -82,6 +92,8 @@ TEST(FaultScheduleFuzz, GeneratedSchedulesKeepTheirInvariants)
 
         int losses = 0;
         int recoveries = 0;
+        int slowdowns = 0;
+        int slowdown_recoveries = 0;
         Replay replay(cluster);
         double prev = 0;
         for (std::size_t i = 0; i < s.events.size(); ++i) {
@@ -96,18 +108,96 @@ TEST(FaultScheduleFuzz, GeneratedSchedulesKeepTheirInvariants)
                 ASSERT_LE(e.factor, 1.0) << "seed " << seed;
                 continue;
             }
+            if (e.kind == FaultKind::ChipSlowdown) {
+                // Gray-failure multipliers live in
+                // (1, max_multiplier].
+                ASSERT_GT(e.factor, 1.0) << "seed " << seed;
+                ASSERT_LE(e.factor, opts.max_multiplier)
+                    << "seed " << seed;
+            }
             losses += e.kind == FaultKind::ChipLoss;
             recoveries += e.kind == FaultKind::ChipRecovery;
+            slowdowns += e.kind == FaultKind::ChipSlowdown;
+            slowdown_recoveries +=
+                e.kind == FaultKind::SlowdownRecovery;
             replay.apply(e);
             // Last-chip protection: the generator never downs the
             // final healthy chip, so at least one always serves.
+            // (A slowed chip still counts as serving.)
             ASSERT_LT(replay.down_count, cluster)
                 << "seed " << seed << " event " << i;
         }
-        // Every loss pairs with a recovery: the replay ends fully
-        // healthy and the counts match exactly.
+        // Every fault pairs with a matching-kind recovery: the
+        // replay ends fully healthy at full speed, and the counts
+        // match exactly.
         EXPECT_EQ(losses, recoveries) << "seed " << seed;
+        EXPECT_EQ(slowdowns, slowdown_recoveries)
+            << "seed " << seed;
         EXPECT_EQ(replay.down_count, 0) << "seed " << seed;
+    }
+}
+
+TEST(FaultScheduleFuzz, SlowdownTimelineRoundTripsTheRawEvents)
+{
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const int cluster = 2 + static_cast<int>(seed % 7);
+        const FaultSchedule s =
+            generateFaultSchedule(fuzzOptions(seed), cluster, seed);
+        const std::vector<SlowdownStep> tl =
+            s.slowdownTimeline(cluster);
+
+        // Rebuild the timeline from the raw events: per-chip
+        // multipliers, replica multiplier = max over chips, one
+        // step per timestamp where the max actually changes.
+        std::vector<double> mult(
+            static_cast<std::size_t>(cluster), 1.0);
+        std::vector<SlowdownStep> expected;
+        double current = 1.0;
+        std::size_t i = 0;
+        while (i < s.events.size()) {
+            const double t = s.events[i].time_s;
+            while (i < s.events.size()
+                   && s.events[i].time_s == t) {
+                const FaultEvent &e = s.events[i];
+                if (e.kind == FaultKind::ChipSlowdown)
+                    mult[static_cast<std::size_t>(e.chip)] =
+                        e.factor;
+                else if (e.kind == FaultKind::SlowdownRecovery)
+                    mult[static_cast<std::size_t>(e.chip)] = 1.0;
+                i += 1;
+            }
+            double peak = 1.0;
+            for (const double m : mult)
+                peak = std::max(peak, m);
+            if (peak != current) {
+                expected.push_back({ t, peak });
+                current = peak;
+            }
+        }
+
+        ASSERT_EQ(tl.size(), expected.size())
+            << "seed " << seed << ": " << s.toString();
+        double prev_t = -1;
+        for (std::size_t k = 0; k < tl.size(); ++k) {
+            EXPECT_EQ(tl[k].time_s, expected[k].time_s)
+                << "seed " << seed << " step " << k;
+            EXPECT_EQ(tl[k].multiplier, expected[k].multiplier)
+                << "seed " << seed << " step " << k;
+            // Strictly increasing times, every step a change.
+            ASSERT_GT(tl[k].time_s, prev_t)
+                << "seed " << seed << " step " << k;
+            prev_t = tl[k].time_s;
+            if (k > 0) {
+                ASSERT_NE(tl[k].multiplier, tl[k - 1].multiplier)
+                    << "seed " << seed << " step " << k;
+            }
+        }
+        // The timeline always ends back at full speed (generated
+        // slowdowns are paired), and never dips below 1.
+        if (!tl.empty()) {
+            EXPECT_EQ(tl.back().multiplier, 1.0)
+                << "seed " << seed;
+        }
     }
 }
 

@@ -6,6 +6,7 @@
  */
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -159,6 +160,169 @@ TEST(FaultSchedule, LinkDegradesNeverOpenADownSpan)
     EXPECT_TRUE(FaultSchedule{}.downSpans(2).empty());
 }
 
+TEST(FaultSchedule, ValidateRejectsMixedKindRecoveries)
+{
+    {
+        FaultSchedule s; // slowdown cleared by a loss recovery
+        s.events.push_back(
+            { 1.0, FaultKind::ChipSlowdown, 0, 2.0 });
+        s.events.push_back({ 2.0, FaultKind::ChipRecovery, 0 });
+        try {
+            s.validate(2);
+            FAIL() << "mixed-kind recovery must be rejected";
+        } catch (const FatalError &e) {
+            // The message names the chip, the timestamp, and both
+            // kinds — the fuzz shrinker depends on that.
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find("chip 0"), std::string::npos)
+                << msg;
+            EXPECT_NE(msg.find("t=2"), std::string::npos) << msg;
+            EXPECT_NE(msg.find("chip-slowdown"), std::string::npos)
+                << msg;
+            EXPECT_NE(msg.find("chip-recovery"), std::string::npos)
+                << msg;
+        }
+    }
+    {
+        FaultSchedule s; // loss cleared by a slowdown recovery
+        s.events.push_back({ 1.0, FaultKind::ChipLoss, 0 });
+        s.events.push_back(
+            { 2.0, FaultKind::SlowdownRecovery, 0 });
+        EXPECT_THROW(s.validate(2), FatalError);
+    }
+    {
+        FaultSchedule s; // slowdown on an already-down chip
+        s.events.push_back({ 1.0, FaultKind::ChipLoss, 0 });
+        s.events.push_back(
+            { 2.0, FaultKind::ChipSlowdown, 0, 2.0 });
+        EXPECT_THROW(s.validate(2), FatalError);
+    }
+    {
+        FaultSchedule s; // slowdown factor must be > 1
+        s.events.push_back(
+            { 1.0, FaultKind::ChipSlowdown, 0, 1.0 });
+        EXPECT_THROW(s.validate(2), FatalError);
+    }
+    {
+        FaultSchedule s; // recovery of a full-speed chip
+        s.events.push_back(
+            { 1.0, FaultKind::SlowdownRecovery, 0 });
+        EXPECT_THROW(s.validate(2), FatalError);
+    }
+    {
+        FaultSchedule s; // loss-then-slowdown on distinct chips OK
+        s.events.push_back({ 1.0, FaultKind::ChipLoss, 0 });
+        s.events.push_back(
+            { 2.0, FaultKind::ChipSlowdown, 1, 3.0 });
+        s.events.push_back({ 3.0, FaultKind::ChipRecovery, 0 });
+        s.events.push_back(
+            { 4.0, FaultKind::SlowdownRecovery, 1 });
+        EXPECT_NO_THROW(s.validate(2));
+    }
+}
+
+TEST(FaultSchedule, SlowdownTimelineTakesTheMaxOverChips)
+{
+    // One slow chip gates the whole fused pipeline, so the replica
+    // multiplier is the max over active per-chip slowdowns.
+    FaultSchedule s;
+    s.events.push_back({ 1.0, FaultKind::ChipSlowdown, 0, 2.0 });
+    s.events.push_back({ 2.0, FaultKind::ChipSlowdown, 1, 4.0 });
+    s.events.push_back(
+        { 3.0, FaultKind::SlowdownRecovery, 1 });
+    s.events.push_back(
+        { 5.0, FaultKind::SlowdownRecovery, 0 });
+    const auto tl = s.slowdownTimeline(2);
+    ASSERT_EQ(tl.size(), 4u);
+    EXPECT_EQ(tl[0].time_s, 1.0);
+    EXPECT_EQ(tl[0].multiplier, 2.0);
+    EXPECT_EQ(tl[1].time_s, 2.0);
+    EXPECT_EQ(tl[1].multiplier, 4.0);
+    EXPECT_EQ(tl[2].time_s, 3.0);
+    EXPECT_EQ(tl[2].multiplier, 2.0); // chip 0 still slow
+    EXPECT_EQ(tl[3].time_s, 5.0);
+    EXPECT_EQ(tl[3].multiplier, 1.0); // full speed again
+}
+
+TEST(FaultSchedule, SlowdownTimelineCoalescesAndSkipsNoChange)
+{
+    // Same-timestamp events collapse into one step, and a step
+    // that does not change the effective multiplier is dropped.
+    FaultSchedule s;
+    s.events.push_back({ 1.0, FaultKind::ChipSlowdown, 0, 4.0 });
+    s.events.push_back({ 1.0, FaultKind::ChipSlowdown, 1, 2.0 });
+    s.events.push_back(
+        { 2.0, FaultKind::SlowdownRecovery, 1 }); // max unchanged
+    s.events.push_back(
+        { 3.0, FaultKind::SlowdownRecovery, 0 });
+    const auto tl = s.slowdownTimeline(2);
+    ASSERT_EQ(tl.size(), 2u);
+    EXPECT_EQ(tl[0].time_s, 1.0);
+    EXPECT_EQ(tl[0].multiplier, 4.0);
+    EXPECT_EQ(tl[1].time_s, 3.0);
+    EXPECT_EQ(tl[1].multiplier, 1.0);
+    // Losses and link degrades never enter the timeline.
+    FaultSchedule t;
+    t.events.push_back({ 1.0, FaultKind::ChipLoss, 0 });
+    t.events.push_back({ 2.0, FaultKind::LinkDegrade, -1, 0.5 });
+    EXPECT_TRUE(t.slowdownTimeline(2).empty());
+}
+
+TEST(FaultSchedule, GeneratorEmitsValidCorrelatedSlowdowns)
+{
+    FaultScheduleOptions o;
+    o.incidents = 12;
+    o.link_degrade_prob = 0.0;
+    o.slowdown_prob = 1.0; // slowdowns only
+    o.slowdown_group = 3;
+    o.max_multiplier = 6.0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const FaultSchedule s = generateFaultSchedule(o, 4, seed);
+        EXPECT_NO_THROW(s.validate(4)) << "seed " << seed;
+        std::int64_t slowdowns = 0;
+        std::int64_t recoveries = 0;
+        for (const FaultEvent &e : s.events) {
+            if (e.kind == FaultKind::ChipSlowdown) {
+                slowdowns += 1;
+                EXPECT_GT(e.factor, 1.0);
+                EXPECT_LE(e.factor, o.max_multiplier);
+            }
+            recoveries += e.kind == FaultKind::SlowdownRecovery;
+        }
+        EXPECT_EQ(slowdowns, recoveries) << "seed " << seed;
+        EXPECT_GT(slowdowns, 0) << "seed " << seed;
+    }
+    // The correlated group shares one onset timestamp somewhere.
+    const FaultSchedule s = generateFaultSchedule(o, 4, 3);
+    bool correlated = false;
+    for (std::size_t i = 1; i < s.events.size(); ++i)
+        correlated = correlated
+            || (s.events[i].kind == FaultKind::ChipSlowdown
+                && s.events[i - 1].kind == FaultKind::ChipSlowdown
+                && s.events[i].time_s == s.events[i - 1].time_s);
+    EXPECT_TRUE(correlated);
+}
+
+TEST(FaultSchedule, SlowdownProbZeroPreservesTheLegacyStream)
+{
+    // The historical generator drew link-vs-loss from one uniform;
+    // the slowdown arm partitions that same draw, so schedules at
+    // slowdown_prob = 0 are bit-identical to schedules generated
+    // before the arm existed (goldens pin the same property at the
+    // RunReport level).
+    FaultScheduleOptions legacy;
+    legacy.incidents = 10;
+    legacy.link_degrade_prob = 0.4;
+    FaultScheduleOptions extended = legacy;
+    extended.slowdown_prob = 0.0;
+    extended.slowdown_group = 2;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const auto a = generateFaultSchedule(legacy, 3, seed);
+        const auto b = generateFaultSchedule(extended, 3, seed);
+        EXPECT_EQ(a.toString(), b.toString()) << "seed " << seed;
+    }
+}
+
 TEST(RetryPolicy, BackoffGrowsGeometricallyAndCaps)
 {
     RetryPolicy p;
@@ -170,6 +334,37 @@ TEST(RetryPolicy, BackoffGrowsGeometricallyAndCaps)
     EXPECT_EQ(p.delaySeconds(3), 2.0);
     EXPECT_EQ(p.delaySeconds(4), 3.0); // capped, not 4.0
     EXPECT_EQ(p.delaySeconds(10), 3.0);
+}
+
+TEST(RetryPolicy, HugeAttemptCountsNeverOverflowTheBackoff)
+{
+    // Iterated multiplication would hit inf near attempt ~1e3 for
+    // multiplier 2; the clamp must keep every result finite, at
+    // the cap, and monotone.
+    RetryPolicy p;
+    p.backoff_s = 0.5;
+    p.multiplier = 2.0;
+    p.cap_s = 30.0;
+    for (const int attempt : { 1000, 100000, 1 << 30,
+                               std::numeric_limits<int>::max() }) {
+        const double d = p.delaySeconds(attempt);
+        EXPECT_TRUE(std::isfinite(d)) << "attempt " << attempt;
+        EXPECT_EQ(d, p.cap_s) << "attempt " << attempt;
+    }
+    // A multiplier of exactly 1 must not spin a billion no-op
+    // multiplies (this returns promptly or the test times out).
+    RetryPolicy flat;
+    flat.multiplier = 1.0;
+    flat.cap_s = 1e9;
+    EXPECT_EQ(flat.delaySeconds(std::numeric_limits<int>::max()),
+              flat.backoff_s);
+    // An uncapped-in-practice policy still clamps at the cap even
+    // when the product overflows to inf mid-loop.
+    RetryPolicy wild;
+    wild.backoff_s = 1e300;
+    wild.multiplier = 1e10;
+    wild.cap_s = 1e308;
+    EXPECT_EQ(wild.delaySeconds(5000), wild.cap_s);
 }
 
 TEST(RetryPolicy, ValidateRejectsNonsense)
@@ -185,6 +380,14 @@ TEST(RetryPolicy, ValidateRejectsNonsense)
     EXPECT_THROW(p.validate(), FatalError);
     p = {};
     p.max_attempts = -1;
+    EXPECT_THROW(p.validate(), FatalError);
+    // Non-finite knobs are rejected up front, not discovered as
+    // inf mid-backoff.
+    p = {};
+    p.cap_s = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(p.validate(), FatalError);
+    p = {};
+    p.multiplier = std::numeric_limits<double>::quiet_NaN();
     EXPECT_THROW(p.validate(), FatalError);
 }
 

@@ -274,6 +274,94 @@ TEST(FaultServer, LinkDegradeKeepsServingWithoutEvictions)
     EXPECT_GE(m.serve.makespan_s, healthy.serve.makespan_s);
 }
 
+TEST(FaultServer, ChipSlowdownDegradesWithoutReplanOrEviction)
+{
+    const auto cluster = multichip::edgeCluster(2);
+    const auto cfg = model::t5Small();
+    const auto wl = smallWorkload();
+    const auto opts = fastOptions();
+    const auto trace = serve::generateWorkload(wl, 7);
+
+    const FaultTolerantServer server(cluster, cfg, wl, opts);
+    const auto healthy = server.run(trace, {});
+
+    // One chip runs 3x slow mid-trace, then recovers.  A gray
+    // failure: no drain, no replan, no evictions — the session
+    // just runs slower while the window is open.
+    FaultSchedule faults;
+    faults.events.push_back({ 0.3 * healthy.serve.makespan_s,
+                              FaultKind::ChipSlowdown, 1, 3.0 });
+    faults.events.push_back({ 0.7 * healthy.serve.makespan_s,
+                              FaultKind::SlowdownRecovery, 1 });
+    const auto m = server.run(trace, faults);
+
+    EXPECT_EQ(m.chip_slowdowns, 1);
+    EXPECT_EQ(m.slowdown_recoveries, 1);
+    EXPECT_EQ(m.chip_losses, 0);
+    EXPECT_EQ(m.replans, 0);
+    EXPECT_EQ(m.evictions, 0);
+    EXPECT_EQ(m.retries, 0);
+    // Everything completes — just slower than the healthy run.
+    EXPECT_EQ(m.serve.completed, m.serve.offered);
+    EXPECT_GE(m.serve.makespan_s, healthy.serve.makespan_s);
+    // The slowed span is accounted as degraded time.
+    EXPECT_GT(m.slowdown_s, 0);
+    EXPECT_LE(m.slowdown_s, m.degraded_s);
+    // Windows carry the multiplier: healthy, x3, healthy.
+    ASSERT_EQ(m.windows.size(), 3u);
+    EXPECT_EQ(m.windows[0].slowdown, 1.0);
+    EXPECT_EQ(m.windows[1].slowdown, 3.0);
+    EXPECT_EQ(m.windows[2].slowdown, 1.0);
+    // Same spec throughout: a slowdown never costs a replan.
+    for (const auto &w : m.windows) {
+        EXPECT_EQ(w.spec.tp, opts.initial_spec.tp);
+        EXPECT_EQ(w.spec.pp, opts.initial_spec.pp);
+    }
+    // The degraded replay is deterministic.
+    const auto again = server.run(trace, faults);
+    expectSameServeMetrics(m.serve, again.serve);
+}
+
+TEST(FaultServer, SlowdownComposesWithALossOnAnotherChip)
+{
+    const auto cluster = multichip::edgeCluster(2);
+    const auto cfg = model::t5Small();
+    const auto wl = smallWorkload();
+    const auto opts = fastOptions();
+    const auto trace = serve::generateWorkload(wl, 7);
+
+    const FaultTolerantServer server(cluster, cfg, wl, opts);
+    const auto healthy = server.run(trace, {});
+    const double mk = healthy.serve.makespan_s;
+
+    // Chip 0 slows while chip 1 is lost and recovered: the
+    // slowdown persists across the structural replans.
+    FaultSchedule faults;
+    faults.events.push_back(
+        { 0.2 * mk, FaultKind::ChipSlowdown, 0, 2.0 });
+    faults.events.push_back({ 0.4 * mk, FaultKind::ChipLoss, 1 });
+    faults.events.push_back(
+        { 0.6 * mk, FaultKind::ChipRecovery, 1 });
+    faults.events.push_back(
+        { 0.8 * mk, FaultKind::SlowdownRecovery, 0 });
+    EXPECT_NO_THROW(faults.validate(2));
+    const auto m = server.run(trace, faults);
+
+    EXPECT_EQ(m.chip_slowdowns, 1);
+    EXPECT_EQ(m.chip_losses, 1);
+    // Only the loss costs a degraded-mode replan (recovery just
+    // restores the cached initial plan); the slowdown costs none.
+    EXPECT_EQ(m.replans, 1);
+    EXPECT_EQ(m.serve.completed + m.serve.rejected,
+              m.serve.offered);
+    // The degraded-mode window (1 chip) still carries the x2.
+    bool slowed_single_chip = false;
+    for (const auto &w : m.windows)
+        slowed_single_chip = slowed_single_chip
+            || (w.chips == 1 && w.slowdown == 2.0);
+    EXPECT_TRUE(slowed_single_chip);
+}
+
 TEST(FaultServer, AutoPlanPicksAFeasibleSpec)
 {
     const auto cluster = multichip::edgeCluster(2);

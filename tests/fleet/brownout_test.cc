@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the brownout controller: streak-confirmed activation
+ * and release with a hysteresis gap, the shed predicate over
+ * priority and output length, window attribution, and option
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fleet/brownout.hh"
+
+namespace transfusion::fleet
+{
+namespace
+{
+
+BrownoutOptions
+priorityFloor()
+{
+    BrownoutOptions o;
+    o.enabled = true;
+    o.alpha = 1.0; // no smoothing: the state machine is the test
+    o.pressure_depth = 10.0;
+    o.release_depth = 2.0;
+    o.pressure_streak = 2;
+    o.relief_streak = 2;
+    o.min_priority = 1;
+    return o;
+}
+
+serve::Request
+request(int priority, std::int64_t output_len = 16)
+{
+    serve::Request r;
+    r.id = 1;
+    r.prompt_len = 64;
+    r.output_len = output_len;
+    r.priority = priority;
+    return r;
+}
+
+TEST(Brownout, ActivationNeedsASustainedPressureStreak)
+{
+    BrownoutController ctl(priorityFloor());
+    EXPECT_FALSE(ctl.active());
+
+    ctl.observe(1.0, 20.0);
+    EXPECT_FALSE(ctl.active()); // one pressured update is noise
+    ctl.observe(2.0, 1.0);      // relief resets the streak
+    ctl.observe(3.0, 20.0);
+    EXPECT_FALSE(ctl.active());
+    ctl.observe(4.0, 20.0);
+    EXPECT_TRUE(ctl.active());
+    EXPECT_EQ(ctl.activations(), 1);
+}
+
+TEST(Brownout, ReleaseNeedsASustainedReliefStreak)
+{
+    BrownoutController ctl(priorityFloor());
+    ctl.observe(1.0, 20.0);
+    ctl.observe(2.0, 20.0);
+    ASSERT_TRUE(ctl.active());
+
+    // Mid-gap depth (between release 2 and pressure 10) neither
+    // releases nor re-pressures: hysteresis holds the brownout.
+    ctl.observe(3.0, 5.0);
+    ctl.observe(4.0, 5.0);
+    ctl.observe(5.0, 5.0);
+    EXPECT_TRUE(ctl.active());
+
+    ctl.observe(6.0, 1.0);
+    EXPECT_TRUE(ctl.active());
+    ctl.observe(7.0, 1.0);
+    EXPECT_FALSE(ctl.active());
+
+    ASSERT_EQ(ctl.windows().size(), 1u);
+    EXPECT_EQ(ctl.windows()[0].start_s, 2.0);
+    EXPECT_EQ(ctl.windows()[0].end_s, 7.0);
+}
+
+TEST(Brownout, ShedsBelowThePriorityFloorOnlyWhileActive)
+{
+    BrownoutController ctl(priorityFloor());
+    EXPECT_FALSE(ctl.shouldShed(request(0))); // inactive: never
+
+    ctl.observe(1.0, 20.0);
+    ctl.observe(2.0, 20.0);
+    ASSERT_TRUE(ctl.active());
+    EXPECT_TRUE(ctl.shouldShed(request(0)));  // below the floor
+    EXPECT_FALSE(ctl.shouldShed(request(1))); // at the floor
+    EXPECT_FALSE(ctl.shouldShed(request(5)));
+
+    ctl.recordShed();
+    ctl.recordShed();
+    EXPECT_EQ(ctl.sheds(), 2);
+    ASSERT_EQ(ctl.windows().size(), 1u);
+    EXPECT_EQ(ctl.windows()[0].sheds, 2);
+}
+
+TEST(Brownout, ShedsAtOrAboveTheOutputCeiling)
+{
+    auto o = priorityFloor();
+    o.min_priority = 0; // length criterion only
+    o.shed_output_len = 100;
+    BrownoutController ctl(o);
+    ctl.observe(1.0, 20.0);
+    ctl.observe(2.0, 20.0);
+    ASSERT_TRUE(ctl.active());
+    EXPECT_FALSE(ctl.shouldShed(request(0, 99)));
+    EXPECT_TRUE(ctl.shouldShed(request(0, 100)));
+    // Priority floor 0 sheds nobody by priority (default prio 0).
+    EXPECT_FALSE(ctl.shouldShed(request(0, 16)));
+}
+
+TEST(Brownout, FinishClosesADanglingWindow)
+{
+    BrownoutController ctl(priorityFloor());
+    ctl.observe(1.0, 20.0);
+    ctl.observe(2.0, 20.0);
+    ASSERT_TRUE(ctl.active());
+    ctl.finish(9.0);
+    EXPECT_FALSE(ctl.active());
+    ASSERT_EQ(ctl.windows().size(), 1u);
+    EXPECT_EQ(ctl.windows()[0].end_s, 9.0);
+    EXPECT_EQ(ctl.windows()[0].durationSeconds(), 7.0);
+}
+
+TEST(Brownout, DisabledControllersNeverActivate)
+{
+    BrownoutController ctl(BrownoutOptions{});
+    for (int i = 0; i < 100; ++i)
+        ctl.observe(i, 1e9);
+    EXPECT_FALSE(ctl.active());
+    EXPECT_FALSE(ctl.shouldShed(request(0)));
+    EXPECT_TRUE(ctl.windows().empty());
+}
+
+TEST(Brownout, MalformedOptionsAreFatal)
+{
+    const auto build = [](auto mutate) {
+        BrownoutOptions o;
+        o.enabled = true;
+        o.min_priority = 1;
+        mutate(o);
+        BrownoutController ctl(o);
+    };
+    EXPECT_THROW(build([](BrownoutOptions &o) { o.alpha = 0; }),
+                 FatalError);
+    EXPECT_THROW(build([](BrownoutOptions &o) {
+                     o.pressure_depth = 0;
+                 }),
+                 FatalError);
+    // No hysteresis gap.
+    EXPECT_THROW(build([](BrownoutOptions &o) {
+                     o.release_depth = o.pressure_depth;
+                 }),
+                 FatalError);
+    EXPECT_THROW(build([](BrownoutOptions &o) {
+                     o.pressure_streak = 0;
+                 }),
+                 FatalError);
+    EXPECT_THROW(build([](BrownoutOptions &o) {
+                     o.relief_streak = 0;
+                 }),
+                 FatalError);
+    // No shed criterion at all.
+    EXPECT_THROW(build([](BrownoutOptions &o) {
+                     o.min_priority = 0;
+                     o.shed_output_len = 0;
+                 }),
+                 FatalError);
+}
+
+} // namespace
+} // namespace transfusion::fleet

@@ -373,6 +373,179 @@ TEST(FleetSim, UniformFleetSharesOneCalibratedSimulator)
     EXPECT_EQ(fleet.replicaSpec(0).chips(), cluster.size());
 }
 
+TEST(FleetSim, SlowdownDegradesThroughputWithoutDroppingWork)
+{
+    const auto cluster = multichip::edgeCluster(1);
+    const auto cfg = model::t5Small();
+    auto wl = smallWorkload();
+    wl.arrival_per_s = 50.0;
+    const auto trace = serve::generateWorkload(wl, 7);
+
+    const auto fleet =
+        FleetSimulator::uniform(2, cluster, cfg, wl, fastFleet());
+
+    FleetRunOptions run;
+    run.policy = PolicyKind::RoundRobin;
+    const auto healthy = fleet.run(trace, run);
+    ASSERT_EQ(healthy.completed, healthy.offered);
+
+    // Replica 1's chip runs 4x slow for most of the run, then
+    // recovers.  A gray failure: nothing drains, nothing reroutes.
+    fault::FaultSchedule gray;
+    gray.events.push_back({ 0.05, fault::FaultKind::ChipSlowdown,
+                            0, 4.0 });
+    gray.events.push_back(
+        { 0.8 * healthy.makespan_s,
+          fault::FaultKind::SlowdownRecovery, 0 });
+    run.faults.resize(2);
+    run.faults[1] = gray;
+    const auto m = fleet.run(trace, run);
+
+    EXPECT_EQ(m.slowdown_transitions, 2);
+    EXPECT_EQ(m.replica_downs, 0);
+    EXPECT_EQ(m.failover_drained, 0);
+    // Every request still finishes — just later.
+    EXPECT_EQ(m.completed, m.offered);
+    EXPECT_GT(m.makespan_s, healthy.makespan_s);
+    // And the degraded replay is itself deterministic.
+    expectSameFleetMetrics(m, fleet.run(trace, run));
+}
+
+TEST(FleetSim, BreakerRoutesAroundASlowedReplica)
+{
+    const auto cluster = multichip::edgeCluster(1);
+    const auto cfg = model::t5Small();
+    auto wl = smallWorkload();
+    wl.arrival_per_s = 20.0;
+    wl.requests = 24;
+    const auto trace = serve::generateWorkload(wl, 7);
+
+    auto fl = fastFleet();
+    fl.health.enabled = true;
+    fl.health.alpha = 1.0;
+    // Threshold between healthy and 8x-slowed per-round latency:
+    // calibrate it from a healthy probe run below.
+    const auto probe =
+        FleetSimulator::uniform(2, cluster, cfg, wl, fastFleet());
+    FleetRunOptions run;
+    run.policy = PolicyKind::LeastOutstanding;
+    const auto healthy = probe.run(trace, run);
+    const auto &hr = healthy.replicas[0];
+    const double per_round = hr.makespan_s
+        / static_cast<double>(hr.prefill_rounds
+                              + hr.decode_rounds);
+    fl.health.latency_breach_s = 3.0 * per_round;
+    fl.health.breach_streak = 2;
+    const auto fleet =
+        FleetSimulator::uniform(2, cluster, cfg, wl, fl);
+
+    // Replica 0 goes 8x slow early and never recovers.
+    fault::FaultSchedule gray;
+    gray.events.push_back({ 0.05, fault::FaultKind::ChipSlowdown,
+                            0, 8.0 });
+    run.faults.resize(1);
+    run.faults[0] = gray;
+    const auto m = fleet.run(trace, run);
+
+    // The breaker tripped and stayed open (or re-opened on every
+    // probe: the slowdown never clears).
+    EXPECT_GT(m.breaker_opens, 0);
+    EXPECT_GT(m.breaker_open_s, 0);
+    EXPECT_EQ(m.completed, m.offered);
+    // The healthy replica absorbed the bulk of the work.
+    ASSERT_EQ(m.replicas.size(), 2u);
+    EXPECT_GT(m.replicas[1].completed, m.replicas[0].completed);
+    // Detection is deterministic too.
+    expectSameFleetMetrics(m, fleet.run(trace, run));
+}
+
+TEST(FleetSim, BrownoutShedsOnlyTheLowPriorityClass)
+{
+    const auto cluster = multichip::edgeCluster(1);
+    const auto cfg = model::t5Small();
+    auto wl = smallWorkload();
+    wl.arrival_per_s = 200.0; // deep sustained backlog
+    wl.requests = 32;
+    auto trace = serve::generateWorkload(wl, 7);
+    // Alternate priority classes: odd ids are best-effort.
+    for (auto &r : trace)
+        r.priority = r.id % 2 == 0 ? 1 : 0;
+
+    auto fl = fastFleet();
+    fl.brownout.enabled = true;
+    fl.brownout.alpha = 1.0;
+    fl.brownout.pressure_depth = 4.0;
+    fl.brownout.release_depth = 1.0;
+    fl.brownout.pressure_streak = 1;
+    fl.brownout.min_priority = 1;
+    const auto fleet =
+        FleetSimulator::uniform(1, cluster, cfg, wl, fl);
+
+    FleetRunOptions run;
+    run.policy = PolicyKind::RoundRobin; // not the fast path
+    const auto m = fleet.run(trace, run);
+
+    EXPECT_GT(m.brownout_activations, 0);
+    EXPECT_GT(m.brownout_sheds, 0);
+    EXPECT_GT(m.brownout_s, 0);
+    // Conservation holds with sheds counted as rejections.
+    EXPECT_EQ(m.completed + m.rejected, m.offered);
+    // Priority-1 requests were never brownout-shed: at most the
+    // priority-0 half of the trace was.
+    EXPECT_LE(m.brownout_sheds, m.offered / 2);
+    // Everything that was not shed (or overflow-shed by the
+    // replica) completed.
+    EXPECT_GT(m.completed, 0);
+    expectSameFleetMetrics(m, fleet.run(trace, run));
+}
+
+TEST(FleetSim, SimultaneousMultiReplicaLossFailsOverToSurvivors)
+{
+    const auto cluster = multichip::edgeCluster(1);
+    const auto cfg = model::t5Small();
+    auto wl = smallWorkload();
+    wl.arrival_per_s = 100.0; // work in flight at the loss
+    wl.requests = 24;
+    const auto trace = serve::generateWorkload(wl, 7);
+
+    const auto fleet =
+        FleetSimulator::uniform(4, cluster, cfg, wl, fastFleet());
+    FleetRunOptions run;
+    run.policy = PolicyKind::RoundRobin;
+    const auto healthy = fleet.run(trace, run);
+    ASSERT_GT(healthy.makespan_s, 0);
+
+    // Replicas 0 AND 1 lose their chip at the same instant and
+    // never recover; 2 and 3 survive.
+    const double t0 = 0.3 * healthy.makespan_s;
+    fault::FaultSchedule outage;
+    outage.events.push_back(
+        { t0, fault::FaultKind::ChipLoss, 0 });
+    run.faults.resize(2);
+    run.faults[0] = outage;
+    run.faults[1] = outage;
+    const auto m = fleet.run(trace, run);
+
+    EXPECT_EQ(m.replica_downs, 2);
+    EXPECT_GT(m.failover_drained, 0);
+    // Conservation across the double fault.
+    EXPECT_EQ(m.completed + m.rejected, m.offered);
+    ASSERT_EQ(m.replicas.size(), 4u);
+    for (const auto &r : m.replicas)
+        EXPECT_EQ(r.offered, r.completed + r.rejected);
+    // Every reroute landed on a healthy replica: the dead pair's
+    // ledgers stop at the drain, so all remaining completions —
+    // more than the survivors' healthy-run share — are on 2 and 3.
+    const auto survivors =
+        m.replicas[2].completed + m.replicas[3].completed;
+    EXPECT_EQ(m.completed,
+              m.replicas[0].completed + m.replicas[1].completed
+                  + survivors);
+    EXPECT_GT(survivors, healthy.replicas[2].completed
+                             + healthy.replicas[3].completed);
+    expectSameFleetMetrics(m, fleet.run(trace, run));
+}
+
 TEST(FleetSim, MalformedRunsAreFatal)
 {
     const auto cluster = multichip::edgeCluster(1);

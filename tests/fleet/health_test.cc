@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the gray-failure health monitor: EWMA seeding, the
+ * closed -> open -> half-open -> closed breaker cycle on integer
+ * update counts, re-opening on a dirty probe, window attribution,
+ * and option validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fleet/health.hh"
+
+namespace transfusion::fleet
+{
+namespace
+{
+
+HealthOptions
+latencyTriggered()
+{
+    HealthOptions o;
+    o.enabled = true;
+    o.alpha = 1.0; // no smoothing: the state machine is the test
+    o.latency_breach_s = 1.0;
+    o.breach_streak = 2;
+    o.cooldown_updates = 3;
+    o.probe_updates = 2;
+    return o;
+}
+
+TEST(HealthMonitor, BreachStreakOpensTheBreaker)
+{
+    HealthMonitor mon(latencyTriggered());
+    EXPECT_EQ(mon.state(), BreakerState::Closed);
+    EXPECT_TRUE(mon.routable());
+
+    // One breach is not a streak.
+    mon.observe(1.0, 5.0, 0.0);
+    EXPECT_EQ(mon.state(), BreakerState::Closed);
+    // A clean update resets the streak.
+    mon.observe(2.0, 0.1, 0.0);
+    mon.observe(3.0, 5.0, 0.0);
+    EXPECT_EQ(mon.state(), BreakerState::Closed);
+    // The second consecutive breach trips it.
+    mon.observe(4.0, 5.0, 0.0);
+    EXPECT_EQ(mon.state(), BreakerState::Open);
+    EXPECT_FALSE(mon.routable());
+    EXPECT_EQ(mon.opens(), 1);
+}
+
+TEST(HealthMonitor, CooldownProbeAndRecloseCycle)
+{
+    HealthMonitor mon(latencyTriggered());
+    mon.observe(1.0, 5.0, 0.0);
+    mon.observe(2.0, 5.0, 0.0);
+    ASSERT_EQ(mon.state(), BreakerState::Open);
+
+    // cooldown_updates = 3 holds Open for exactly three updates.
+    mon.observe(3.0, std::nullopt, 0.0);
+    mon.observe(4.0, std::nullopt, 0.0);
+    EXPECT_EQ(mon.state(), BreakerState::Open);
+    mon.observe(5.0, std::nullopt, 0.0);
+    EXPECT_EQ(mon.state(), BreakerState::HalfOpen);
+    EXPECT_TRUE(mon.routable()); // the probe serves traffic
+
+    // probe_updates = 2 clean updates re-close it.
+    mon.observe(6.0, 0.1, 0.0);
+    EXPECT_EQ(mon.state(), BreakerState::HalfOpen);
+    mon.observe(7.0, 0.1, 0.0);
+    EXPECT_EQ(mon.state(), BreakerState::Closed);
+    EXPECT_EQ(mon.closes(), 1);
+    EXPECT_EQ(mon.reopens(), 0);
+
+    // The not-Closed span is one attributed window, [2, 7].
+    ASSERT_EQ(mon.windows().size(), 1u);
+    EXPECT_EQ(mon.windows()[0].start_s, 2.0);
+    EXPECT_EQ(mon.windows()[0].end_s, 7.0);
+    EXPECT_EQ(mon.windows()[0].durationSeconds(), 5.0);
+}
+
+TEST(HealthMonitor, DirtyProbeReopensAndReArmsTheCooldown)
+{
+    HealthMonitor mon(latencyTriggered());
+    mon.observe(1.0, 5.0, 0.0);
+    mon.observe(2.0, 5.0, 0.0);
+    for (int i = 0; i < 3; ++i)
+        mon.observe(3.0 + i, std::nullopt, 0.0);
+    ASSERT_EQ(mon.state(), BreakerState::HalfOpen);
+
+    // Still slow: the probe fails and the cooldown re-arms whole.
+    mon.observe(6.0, 5.0, 0.0);
+    EXPECT_EQ(mon.state(), BreakerState::Open);
+    EXPECT_EQ(mon.reopens(), 1);
+    EXPECT_EQ(mon.opens(), 1); // reopen is not a fresh open
+    mon.observe(7.0, std::nullopt, 0.0);
+    mon.observe(8.0, std::nullopt, 0.0);
+    EXPECT_EQ(mon.state(), BreakerState::Open);
+    mon.observe(9.0, std::nullopt, 0.0);
+    EXPECT_EQ(mon.state(), BreakerState::HalfOpen);
+
+    // The whole relapse stays inside ONE window; finish() closes
+    // it when the breaker never recovers.
+    mon.finish(10.0);
+    ASSERT_EQ(mon.windows().size(), 1u);
+    EXPECT_EQ(mon.windows()[0].end_s, 10.0);
+}
+
+TEST(HealthMonitor, LatencyEwmaSeedsFromItsFirstSample)
+{
+    auto o = latencyTriggered();
+    o.alpha = 0.5;
+    o.breach_streak = 1;
+    HealthMonitor mon(o);
+    // First sample 4.0: a 0-seeded EWMA would read 2.0; seeding
+    // takes the sample whole and breaches immediately.
+    mon.observe(1.0, 4.0, 0.0);
+    EXPECT_EQ(mon.latencyEwma(), 4.0);
+    EXPECT_EQ(mon.state(), BreakerState::Open);
+}
+
+TEST(HealthMonitor, IdleUpdatesHoldTheLatencyEwma)
+{
+    auto o = latencyTriggered();
+    o.alpha = 0.5;
+    HealthMonitor mon(o);
+    mon.observe(1.0, 4.0, 0.0);
+    // No rounds executed: the latency estimate must not decay
+    // toward "fast" just because the replica sat idle.
+    mon.observe(2.0, std::nullopt, 0.0);
+    EXPECT_EQ(mon.latencyEwma(), 4.0);
+    mon.observe(3.0, 2.0, 0.0);
+    EXPECT_EQ(mon.latencyEwma(), 3.0);
+}
+
+TEST(HealthMonitor, DepthTriggerWorksWithoutLatencySamples)
+{
+    HealthOptions o;
+    o.enabled = true;
+    o.alpha = 1.0;
+    o.depth_breach = 8.0;
+    o.breach_streak = 2;
+    HealthMonitor mon(o);
+    mon.observe(1.0, std::nullopt, 10.0);
+    mon.observe(2.0, std::nullopt, 10.0);
+    EXPECT_EQ(mon.state(), BreakerState::Open);
+    EXPECT_EQ(mon.depthEwma(), 10.0);
+}
+
+TEST(HealthMonitor, DisabledMonitorsNeverTrip)
+{
+    HealthMonitor mon(HealthOptions{});
+    for (int i = 0; i < 100; ++i)
+        mon.observe(i, 1e9, 1e9);
+    EXPECT_EQ(mon.state(), BreakerState::Closed);
+    EXPECT_TRUE(mon.routable());
+    EXPECT_EQ(mon.opens(), 0);
+    EXPECT_TRUE(mon.windows().empty());
+}
+
+TEST(HealthMonitor, MalformedOptionsAreFatal)
+{
+    const auto build = [](auto mutate) {
+        HealthOptions o;
+        o.enabled = true;
+        o.latency_breach_s = 1.0;
+        mutate(o);
+        HealthMonitor mon(o);
+    };
+    EXPECT_THROW(build([](HealthOptions &o) { o.alpha = 0; }),
+                 FatalError);
+    EXPECT_THROW(build([](HealthOptions &o) { o.alpha = 1.5; }),
+                 FatalError);
+    // No trigger at all.
+    EXPECT_THROW(build([](HealthOptions &o) {
+                     o.latency_breach_s = 0;
+                 }),
+                 FatalError);
+    EXPECT_THROW(build([](HealthOptions &o) {
+                     o.breach_streak = 0;
+                 }),
+                 FatalError);
+    EXPECT_THROW(build([](HealthOptions &o) {
+                     o.cooldown_updates = 0;
+                 }),
+                 FatalError);
+    EXPECT_THROW(build([](HealthOptions &o) {
+                     o.probe_updates = 0;
+                 }),
+                 FatalError);
+}
+
+TEST(HealthMonitor, StateNamesPrint)
+{
+    EXPECT_EQ(toString(BreakerState::Closed), "closed");
+    EXPECT_EQ(toString(BreakerState::Open), "open");
+    EXPECT_EQ(toString(BreakerState::HalfOpen), "half-open");
+}
+
+} // namespace
+} // namespace transfusion::fleet

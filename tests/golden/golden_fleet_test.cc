@@ -131,6 +131,102 @@ TEST(GoldenFleet, CloudLlama3FourReplicaP2cWithOutage)
            "scripts/update_golden.sh and review the diff.";
 }
 
+/**
+ * Gray-failure scenario: replica 0's chips run 6x slow mid-trace
+ * (no chip ever goes down), the health monitor's depth EWMA trips
+ * the circuit breaker, and the breaker re-closes after the
+ * recovery.  Pins the slowdown transition count, the breaker
+ * open/close counters with per-replica attribution, and the
+ * degraded-window serve metrics.
+ */
+std::string
+slowdownBreakerReport()
+{
+    serve::WorkloadOptions wl;
+    wl.arrival_per_s = 8.0;
+    wl.requests = 24;
+    wl.prompt = { 256, 1024 };
+    wl.output = { 32, 64 };
+
+    fleet::FleetOptions opts;
+    opts.serve.strategy = schedule::StrategyKind::TransFusion;
+    opts.serve.max_batch = 8;
+    opts.serve.cost.evaluator.mcts.iterations = 128;
+    opts.threads = 1;
+    opts.plan_threads = 1;
+    opts.health.enabled = true;
+    opts.health.alpha = 0.5;
+    opts.health.depth_breach = 6.0;
+    opts.health.breach_streak = 2;
+    opts.health.cooldown_updates = 2;
+    opts.health.probe_updates = 1;
+
+    // Both of replica 0's chips throttle to 6x mid-trace and
+    // recover later: a pure gray failure, nothing goes down.
+    fault::FaultSchedule slowdown;
+    slowdown.events.push_back(
+        { 1.0, fault::FaultKind::ChipSlowdown, 0, 6.0 });
+    slowdown.events.push_back(
+        { 1.0, fault::FaultKind::ChipSlowdown, 1, 6.0 });
+    slowdown.events.push_back(
+        { 4.0, fault::FaultKind::SlowdownRecovery, 0 });
+    slowdown.events.push_back(
+        { 4.0, fault::FaultKind::SlowdownRecovery, 1 });
+
+    fleet::FleetRunOptions run;
+    run.policy = fleet::PolicyKind::PowerOfTwo;
+    run.seed = 13;
+    run.faults.resize(1);
+    run.faults[0] = slowdown;
+
+    obs::Registry local;
+    {
+        obs::ScopedRegistry scope(local);
+        const auto fleet = fleet::FleetSimulator::uniform(
+            2, multichip::cloudCluster(2), model::llama3_8b(), wl,
+            opts);
+        (void)fleet.run(serve::generateWorkload(wl, 13), run);
+    }
+    return obs::RunReport::capture(local).toString();
+}
+
+TEST(GoldenFleet, CloudLlama3SlowdownBreaker)
+{
+    if (!TRANSFUSION_OBS_ENABLED)
+        GTEST_SKIP() << "observability disabled "
+                        "(TRANSFUSION_OBS=OFF): no report to pin";
+
+    const std::string actual = slowdownBreakerReport();
+    ASSERT_FALSE(actual.empty())
+        << "instrumentation produced no metrics";
+    // The gray-failure path must actually have fired: slowdown
+    // transitions applied and the breaker tripped at least once.
+    EXPECT_NE(actual.find("fleet/slowdown.transitions"),
+              std::string::npos);
+    EXPECT_NE(actual.find("fleet/breaker.opens"),
+              std::string::npos);
+
+    const std::string path =
+        goldenPath("cloud_llama3_slowdown_breaker");
+    if (updateRequested()) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write golden " << path;
+        out << actual;
+        std::cout << "updated golden " << path << "\n";
+        return;
+    }
+
+    const std::string expected = readFile(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden file " << path
+        << "; run scripts/update_golden.sh to create it";
+    EXPECT_EQ(expected, actual)
+        << "report drifted from " << path << ":\n"
+        << obs::RunReport::diff(expected, actual)
+        << "If the change is intentional, regenerate with "
+           "scripts/update_golden.sh and review the diff.";
+}
+
 TEST(GoldenFleet, FleetReportIsReproducibleWithinProcess)
 {
     if (!TRANSFUSION_OBS_ENABLED)

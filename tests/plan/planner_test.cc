@@ -386,6 +386,56 @@ TEST(CapacityPlanner, FaultScenarioGatesFeasibility)
     EXPECT_EQ(*result.best, 1u);
 }
 
+TEST(CapacityPlanner, SlowdownScenarioGatesFeasibility)
+{
+    // Gray-failure availability: the SLO demands absorbing a
+    // permanent heavy throttle on replica 0.  The chip never goes
+    // down — a slowdown drops nothing by itself — so the gate
+    // trips through the bounded queue: the throttled replica
+    // sheds arrivals it can no longer keep up with, while a
+    // second replica absorbs the load and stays feasible.
+    serve::WorkloadOptions wl = lightWorkload();
+    wl.arrival_per_s = 20.0;
+    wl.requests = 32;
+
+    SloSpec slo;
+    slo.p99_latency_s = 60.0;
+    slo.faults.events.push_back(
+        { 0.0, fault::FaultKind::ChipSlowdown, 0, 200.0 });
+    slo.max_fault_reject_rate = 0.05;
+
+    PlannerOptions opts = fastOptions();
+    opts.serve.max_queue = 4;
+    SearchSpace space = smallSpace();
+    space.chip_counts = { 1 };
+    space.replica_counts = { 1, 2 };
+    // Load-aware routing is the point: a blind round-robin would
+    // keep feeding the throttled replica and shed half the trace
+    // even with a healthy sibling available.
+    space.policies = { fleet::PolicyKind::LeastOutstanding };
+
+    const CapacityPlanner planner(model::t5Small(), wl, slo,
+                                  opts);
+    const PlanResult result = planner.plan(space, 13);
+    ASSERT_EQ(result.candidates.size(), 2u);
+
+    const CandidateOutcome &solo = result.candidates[0];
+    EXPECT_EQ(solo.spec.replicas, 1);
+    EXPECT_EQ(solo.status, CandidateStatus::Infeasible)
+        << "a fleet whose only replica runs 200x slow must shed "
+           "past the availability bound";
+    EXPECT_GT(solo.fault_reject_rate,
+              slo.max_fault_reject_rate);
+    EXPECT_NE(solo.why.find("faulted"), std::string::npos);
+
+    const CandidateOutcome &pair = result.candidates[1];
+    EXPECT_EQ(pair.spec.replicas, 2);
+    EXPECT_EQ(pair.status, CandidateStatus::Feasible);
+    EXPECT_LE(pair.fault_reject_rate, 0.05);
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_EQ(*result.best, 1u);
+}
+
 TEST(CapacityPlanner, MemoryUnfitShortCircuitsBeforeCalibration)
 {
     // A model far past any preset chip's DRAM: the planner must
